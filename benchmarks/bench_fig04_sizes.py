@@ -1,0 +1,32 @@
+"""Figure 4 (section 4.4.1): access relation sizes per extension/decomposition.
+
+Paper's claims for this profile (few objects at the left of the path):
+
+* canonical and left-complete are drastically smaller than right-complete
+  and full;
+* binary decomposition reduces storage costs by roughly a factor of 2.
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_table
+
+
+def test_fig04_sizes(benchmark, record):
+    data = benchmark(figures.fig04_sizes)
+    record(
+        "fig04_sizes",
+        format_table(
+            ["design", "KiB"],
+            sorted(data.items()),
+            "Figure 4 — access support relation sizes (KiB)",
+        ),
+    )
+    # Canonical/left drastically smaller than right/full (both layouts).
+    for layout in ("bi", "nodec"):
+        assert data[f"can/{layout}"] < data[f"right/{layout}"] / 4
+        assert data[f"left/{layout}"] < data[f"right/{layout}"] / 4
+        assert data[f"right/{layout}"] <= data[f"full/{layout}"]
+    # Binary decomposition reduces storage by roughly a factor of two.
+    for extension in ("can", "full", "left", "right"):
+        ratio = data[f"{extension}/nodec"] / data[f"{extension}/bi"]
+        assert 1.5 <= ratio <= 4.0, (extension, ratio)

@@ -1,0 +1,28 @@
+"""Figure 5 (section 4.4.2): sizes while varying all d_i, no decomposition.
+
+Paper's claims: sizes grow with the ``d_i``; as ``d_i → c_i`` the
+extensions' storage costs approach each other (almost all paths then
+originate in ``t_0`` and lead to ``t_n``).
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_series
+
+
+def test_fig05_varying_d(benchmark, record):
+    ds, series = benchmark(figures.fig05_varying_d)
+    record(
+        "fig05_varying_d",
+        format_series(
+            "d_i", ds, series, "Figure 5 — sizes (KiB) under varying d_i, no dec"
+        ),
+    )
+    for name, values in series.items():
+        assert values == sorted(values), f"{name} not monotone in d"
+    # Convergence: the max/min ratio shrinks as d_i approaches c_i.
+    def spread(index: int) -> float:
+        column = [series[name][index] for name in series]
+        return max(column) / min(column)
+
+    assert spread(len(ds) - 1) < spread(0)
+    assert spread(len(ds) - 1) < 1.5

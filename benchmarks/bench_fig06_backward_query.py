@@ -1,0 +1,25 @@
+"""Figure 6 (section 5.9.1): cost of Q_{0,4}(bw) per extension/decomposition.
+
+Paper's claims: every supported evaluation beats the unsupported scan by
+orders of magnitude, and non-decomposed access relations answer the
+whole-path query cheaper than binary-decomposed ones (one tree descent
+instead of one per partition).
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_table
+
+
+def test_fig06_backward_query(benchmark, record):
+    data = benchmark(figures.fig06_backward_query)
+    record(
+        "fig06_backward_query",
+        format_table(
+            ["design", "page accesses"],
+            sorted(data.items()),
+            "Figure 6 — Q_{0,4}(bw) cost",
+        ),
+    )
+    for extension in ("can", "full", "left", "right"):
+        assert data[f"{extension}/nodec"] <= data[f"{extension}/bi"]
+        assert data[f"{extension}/bi"] < data["nosupport"] / 10

@@ -1,0 +1,32 @@
+"""Figure 7 (section 5.9.2): Q_{0,4}(bw) under varying object sizes.
+
+Paper's claims: object size does not influence supported query cost;
+only the unsupported evaluation grows (roughly proportionally) with the
+object size; full, left, and right extensions overlap.
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_series
+
+
+def test_fig07_object_size(benchmark, record):
+    sizes, series = benchmark(figures.fig07_object_size)
+    record(
+        "fig07_object_size",
+        format_series(
+            "size_i",
+            sizes,
+            series,
+            "Figure 7 — Q_{0,4}(bw) cost under varying object size (binary dec)",
+        ),
+    )
+    # Supported costs are flat in object size.
+    for extension in ("can", "full", "left", "right"):
+        values = series[extension]
+        assert max(values) == min(values), extension
+    # full/left/right overlap (the filled squares of the figure).
+    assert series["full"] == series["left"] == series["right"]
+    # Unsupported cost grows substantially with object size.
+    unsupported = series["nosupport"]
+    assert unsupported[-1] > 2 * unsupported[0]
+    assert unsupported == sorted(unsupported)

@@ -1,0 +1,33 @@
+"""Figure 8 (section 5.9.3): which queries are supported — Q_{0,3}(bw).
+
+Paper's claims: only the left-complete and full extensions can evaluate
+the partial-path query at all (canonical and right fall back to the
+unsupported scan, Eq. 35); under *no decomposition* the large full/left
+relations must be searched exhaustively and eventually become costlier
+than no support at all, while the binary decomposition stays cheap.
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_series
+
+
+def test_fig08_partial_path(benchmark, record):
+    ds, series = benchmark(figures.fig08_partial_query)
+    record(
+        "fig08_partial_path",
+        format_series(
+            "d_i", ds, series, "Figure 8 — Q_{0,3}(bw) cost under varying d_i"
+        ),
+    )
+    last = len(ds) - 1
+    # Canonical/right cannot support the query: identical to no support.
+    assert series["can (any dec)"] == series["nosupport"]
+    assert series["right (any dec)"] == series["nosupport"]
+    # Binary-decomposed full/left stay far below the unsupported cost.
+    assert series["full/bi"][last] < series["nosupport"][last] / 10
+    assert series["left/bi"][last] < series["nosupport"][last] / 10
+    # Non-decomposed full/left eventually become costlier than no support.
+    assert series["full/nodec"][last] > series["nosupport"][last]
+    assert series["left/nodec"][last] > series["nosupport"][last]
+    # ... but not at small d_i.
+    assert series["full/nodec"][0] < series["nosupport"][0]

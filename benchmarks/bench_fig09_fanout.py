@@ -1,0 +1,31 @@
+"""Figure 9 (section 5.9.4): an application favouring canonical/left.
+
+The profile keeps very few defined attributes near ``t_0`` (10, 100,
+1000) against 400 000 objects per type, so canonical/left relations stay
+tiny while full/right must also carry the huge right-anchored partial
+paths.  Paper's claim: canonical and left-complete beat full and
+right-complete on Q_{0,4}(bw) across the whole fan-out sweep.
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_series
+
+
+def test_fig09_fanout(benchmark, record):
+    fans, series = benchmark(figures.fig09_fanout)
+    record(
+        "fig09_fanout",
+        format_series(
+            "fan_i",
+            fans,
+            series,
+            "Figure 9 — Q_{0,4}(bw) cost under varying fan-out (binary dec)",
+        ),
+    )
+    for index in range(len(fans)):
+        assert series["can"][index] <= series["full"][index]
+        assert series["can"][index] <= series["right"][index]
+        assert series["left"][index] <= series["full"][index]
+        assert series["left"][index] <= series["right"][index]
+        # All supported variants demolish the unsupported scan.
+        assert series["full"][index] < series["nosupport"][index] / 50

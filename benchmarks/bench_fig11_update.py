@@ -1,0 +1,40 @@
+"""Figure 11 (section 6.3.1): cost of ins_3 per extension/decomposition.
+
+Paper's claims: with the update at the right-hand side of the path, the
+left-complete extension under binary decomposition is very much superior
+to the right-complete extension, and the canonical extension is
+problematic under any update (a data search is always necessary).
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_table
+
+
+def test_fig11_update(benchmark, record):
+    data = benchmark(figures.fig11_update_costs)
+    record(
+        "fig11_update",
+        format_table(
+            ["design", "page accesses"],
+            sorted(data.items()),
+            "Figure 11 — ins_3 update cost",
+        ),
+    )
+    assert data["left/bi"] < data["right/bi"] / 20
+    assert data["left/bi"] < data["can/bi"] / 20
+    # Full never searches the data: comparable to left.
+    assert data["full/bi"] < data["can/bi"] / 10
+
+
+def test_fig11_ins0_reversal(benchmark, record):
+    """Paper: "For an update ins_0 the right-complete extension would be
+    drastically better" — check the reversal at the other end of the path."""
+    data = benchmark(figures.fig11_update_costs, i=0)
+    record(
+        "fig11_update_ins0",
+        format_table(
+            ["design", "page accesses"], sorted(data.items()),
+            "Figure 11 companion — ins_0 update cost",
+        ),
+    )
+    assert data["right/bi"] < data["left/bi"]

@@ -1,0 +1,30 @@
+"""Figure 12 (section 6.3.2): ins_3 under the second fixed profile.
+
+Paper's claim: "the update costs of the left-complete and full extension
+are almost comparable" — with fan-outs (2, 1, 1, 4) the two designs'
+maintenance costs sit within a small factor of each other, while
+canonical and right-complete remain expensive.
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_table
+
+
+def test_fig12_update_alt(benchmark, record):
+    data = benchmark(figures.fig12_update_costs)
+    record(
+        "fig12_update_alt",
+        format_table(
+            ["design", "page accesses"],
+            sorted(data.items()),
+            "Figure 12 — ins_3 update cost (fan = 2,1,1,4)",
+        ),
+    )
+    # Left and full almost comparable (binary decomposition).
+    ratio = max(data["left/bi"], data["full/bi"]) / min(
+        data["left/bi"], data["full/bi"]
+    )
+    assert ratio < 2.5, ratio
+    # Canonical and right-complete remain far more expensive.
+    assert data["can/bi"] > 10 * data["left/bi"]
+    assert data["right/bi"] > 10 * data["left/bi"]

@@ -1,0 +1,34 @@
+"""Figure 13 (section 6.3.3): ins_1 update cost under varying object sizes.
+
+Paper's claims: canonical and right-complete update costs grow with the
+object sizes (their maintenance requires exhaustive data searches whose
+page counts scale with the objects); the left-complete extension needs
+only a forward search and is marginally affected; full needs no data
+search at all.
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_series
+
+
+def test_fig13_update_size(benchmark, record):
+    sizes, series = benchmark(figures.fig13_update_sizes)
+    record(
+        "fig13_update_size",
+        format_series(
+            "size_i",
+            sizes,
+            series,
+            "Figure 13 — ins_1 update cost under varying object size (binary dec)",
+        ),
+    )
+    # Canonical and right grow substantially over the sweep.
+    assert series["can"][-1] > 1.5 * series["can"][0]
+    assert series["right"][-1] > 1.5 * series["right"][0]
+    # Full is flat; left at most marginally affected.
+    assert series["full"][-1] == series["full"][0]
+    assert series["left"][-1] <= 1.2 * series["left"][0]
+    # Ordering: full <= left << can, right at the large end.
+    assert series["full"][-1] <= series["left"][-1]
+    assert series["left"][-1] < series["can"][-1]
+    assert series["left"][-1] < series["right"][-1]

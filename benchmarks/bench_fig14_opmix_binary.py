@@ -1,0 +1,47 @@
+"""Figure 14 (section 6.4.2): operation mix vs P_up, binary decomposition.
+
+Paper's claims: for update probabilities below ≈0.3 the left-complete
+extension beats the full extension; the break-even between no support
+and the full extension lies at ≈0.998.
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_series, format_table
+
+
+def test_fig14_opmix_binary(benchmark, record):
+    p_ups, series = benchmark(figures.fig14_opmix)
+    record(
+        "fig14_opmix_binary",
+        format_series(
+            "P_up",
+            p_ups,
+            series,
+            "Figure 14 — normalized mix cost vs P_up (binary dec)",
+        ),
+    )
+    # Left and full are neck-and-neck at low update probability (the
+    # crossover sits below ~0.3); left clearly loses once updates dominate.
+    assert series["left"][0] < series["full"][0] * 1.05
+    assert series["left"][-1] > series["full"][-1]
+    # Canonical and right are dominated throughout this mix.
+    for index in range(len(p_ups)):
+        assert series["full"][index] < series["can"][index]
+        assert series["full"][index] < series["right"][index]
+
+
+def test_fig14_break_evens(benchmark, record):
+    points = benchmark(figures.fig14_break_evens)
+    record(
+        "fig14_break_evens",
+        format_table(
+            ["pair", "P_up*"],
+            sorted(points.items()),
+            "Figure 14 — break-even update probabilities "
+            "(paper: left/full ≈ 0.3, nosupport/full ≈ 0.998)",
+        ),
+    )
+    assert points["left_vs_full"] is not None
+    assert 0.02 < points["left_vs_full"] < 0.45
+    assert points["nosupport_vs_full"] is not None
+    assert points["nosupport_vs_full"] > 0.97

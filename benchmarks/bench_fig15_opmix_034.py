@@ -1,0 +1,38 @@
+"""Figure 15 (section 6.4.3): the Figure 14 mix under decomposition (0,3,4).
+
+Paper's point: non-binary decompositions change the picture — the
+(0,3,4) layout tailors the partitions to the mix's query/update ranges.
+For this mix the left-complete extension under (0,3,4) beats its binary
+layout, while full pays for scanning the wide (0,3) partition in the
+Q_{1,2}(fw) leg.
+"""
+
+from repro.asr import Decomposition, Extension
+from repro.bench import figures
+from repro.bench.render import format_series
+from repro.costmodel import MixCostModel
+from repro.workload import FIG11_PROFILE, FIG14_MIX
+
+
+def test_fig15_opmix_034(benchmark, record):
+    p_ups, series = benchmark(figures.fig15_opmix)
+    record(
+        "fig15_opmix_034",
+        format_series(
+            "P_up",
+            p_ups,
+            series,
+            "Figure 15 — normalized mix cost vs P_up, decomposition (0,3,4)",
+        ),
+    )
+    model = MixCostModel(FIG11_PROFILE)
+    coarse = Decomposition.of(0, 3, 4)
+    binary = Decomposition.binary(4)
+    for p_up in (0.1, 0.5, 0.9):
+        left_coarse = model.mix_cost(Extension.LEFT, coarse, FIG14_MIX, p_up)
+        left_binary = model.mix_cost(Extension.LEFT, binary, FIG14_MIX, p_up)
+        assert left_coarse < left_binary, (p_up, left_coarse, left_binary)
+    # All supported designs still far below the no-support baseline at
+    # query-dominated mixes.
+    assert series["left/(0,3,4)"][0] < 0.05
+    assert series["full/(0,3,4)"][0] < 0.2

@@ -1,0 +1,36 @@
+"""Figure 16 (section 6.4.4): left-complete vs full, n = 5, two layouts.
+
+The mix is query-heavy on whole-path traversals with updates spread over
+ins_0/ins_3/ins_4.  Paper's point: the comparison between left and full
+depends on both the extension *and* the decomposition — the coarser
+(0,3,4,5) layout shifts costs for both designs, and left's advantage at
+low P_up erodes as updates dominate.
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_series
+
+
+def test_fig16_left_vs_full(benchmark, record):
+    p_ups, series = benchmark(figures.fig16_left_vs_full)
+    record(
+        "fig16_left_vs_full",
+        format_series(
+            "P_up",
+            p_ups,
+            series,
+            "Figure 16 — left vs full, dec (0,1,2,3,4,5) and (0,3,4,5)",
+        ),
+    )
+    # Every design massively beats no support at query-dominated mixes.
+    for name, values in series.items():
+        if name != "nosupport":
+            assert values[0] < 0.2, (name, values[0])
+    # Full overtakes left as updates dominate (full never searches data;
+    # this mix contains ins_0 whose data search punishes left).
+    assert series["full/bi"][-1] < series["left/bi"][-1]
+    assert series["full/(0,3,4,5)"][-1] < series["left/(0,3,4,5)"][-1]
+    # Normalized costs increase with P_up for every supported design.
+    for name, values in series.items():
+        if name != "nosupport":
+            assert values == sorted(values), name

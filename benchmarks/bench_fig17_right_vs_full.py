@@ -1,0 +1,45 @@
+"""Figure 17 (section 6.4.5): right-complete vs full, n = 5, two layouts.
+
+Paper's claims: the decomposition (0,3,5) is always superior to the
+binary decomposition for this backward-query mix, and below an update
+probability of ≈0.005 the right-complete extension even beats the full
+extension under (0,3,5).
+"""
+
+from repro.bench import figures
+from repro.bench.render import format_series, format_table
+
+
+def test_fig17_right_vs_full(benchmark, record):
+    p_ups, series = benchmark(figures.fig17_right_vs_full)
+    record(
+        "fig17_right_vs_full",
+        format_series(
+            "P_up",
+            p_ups,
+            series,
+            "Figure 17 — right vs full, dec (0,1,2,3,4,5) and (0,3,5)",
+        ),
+    )
+    # (0,3,5) is always superior to the binary decomposition.
+    for index in range(len(p_ups)):
+        assert series["right/(0,3,5)"][index] < series["right/bi"][index]
+        assert series["full/(0,3,5)"][index] < series["full/bi"][index]
+    # At the lowest update probabilities right beats full under (0,3,5)...
+    assert series["right/(0,3,5)"][0] < series["full/(0,3,5)"][0]
+    # ... and loses once updates matter.
+    assert series["right/(0,3,5)"][-1] > series["full/(0,3,5)"][-1]
+
+
+def test_fig17_break_even(benchmark, record):
+    point = benchmark(figures.fig17_break_even)
+    record(
+        "fig17_break_even",
+        format_table(
+            ["pair", "P_up*"],
+            [["right/(0,3,5) vs full/(0,3,5)", point]],
+            "Figure 17 — break-even (paper: ≈ 0.005)",
+        ),
+    )
+    assert point is not None
+    assert 0.001 < point < 0.05

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the executable substrates.
+
+Timings (not page counts) for the structures the simulator is built on:
+B+ tree insert/lookup/bulk-load, ASR construction, incremental
+maintenance throughput, and supported query evaluation on a live store.
+"""
+
+import random
+
+import pytest
+
+from repro.asr import ASRManager, Decomposition, Extension
+from repro.costmodel import ApplicationProfile
+from repro.query import BackwardQuery, QueryEvaluator
+from repro.storage import BPlusTree
+from repro.workload import ChainGenerator
+
+PROFILE = ApplicationProfile(
+    c=(40, 80, 160, 320),
+    d=(36, 64, 128),
+    fan=(2, 2, 2),
+    size=(400, 300, 200, 100),
+)
+
+
+def test_btree_insert_throughput(benchmark):
+    keys = list(range(5000))
+    random.Random(5).shuffle(keys)
+
+    def build():
+        tree = BPlusTree(leaf_capacity=64, interior_capacity=64)
+        for key in keys:
+            tree.insert(key, key)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == 5000
+
+
+def test_btree_bulk_load_and_range(benchmark):
+    entries = [(key, key) for key in range(20000)]
+
+    def build_and_scan():
+        tree = BPlusTree.bulk_load(entries, 128, 128)
+        return sum(1 for _ in tree.range(lo=5000, hi=15000))
+
+    count = benchmark(build_and_scan)
+    assert count == 10000
+
+
+def test_asr_build(benchmark):
+    generated = ChainGenerator(seed=23).generate(PROFILE)
+    manager = ASRManager(generated.db)
+
+    def build():
+        asr = manager.create(
+            generated.path, Extension.FULL, Decomposition.binary(generated.path.m)
+        )
+        manager.drop(asr)
+        return asr
+
+    asr = benchmark(build)
+    assert asr.tuple_count > 0
+
+
+def test_maintenance_throughput(benchmark):
+    generated = ChainGenerator(seed=29).generate(PROFILE)
+    manager = ASRManager(generated.db)
+    manager.create(
+        generated.path, Extension.FULL, Decomposition.binary(generated.path.m)
+    )
+    rng = random.Random(31)
+    db = generated.db
+    layer0, layer1 = generated.layers[0], generated.layers[1]
+
+    def churn():
+        for _ in range(25):
+            owner = rng.choice(layer0)
+            value = db.attr(owner, "A")
+            if value is not None and rng.random() < 0.5 and value in db:
+                db.set_insert(value, rng.choice(layer1))
+            else:
+                target = rng.choice(layer1)
+                collection = db.new_set("SET_T1", [target])
+                db.set_attr(owner, "A", collection)
+
+    benchmark(churn)
+    manager.check_consistency()
+
+
+def test_supported_backward_query_latency(benchmark):
+    generated = ChainGenerator(seed=37).generate(PROFILE)
+    manager = ASRManager(generated.db)
+    asr = manager.create(
+        generated.path, Extension.FULL, Decomposition.binary(generated.path.m)
+    )
+    evaluator = QueryEvaluator(generated.db, generated.store)
+    target = generated.layers[generated.path.n][0]
+    query = BackwardQuery(generated.path, 0, generated.path.n, target=target)
+
+    result = benchmark(lambda: evaluator.evaluate_supported(query, asr))
+    assert result.cells == evaluator.evaluate_unsupported(query).cells

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one figure of the paper, times the
+computation via pytest-benchmark, writes the rendered series to
+``benchmarks/results/<name>.txt``, and asserts the paper's qualitative
+claims about the figure.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record(request):
+    """A callable ``record(name, text)`` persisting rendered series."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Also surface in captured output for bench_output.txt readers.
+        print(f"\n[{name}]\n{text}")
+
+    return _record

@@ -1,0 +1,104 @@
+"""A guided numerical tour of the analytical cost model.
+
+Evaluates every layer of the paper's cost model — the derived
+quantities of Figure 3 and section 4.1, the cardinalities of section
+4.2, the storage and tree shapes of sections 4.3/5.5, query costs of
+sections 5.6–5.8, and the update costs of section 6 — on the paper's
+own Figure 4/11 application profile, printing each quantity next to its
+equation number (see docs/equation_map.md for the full formula→code
+index).
+
+Run:  python examples/cost_model_tour.py
+"""
+
+from repro.asr import Decomposition, Extension
+from repro.costmodel import (
+    QueryCostModel,
+    StorageModel,
+    SystemParameters,
+    UpdateCostModel,
+    yao,
+)
+from repro.costmodel.derived import derived_for
+from repro.workload import FIG11_PROFILE
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    profile = FIG11_PROFILE
+    system = SystemParameters()
+    quantities = derived_for(profile)
+    n = profile.n
+
+    section("application profile (Figure 3)")
+    print(f"n = {n}")
+    print(f"c_i    = {tuple(int(x) for x in profile.c)}")
+    print(f"d_i    = {tuple(int(x) for x in profile.d)}")
+    print(f"fan_i  = {tuple(int(x) for x in profile.fan)}")
+    print(f"size_i = {tuple(int(x) for x in profile.size)}")
+    print(f"shar_i = {tuple(round(profile.shar_(i), 3) for i in range(n))}  (derived)")
+    print(f"e_i    = {tuple(round(profile.e_(i), 1) for i in range(1, n + 1))}")
+    print(f"B+fan  = {system.btree_fanout}  (= ⌊{system.page_size}/"
+          f"({system.pp_size}+{system.oid_size})⌋)")
+
+    section("derived probabilities (Eqs. 1-12)")
+    print(f"P_A_i      (Eq. 1)  = {tuple(round(quantities.p_a(i), 3) for i in range(n))}")
+    print(f"P_H_i      (Eq. 2)  = {tuple(round(quantities.p_h(i), 3) for i in range(1, n + 1))}")
+    print(f"RefBy(0,i) (Eq. 6)  = {tuple(round(quantities.refby(0, i), 1) for i in range(1, n + 1))}")
+    print(f"Ref(i,n)   (Eq. 8)  = {tuple(round(quantities.ref(i, n), 1) for i in range(n))}")
+    print(f"path(0,j)  (Eq. 10) = {tuple(round(quantities.path(0, j), 1) for j in range(1, n + 1))}")
+    print(f"P_lb(i-1,i)(Eq. 11) = {tuple(round(quantities.p_lb(i - 1, i), 3) for i in range(1, n + 1))}")
+    print(f"P_Path(l)  (Eq. 38) = {tuple(round(quantities.p_path(l), 3) for l in range(n + 1))}")
+
+    section("cardinalities (section 4.2) and storage (section 4.3)")
+    storage = StorageModel(profile, system)
+    nodec, binary = Decomposition.none(n), Decomposition.binary(n)
+    header = f"{'ext':6s} {'#E (0,n)':>12s} {'bytes nodec':>12s} {'bytes binary':>13s}"
+    print(header)
+    for extension in Extension:
+        print(
+            f"{extension.value:6s} {storage.count(extension, 0, n):12.1f} "
+            f"{storage.relation_bytes(extension, nodec):12.0f} "
+            f"{storage.relation_bytes(extension, binary):13.0f}"
+        )
+    print(f"ats(0,n)  (Eq. 13) = {storage.ats(0, n):.0f} bytes/tuple")
+    print(f"atpp(0,n) (Eq. 14) = {storage.atpp(0, n):.0f} tuples/page")
+    print(f"ap_full   (Eq. 16) = {storage.ap(Extension.FULL, 0, n):.0f} pages; "
+          f"ht (Eq. 19) = {storage.ht(Extension.FULL, 0, n):.0f}; "
+          f"pg (Eq. 20) = {storage.pg(Extension.FULL, 0, n):.0f}")
+
+    section("Yao's formula (section 5.6)")
+    print(f"y(10, 10, 100)  = {yao(10, 10, 100):.0f} pages")
+    print(f"y(1, 304, 1000) = {yao(1, 304, 1000):.0f} page")
+    print(f"y(10**4, 304, 10**4) = {yao(10**4, 304, 10**4):.0f} pages (everything)")
+
+    section("query costs (Eqs. 31-35)")
+    querycost = QueryCostModel(profile, system, storage)
+    print(f"Qnas(0,{n}, fw) (Eq. 31) = {querycost.qnas(0, n, 'fw'):8.1f} pages")
+    print(f"Qnas(0,{n}, bw) (Eq. 32) = {querycost.qnas(0, n, 'bw'):8.1f} pages")
+    for extension in Extension:
+        via_nodec = querycost.q(extension, 0, n, "bw", nodec)
+        via_binary = querycost.q(extension, 0, n, "bw", binary)
+        print(f"Q_{extension.value:5s}(0,{n}, bw): nodec {via_nodec:6.1f}  "
+              f"binary {via_binary:6.1f}")
+    partial = querycost.q(Extension.CANONICAL, 0, n - 1, "bw", binary)
+    print(f"Q_can(0,{n-1}, bw) falls back to the scan (Eq. 35): {partial:.1f}")
+
+    section("update costs (section 6)")
+    updatecost = UpdateCostModel(profile, system, storage, querycost)
+    print(f"{'ext':6s} {'search(ins_3)':>14s} {'aup bi':>8s} {'total bi':>9s}")
+    for extension in Extension:
+        print(
+            f"{extension.value:6s} "
+            f"{updatecost.search(extension, 3, binary):14.1f} "
+            f"{updatecost.aup(extension, 3, binary):8.1f} "
+            f"{updatecost.total(extension, 3, binary):9.1f}"
+        )
+    print("(cf. Figure 11: left ≪ right; canonical always searches the data)")
+
+
+if __name__ == "__main__":
+    main()

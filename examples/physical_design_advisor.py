@@ -1,0 +1,54 @@
+"""Physical database design with the analytical cost model.
+
+The paper's stated application (section 7): given an application profile
+and an envisaged operation mix, compute the expected cost of *every*
+(extension, decomposition) design and pick the best.  This example runs
+the advisor over the paper's section 6.3.1/6.4.2 profile and mix,
+reports the ranking at several update probabilities, locates the
+break-even points the paper quotes, and shows the effect of a storage
+budget.
+
+Run:  python examples/physical_design_advisor.py
+"""
+
+from repro.asr import Decomposition, Extension
+from repro.costmodel import DesignAdvisor, MixCostModel
+from repro.workload import FIG11_PROFILE, FIG14_MIX
+
+
+def main() -> None:
+    profile, mix = FIG11_PROFILE, FIG14_MIX
+    print(
+        "application profile (paper section 6.3.1):\n"
+        f"  c    = {tuple(int(x) for x in profile.c)}\n"
+        f"  d    = {tuple(int(x) for x in profile.d)}\n"
+        f"  fan  = {tuple(int(x) for x in profile.fan)}\n"
+        f"  size = {tuple(int(x) for x in profile.size)}\n"
+        f"operation mix: {mix}\n"
+    )
+
+    advisor = DesignAdvisor(profile)
+    for p_up in (0.1, 0.5, 0.9):
+        print(advisor.report(mix, p_up, top=5))
+        print()
+
+    model = MixCostModel(profile)
+    binary = Decomposition.binary(profile.n)
+    left_full = model.break_even(
+        (Extension.LEFT, binary), (Extension.FULL, binary), mix
+    )
+    none_full = model.break_even(None, (Extension.FULL, binary), mix)
+    print(
+        "break-even update probabilities (binary decomposition):\n"
+        f"  left-complete vs full: P_up* = {left_full:.3f}   (paper: < 0.3)\n"
+        f"  no support   vs full: P_up* = {none_full:.3f}   (paper: 0.998)\n"
+    )
+
+    budget = 512 * 1024
+    best = advisor.best(mix, p_up=0.2, max_storage_bytes=budget)
+    print(f"best design within a {budget // 1024} KiB storage budget at P_up=0.2:")
+    print(f"  {best.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables offline editable installs (`pip install -e . --no-use-pep517`)
+on environments without the `wheel` package. All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

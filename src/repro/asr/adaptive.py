@@ -1,0 +1,223 @@
+"""Self-adjusting physical design (the paper's stated future work).
+
+Section 7: "the cost model is intended to be integrated into our
+object-oriented DBMS in order to verify a given physical database
+design, or even to automate the task of physical database design.  Thus,
+for a recorded database usage pattern the system could
+(semi-)automatically adjust the physical database design."
+
+This module implements that loop:
+
+1. :class:`WorkloadRecorder` counts the executed operations — forward and
+   backward queries by range, ``ins_i``-style updates — either via
+   explicit ``record_*`` calls or by observing an
+   :class:`~repro.query.evaluator.QueryEvaluator` and the object base's
+   change events;
+2. :meth:`WorkloadRecorder.to_mix` turns the log into the cost model's
+   ``(OperationMix, P_up)``;
+3. :class:`AdaptiveDesigner` measures the live profile
+   (:func:`~repro.costmodel.profiling.profile_from_database`), runs the
+   :class:`~repro.costmodel.advisor.DesignAdvisor`, and — when the best
+   design beats the current one by a configurable factor — re-materializes
+   the ASR under the new (extension, decomposition).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.asr.asr import AccessSupportRelation
+from repro.asr.decomposition import Decomposition
+from repro.asr.extensions import Extension
+from repro.asr.manager import ASRManager
+from repro.costmodel.advisor import DesignAdvisor, DesignChoice
+from repro.costmodel.opmix import OperationMix, QuerySpec, UpdateSpec
+from repro.costmodel.profiling import profile_from_database
+from repro.errors import CostModelError
+from repro.gom.events import AttributeSet, Event, SetInserted, SetRemoved
+from repro.gom.paths import PathExpression
+
+
+class WorkloadRecorder:
+    """Counts the operations executed against one path expression.
+
+    Query ranges are recorded as ``(i, j, kind)`` triples and updates as
+    the edge index ``i`` of the paper's ``ins_i``.  The recorder can be
+    attached to an object base to count update events automatically.
+    """
+
+    def __init__(self, path: PathExpression) -> None:
+        self.path = path
+        self.queries: Counter[tuple[int, int, str]] = Counter()
+        self.updates: Counter[int] = Counter()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_query(self, i: int, j: int, kind: str, count: int = 1) -> None:
+        if kind not in ("fw", "bw"):
+            raise CostModelError(f"query kind must be 'fw' or 'bw', got {kind!r}")
+        if not 0 <= i < j <= self.path.n:
+            raise CostModelError(f"invalid query range ({i}, {j})")
+        self.queries[(i, j, kind)] += count
+
+    def record_update(self, i: int, count: int = 1) -> None:
+        if not 0 <= i < self.path.n:
+            raise CostModelError(f"invalid update position {i}")
+        self.updates[i] += count
+
+    def attach(self, db) -> None:
+        """Count update events on the object base automatically."""
+        db.subscribe(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        for s, step in enumerate(self.path.steps, start=1):
+            if isinstance(event, AttributeSet):
+                if step.attribute == event.attribute and event.type_name == step.domain_type:
+                    self.record_update(s - 1)
+            elif isinstance(event, (SetInserted, SetRemoved)):
+                if step.collection_type == event.set_type:
+                    self.record_update(s - 1)
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+
+    @property
+    def total_queries(self) -> int:
+        return sum(self.queries.values())
+
+    @property
+    def total_updates(self) -> int:
+        return sum(self.updates.values())
+
+    @property
+    def total_operations(self) -> int:
+        return self.total_queries + self.total_updates
+
+    def to_mix(self) -> tuple[OperationMix, float]:
+        """The recorded workload as ``(OperationMix, P_up)``."""
+        if self.total_operations == 0:
+            raise CostModelError("no operations recorded yet")
+        queries = tuple(
+            (count / self.total_queries, QuerySpec(i, j, kind))
+            for (i, j, kind), count in sorted(self.queries.items())
+        )
+        updates = tuple(
+            (count / self.total_updates, UpdateSpec(i))
+            for i, count in sorted(self.updates.items())
+        )
+        if not queries:
+            queries = ()
+        p_up = self.total_updates / self.total_operations
+        return OperationMix(queries=queries, updates=updates), p_up
+
+    def reset(self) -> None:
+        self.queries.clear()
+        self.updates.clear()
+
+
+@dataclass
+class TuningDecision:
+    """What the adaptive designer decided and why."""
+
+    current_cost: float
+    best: DesignChoice
+    retuned: bool
+
+    def describe(self) -> str:
+        action = "switched to" if self.retuned else "kept current design over"
+        return (
+            f"current {self.current_cost:.1f} pages/op; {action} "
+            f"{self.best.describe()}"
+        )
+
+
+class AdaptiveDesigner:
+    """Closes the monitor → advise → re-materialize loop for one ASR."""
+
+    def __init__(
+        self,
+        manager: ASRManager,
+        asr: AccessSupportRelation,
+        recorder: WorkloadRecorder,
+        object_sizes: dict[str, int] | None = None,
+        improvement_threshold: float = 1.2,
+    ) -> None:
+        if asr not in manager.asrs:
+            raise CostModelError("the ASR must be registered with the manager")
+        if improvement_threshold < 1.0:
+            raise CostModelError("improvement threshold must be >= 1")
+        self.manager = manager
+        self.asr = asr
+        self.recorder = recorder
+        self.object_sizes = object_sizes
+        self.improvement_threshold = improvement_threshold
+
+    # ------------------------------------------------------------------
+
+    def measured_profile(self):
+        return profile_from_database(
+            self.manager.db, self.asr.path, self.object_sizes
+        )
+
+    def recommend(self) -> TuningDecision:
+        """Advise on the recorded workload without changing anything."""
+        mix, p_up = self.recorder.to_mix()
+        profile = self.measured_profile()
+        advisor = DesignAdvisor(profile)
+        best = advisor.best(mix, p_up)
+        current_cost = self._cost_of_current(advisor, mix, p_up)
+        should_switch = (
+            best.cost * self.improvement_threshold < current_cost
+            and not self._is_current(best)
+        )
+        return TuningDecision(current_cost, best, should_switch)
+
+    def retune(self) -> TuningDecision:
+        """Recommend and, when clearly better, re-materialize the ASR."""
+        decision = self.recommend()
+        if decision.retuned and decision.best.extension is not None:
+            # The cost model's decomposition indices are type indices
+            # (m = n); translate the borders to ASR column indices.
+            column_borders = tuple(
+                self.asr.path.column_of(border)
+                for border in decision.best.decomposition.borders
+            )
+            replacement = AccessSupportRelation.build(
+                self.manager.db,
+                self.asr.path,
+                decision.best.extension,
+                Decomposition(column_borders),
+            )
+            self.manager.drop(self.asr)
+            self.manager.register(replacement)
+            self.asr = replacement
+        return decision
+
+    # ------------------------------------------------------------------
+
+    def _cost_of_current(self, advisor: DesignAdvisor, mix, p_up) -> float:
+        type_borders = self._type_borders()
+        return advisor.model.mix_cost(
+            self.asr.extension, Decomposition(type_borders), mix, p_up
+        )
+
+    def _type_borders(self) -> tuple[int, ...]:
+        """The current decomposition expressed over type indices."""
+        borders = []
+        for column in self.asr.decomposition.borders:
+            borders.append(self.asr.path.type_index_of_column(column))
+        unique = tuple(dict.fromkeys(borders))
+        return unique
+
+    def _is_current(self, choice: DesignChoice) -> bool:
+        if choice.extension is None:
+            return False
+        return (
+            choice.extension is self.asr.extension
+            and choice.decomposition is not None
+            and choice.decomposition.borders == self._type_borders()
+        )

@@ -1,0 +1,404 @@
+"""Stored access support relations (sections 3 and 5.2).
+
+An :class:`AccessSupportRelation` materializes one extension of the ASR
+for a path expression, split according to a decomposition.  Each
+partition is kept in **two redundant B+ trees** (following Valduriez's
+join indices, section 5.2): one clustered on the partition's *first*
+column — serving forward lookups — and one on its *last* column — serving
+backward lookups.
+
+Partition contents are *projections* of the undecomposed extension, so a
+single partition row can be witnessed by several extension rows; the
+partition therefore reference-counts its rows and physically inserts or
+deletes tree entries only on the 0↔1 transitions.  This is what makes
+incremental maintenance (:mod:`repro.asr.maintenance`) exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+from repro.asr.decomposition import Decomposition
+from repro.asr.extensions import Extension, build_extension
+from repro.asr.relation import Relation
+from repro.errors import RelationError, StorageError
+from repro.gom.database import ObjectBase
+from repro.gom.objects import OID, Cell
+from repro.gom.paths import PathExpression
+from repro.gom.types import NULL
+from repro.storage.btree import BPlusTree
+from repro.storage.pages import (
+    DEFAULT_OID_SIZE,
+    DEFAULT_PAGE_SIZE,
+    btree_fanout,
+    tuples_per_page,
+)
+
+
+def cell_key(cell: Cell) -> tuple:
+    """A total order over cells: NULL < OIDs < booleans < numbers < strings."""
+    if cell is NULL:
+        return (0, 0)
+    if isinstance(cell, OID):
+        return (1, cell.value)
+    if isinstance(cell, bool):
+        return (2, int(cell))
+    if isinstance(cell, (int, float)):
+        return (3, float(cell))
+    return (4, str(cell))
+
+
+def row_key(row: Sequence[Cell]) -> tuple:
+    """A total order over whole rows (the unique tie-break for tree keys)."""
+    return tuple(cell_key(cell) for cell in row)
+
+
+class StoredPartition:
+    """One partition ``E^{i,j}_X`` with its two clustered B+ trees.
+
+    ``first_column``/``last_column`` are the partition's borders in the
+    *undecomposed* relation's column numbering (Definition 3.8).
+    """
+
+    def __init__(
+        self,
+        first_column: int,
+        last_column: int,
+        labels: Sequence[str],
+        page_size: int = DEFAULT_PAGE_SIZE,
+        oid_size: int = DEFAULT_OID_SIZE,
+    ) -> None:
+        if last_column <= first_column:
+            raise StorageError("a partition spans at least two columns")
+        self.first_column = first_column
+        self.last_column = last_column
+        self.labels = tuple(labels)
+        self.page_size = page_size
+        self.oid_size = oid_size
+        self.tuples_per_page = tuples_per_page(
+            first_column, last_column, page_size, oid_size
+        )
+        self._fanout = btree_fanout(page_size=page_size, oid_size=oid_size)
+        self._counts: Counter[tuple[Cell, ...]] = Counter()
+        self.forward_tree = BPlusTree(self.tuples_per_page, self._fanout)
+        self.backward_tree = BPlusTree(self.tuples_per_page, self._fanout)
+        #: True when this partition is physically shared between several
+        #: access support relations (section 5.4); reference counts then
+        #: aggregate witnesses from *all* sharers.
+        self.shared = False
+
+    # ------------------------------------------------------------------
+    # geometry / statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return self.last_column - self.first_column + 1
+
+    @property
+    def tuple_count(self) -> int:
+        """``#E^{i,j}_X`` — distinct rows stored."""
+        return len(self._counts)
+
+    @property
+    def byte_size(self) -> int:
+        """``as^{i,j}_X`` (Eq. 15)."""
+        return self.tuple_count * self.arity * self.oid_size
+
+    @property
+    def page_count(self) -> int:
+        """``ap^{i,j}_X`` (Eq. 16) — data (leaf) pages of one clustering."""
+        return self.forward_tree.leaf_count() if self.tuple_count else 0
+
+    def rows(self) -> Iterator[tuple[Cell, ...]]:
+        return iter(self._counts)
+
+    def as_relation(self) -> Relation:
+        return Relation(self.labels, self._counts.keys())
+
+    # ------------------------------------------------------------------
+    # loading and delta application
+    # ------------------------------------------------------------------
+
+    def project(self, extension_row: tuple[Cell, ...]) -> tuple[Cell, ...] | None:
+        """This partition's slice of an extension row (None if all NULL)."""
+        projected = extension_row[self.first_column : self.last_column + 1]
+        if all(cell is NULL for cell in projected):
+            return None
+        return projected
+
+    def bulk_load(self, rows: Iterable[tuple[Cell, ...]]) -> None:
+        """Replace the contents with ``rows`` (each counted once)."""
+        self._counts = Counter()
+        for row in rows:
+            if len(row) != self.arity:
+                raise RelationError(
+                    f"partition row arity {len(row)} != {self.arity}"
+                )
+            self._counts[tuple(row)] += 1
+        forward_entries = sorted(
+            ((cell_key(row[0]), row_key(row)), row) for row in self._counts
+        )
+        backward_entries = sorted(
+            ((cell_key(row[-1]), row_key(row)), row) for row in self._counts
+        )
+        self.forward_tree = BPlusTree.bulk_load(
+            forward_entries, self.tuples_per_page, self._fanout
+        )
+        self.backward_tree = BPlusTree.bulk_load(
+            backward_entries, self.tuples_per_page, self._fanout
+        )
+
+    def load_from_extension(self, extension_rows: Iterable[tuple[Cell, ...]]) -> None:
+        """Project and reference-count full extension rows, then bulk load."""
+        counts: Counter[tuple[Cell, ...]] = Counter()
+        for extension_row in extension_rows:
+            projected = self.project(extension_row)
+            if projected is not None:
+                counts[projected] += 1
+        self._counts = counts
+        forward_entries = sorted(
+            ((cell_key(row[0]), row_key(row)), row) for row in counts
+        )
+        backward_entries = sorted(
+            ((cell_key(row[-1]), row_key(row)), row) for row in counts
+        )
+        self.forward_tree = BPlusTree.bulk_load(
+            forward_entries, self.tuples_per_page, self._fanout
+        )
+        self.backward_tree = BPlusTree.bulk_load(
+            backward_entries, self.tuples_per_page, self._fanout
+        )
+
+    def add_projection(self, row: tuple[Cell, ...], buffer=None) -> None:
+        """Reference one witness of ``row``; insert trees on 0→1."""
+        row = tuple(row)
+        self._counts[row] += 1
+        if self._counts[row] == 1:
+            self.forward_tree.insert((cell_key(row[0]), row_key(row)), row, buffer)
+            self.backward_tree.insert((cell_key(row[-1]), row_key(row)), row, buffer)
+
+    def remove_projection(self, row: tuple[Cell, ...], buffer=None) -> None:
+        """Drop one witness of ``row``; delete from trees on 1→0."""
+        row = tuple(row)
+        count = self._counts.get(row, 0)
+        if count == 0:
+            raise RelationError(f"row {row!r} not present in partition")
+        if count == 1:
+            del self._counts[row]
+            self.forward_tree.delete((cell_key(row[0]), row_key(row)), buffer)
+            self.backward_tree.delete((cell_key(row[-1]), row_key(row)), buffer)
+        else:
+            self._counts[row] = count - 1
+
+    # ------------------------------------------------------------------
+    # charged access paths
+    # ------------------------------------------------------------------
+
+    def lookup_forward(self, cell: Cell, buffer=None) -> list[tuple[Cell, ...]]:
+        """All rows whose first column equals ``cell`` (forward clustering)."""
+        return self._prefix_scan(self.forward_tree, cell, buffer)
+
+    def lookup_backward(self, cell: Cell, buffer=None) -> list[tuple[Cell, ...]]:
+        """All rows whose last column equals ``cell`` (backward clustering)."""
+        return self._prefix_scan(self.backward_tree, cell, buffer)
+
+    def lookup_backward_range(
+        self, lo: Cell, hi: Cell, buffer=None
+    ) -> list[tuple[Cell, ...]]:
+        """Rows whose last column lies in ``[lo, hi)`` (value clustering).
+
+        The backward tree is clustered on the partition's last column, so
+        when a path terminates in an atomic type this is a genuine index
+        range scan over the values — e.g. all paths reaching a ``Price``
+        between two bounds.
+        """
+        results = []
+        for _key, value in self.backward_tree.range(
+            lo=(cell_key(lo), ()), hi=(cell_key(hi), ()), buffer=buffer
+        ):
+            results.append(value)
+        return results
+
+    @staticmethod
+    def _prefix_scan(tree: BPlusTree, cell: Cell, buffer) -> list[tuple[Cell, ...]]:
+        prefix = cell_key(cell)
+        results = []
+        for key, value in tree.range(lo=(prefix, ()), buffer=buffer):
+            if key[0] != prefix:
+                break
+            results.append(value)
+        return results
+
+    def scan(self, buffer=None) -> list[tuple[Cell, ...]]:
+        """Read every row, charging all data pages (exhaustive inspection)."""
+        return [value for _, value in self.forward_tree.range(buffer=buffer)]
+
+
+class AccessSupportRelation:
+    """A materialized, decomposed access support relation.
+
+    Construction from a live object base::
+
+        asr = AccessSupportRelation.build(
+            db, path, Extension.FULL, Decomposition.binary(path.m))
+
+    The undecomposed extension is kept as the logical source of truth
+    (``self.extension_relation``); each partition stores its projection
+    with reference counts, in two clustered B+ trees.
+    """
+
+    def __init__(
+        self,
+        path: PathExpression,
+        extension: Extension,
+        decomposition: Decomposition | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        oid_size: int = DEFAULT_OID_SIZE,
+    ) -> None:
+        self.path = path
+        self.extension = extension
+        self.decomposition = decomposition or Decomposition.none(path.m)
+        self.decomposition.validate_for(path.m)
+        self.page_size = page_size
+        self.oid_size = oid_size
+        labels = path.column_labels()
+        self.extension_relation = Relation(labels)
+        self.partitions: list[StoredPartition] = [
+            StoredPartition(i, j, labels[i : j + 1], page_size, oid_size)
+            for i, j in self.decomposition.partitions
+        ]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        db: ObjectBase,
+        path: PathExpression,
+        extension: Extension,
+        decomposition: Decomposition | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        oid_size: int = DEFAULT_OID_SIZE,
+    ) -> "AccessSupportRelation":
+        """Materialize the ASR for ``path`` from the object base."""
+        asr = cls(path, extension, decomposition, page_size, oid_size)
+        asr.rebuild(db)
+        return asr
+
+    def rebuild(self, db: ObjectBase) -> None:
+        """Recompute the extension from scratch and reload every partition."""
+        self.extension_relation = build_extension(db, self.path, self.extension)
+        rows = self.extension_relation.rows
+        for partition in self.partitions:
+            partition.load_from_extension(rows)
+
+    # ------------------------------------------------------------------
+    # delta application (used by repro.asr.maintenance)
+    # ------------------------------------------------------------------
+
+    def apply_delta(
+        self,
+        added: Iterable[tuple[Cell, ...]],
+        removed: Iterable[tuple[Cell, ...]],
+        buffer=None,
+    ) -> None:
+        """Apply extension-level row deltas to the logical relation and trees."""
+        for row in removed:
+            row = tuple(row)
+            if row not in self.extension_relation:
+                continue
+            self.extension_relation.discard(row)
+            for partition in self.partitions:
+                projected = partition.project(row)
+                if projected is not None:
+                    partition.remove_projection(projected, buffer)
+        for row in added:
+            row = tuple(row)
+            if row in self.extension_relation:
+                continue
+            self.extension_relation.add(row)
+            for partition in self.partitions:
+                projected = partition.project(row)
+                if projected is not None:
+                    partition.add_projection(projected, buffer)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def tuple_count(self) -> int:
+        """Rows of the undecomposed extension."""
+        return len(self.extension_relation)
+
+    @property
+    def total_bytes(self) -> int:
+        """Σ over partitions of ``as^{i,j}`` (non-redundant representation)."""
+        return sum(partition.byte_size for partition in self.partitions)
+
+    @property
+    def total_pages(self) -> int:
+        """Σ over partitions of ``ap^{i,j}`` (one clustering)."""
+        return sum(partition.page_count for partition in self.partitions)
+
+    def partition_at(self, first_column: int) -> StoredPartition:
+        """The partition whose left border is ``first_column``."""
+        for partition in self.partitions:
+            if partition.first_column == first_column:
+                return partition
+        raise StorageError(f"no partition starts at column {first_column}")
+
+    def partition_covering(self, column: int) -> StoredPartition:
+        """The partition containing ``column`` (leftmost when on a border)."""
+        i, _ = self.decomposition.partition_containing(column)
+        return self.partition_at(i)
+
+    def supports_query(self, i: int, j: int) -> bool:
+        """Eq. 35: can this ASR evaluate ``Q_{i,j}`` at all?"""
+        return self.extension.supports_query(i, j, self.path.n)
+
+    def consistency_check(self, db: ObjectBase) -> None:
+        """Assert the stored state matches a from-scratch rebuild (tests)."""
+        expected = build_extension(db, self.path, self.extension)
+        actual = self.extension_relation
+        missing = expected.rows - actual.rows
+        spurious = actual.rows - expected.rows
+        assert not missing and not spurious, (
+            f"ASR drifted from object base: missing={sorted(missing, key=row_key)[:5]} "
+            f"spurious={sorted(spurious, key=row_key)[:5]}"
+        )
+        for partition in self.partitions:
+            expected_counts: Counter = Counter()
+            for row in expected.rows:
+                projected = partition.project(row)
+                if projected is not None:
+                    expected_counts[projected] += 1
+            if partition.shared:
+                # Shared partitions aggregate witnesses from all sharers:
+                # this ASR's projections must be present, with at least
+                # this ASR's witness counts.
+                for row, count in expected_counts.items():
+                    assert partition._counts.get(row, 0) >= count, (
+                        "shared partition lost rows of this ASR"
+                    )
+                stored = {value for _, value in partition.forward_tree.items()}
+                assert set(expected_counts) <= stored, "shared forward tree drifted"
+                continue
+            assert expected_counts == partition._counts, (
+                f"partition ({partition.first_column},{partition.last_column}) "
+                "reference counts drifted"
+            )
+            tree_rows = {value for _, value in partition.forward_tree.items()}
+            assert tree_rows == set(expected_counts), "forward tree drifted"
+            tree_rows = {value for _, value in partition.backward_tree.items()}
+            assert tree_rows == set(expected_counts), "backward tree drifted"
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessSupportRelation({self.path}, {self.extension.value}, "
+            f"dec={self.decomposition}, rows={self.tuple_count})"
+        )

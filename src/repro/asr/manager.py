@@ -1,0 +1,133 @@
+"""ASRManager — keeps a family of ASRs consistent with an object base.
+
+The manager subscribes to the object base's change events and, for every
+registered access support relation, computes the dirty region and applies
+the neighbourhood delta (:mod:`repro.asr.maintenance`).  It is the
+run-time embodiment of section 6: after any sequence of updates, each
+managed ASR equals what a from-scratch rebuild would produce (verified by
+:meth:`check_consistency` and the property-based test suite).
+
+Maintenance can be charged to a page-access buffer to *measure* update
+costs on the storage simulator, mirroring the analytical update-cost
+model of :mod:`repro.costmodel.updatecost`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.asr.asr import AccessSupportRelation
+from repro.asr.decomposition import Decomposition
+from repro.asr.extensions import Extension
+from repro.asr.maintenance import analyze_event, neighbourhood_delta
+from repro.errors import ObjectBaseError
+from repro.gom.database import ObjectBase
+from repro.gom.events import Event
+from repro.gom.paths import PathExpression
+
+
+class ASRManager:
+    """Owns access support relations over one object base."""
+
+    def __init__(self, db: ObjectBase) -> None:
+        self.db = db
+        self.asrs: list[AccessSupportRelation] = []
+        self._suspended = 0
+        #: Optional page-access buffer charged for tree maintenance.
+        self.buffer = None
+        db.subscribe(self._on_event)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        path: PathExpression,
+        extension: Extension = Extension.FULL,
+        decomposition: Decomposition | None = None,
+    ) -> AccessSupportRelation:
+        """Build and register an ASR for ``path`` from the current state."""
+        asr = AccessSupportRelation.build(self.db, path, extension, decomposition)
+        self.asrs.append(asr)
+        return asr
+
+    def register(self, asr: AccessSupportRelation) -> None:
+        """Adopt an externally built ASR (assumed consistent right now)."""
+        self.asrs.append(asr)
+
+    def drop(self, asr: AccessSupportRelation) -> None:
+        try:
+            self.asrs.remove(asr)
+        except ValueError:
+            raise ObjectBaseError("ASR is not registered with this manager") from None
+
+    def find(
+        self, path: PathExpression, extension: Extension | None = None
+    ) -> list[AccessSupportRelation]:
+        """Registered ASRs over ``path`` (optionally of one extension)."""
+        return [
+            asr
+            for asr in self.asrs
+            if asr.path == path and (extension is None or asr.extension is extension)
+        ]
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if self._suspended:
+            return
+        for asr in self.asrs:
+            region = analyze_event(self.db, asr.path, event)
+            if not region:
+                continue
+            added, removed = neighbourhood_delta(
+                self.db, asr.path, asr.extension, asr.extension_relation, region
+            )
+            if added or removed:
+                asr.apply_delta(added, removed, self.buffer)
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Skip maintenance inside the block, then rebuild every ASR.
+
+        Use around bulk loads where incremental upkeep would be wasteful::
+
+            with manager.suspended():
+                generator.populate(db)
+        """
+        self._suspended += 1
+        try:
+            yield
+        finally:
+            self._suspended -= 1
+            if not self._suspended:
+                for asr in self.asrs:
+                    asr.rebuild(self.db)
+
+    # ------------------------------------------------------------------
+    # verification / inspection
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Assert every managed ASR matches a from-scratch rebuild."""
+        for asr in self.asrs:
+            asr.consistency_check(self.db)
+
+    def report(self) -> str:
+        """A catalog-style summary of every managed ASR."""
+        if not self.asrs:
+            return "no access support relations registered"
+        lines = [f"{len(self.asrs)} access support relation(s):"]
+        for asr in self.asrs:
+            shared = sum(1 for p in asr.partitions if p.shared)
+            suffix = f", {shared} shared partition(s)" if shared else ""
+            lines.append(
+                f"  {asr.path} [{asr.extension.value}, dec={asr.decomposition}]: "
+                f"{asr.tuple_count} tuples, {asr.total_pages} data pages, "
+                f"{asr.total_bytes} bytes{suffix}"
+            )
+        return "\n".join(lines)

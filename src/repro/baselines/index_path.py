@@ -1,0 +1,41 @@
+"""GemStone-style index paths (Maier & Stein, 1986).
+
+Per the paper's related-work discussion, GemStone's index paths are the
+special case of access support relations with
+
+* **linear paths only** — no set-valued attributes along the chain;
+* **binary partitions** — each consecutive pair of types indexed
+  separately;
+* complete-path semantics (the canonical extension).
+
+:func:`gemstone_index_path` builds exactly that restricted design and
+rejects anything outside it, making the subsumption statement checkable.
+"""
+
+from __future__ import annotations
+
+from repro.asr.asr import AccessSupportRelation
+from repro.asr.decomposition import Decomposition
+from repro.asr.extensions import Extension
+from repro.errors import PathError
+from repro.gom.database import ObjectBase
+from repro.gom.paths import PathExpression
+
+
+def gemstone_index_path(db: ObjectBase, path: PathExpression) -> AccessSupportRelation:
+    """Build a GemStone-style index path over ``path``.
+
+    Raises :class:`~repro.errors.PathError` when the path traverses a
+    set- or list-valued attribute — the restriction the paper lifts.
+    """
+    if not path.is_linear:
+        offending = [
+            step.attribute for step in path.steps if step.is_set_occurrence
+        ]
+        raise PathError(
+            "GemStone index paths support only single-valued attribute "
+            f"chains; {path} traverses collection-valued {offending}"
+        )
+    return AccessSupportRelation.build(
+        db, path, Extension.CANONICAL, Decomposition.binary(path.m)
+    )

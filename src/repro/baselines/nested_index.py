@@ -1,0 +1,198 @@
+"""Orion-style nested attribute indexes (Kim, Kim & Dale).
+
+A nested attribute index maps the *terminal value* of a path directly to
+the set of anchor objects: conceptually the non-contiguous projection of
+the canonical extension onto its first and last columns.  It answers the
+whole-path backward query in one lookup and nothing else — no forward
+queries, no partial ranges — which is precisely the limitation access
+support relations remove.
+
+The implementation reuses this library's maintenance machinery: the
+index keeps the canonical extension as its logical source of truth
+(so :class:`~repro.asr.manager.ASRManager` can drive it through
+``apply_delta`` exactly like an ASR) and stores the reference-counted
+``(value, anchor)`` pairs in one B+ tree clustered on the values.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.asr.asr import cell_key
+from repro.asr.extensions import Extension, build_extension
+from repro.errors import PathError
+from repro.gom.database import ObjectBase
+from repro.gom.objects import OID, Cell
+from repro.gom.paths import PathExpression
+from repro.storage.btree import BPlusTree
+from repro.storage.pages import (
+    DEFAULT_OID_SIZE,
+    DEFAULT_PAGE_SIZE,
+    btree_fanout,
+)
+
+
+class NestedAttributeIndex:
+    """``terminal value → anchor objects`` over one path expression.
+
+    Register with an :class:`~repro.asr.manager.ASRManager` to keep it
+    maintained under updates; it deliberately mimics the ASR interface
+    the manager relies on (``path``, ``extension``, ``extension_relation``,
+    ``apply_delta``, ``consistency_check``).
+    """
+
+    def __init__(
+        self,
+        path: PathExpression,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        oid_size: int = DEFAULT_OID_SIZE,
+    ) -> None:
+        if not path.terminal_is_atomic:
+            raise PathError(
+                "nested attribute indexes require an atomic path terminal"
+            )
+        self.path = path
+        self.extension = Extension.CANONICAL
+        self.page_size = page_size
+        self.oid_size = oid_size
+        # (value, anchor) pairs: ~2 cells per entry.
+        self.pairs_per_page = page_size // (2 * oid_size)
+        self._fanout = btree_fanout(page_size=page_size, oid_size=oid_size)
+        from repro.asr.relation import Relation
+
+        self.extension_relation = Relation(path.column_labels())
+        self._counts: Counter[tuple[Cell, Cell]] = Counter()
+        self.tree = BPlusTree(self.pairs_per_page, self._fanout)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, db: ObjectBase, path: PathExpression) -> "NestedAttributeIndex":
+        index = cls(path)
+        index.rebuild(db)
+        return index
+
+    def rebuild(self, db: ObjectBase) -> None:
+        """Recompute from scratch (initial load)."""
+        self.extension_relation = build_extension(db, self.path, Extension.CANONICAL)
+        counts: Counter[tuple[Cell, Cell]] = Counter()
+        for row in self.extension_relation.rows:
+            counts[(row[-1], row[0])] += 1
+        self._counts = counts
+        entries = sorted(
+            ((cell_key(value), cell_key(anchor)), (value, anchor))
+            for value, anchor in counts
+        )
+        self.tree = BPlusTree.bulk_load(entries, self.pairs_per_page, self._fanout)
+
+    # ------------------------------------------------------------------
+    # maintenance (driven by ASRManager)
+    # ------------------------------------------------------------------
+
+    def apply_delta(
+        self,
+        added: Iterable[tuple[Cell, ...]],
+        removed: Iterable[tuple[Cell, ...]],
+        buffer=None,
+    ) -> None:
+        """Apply canonical-extension row deltas to the pair store."""
+        for row in removed:
+            row = tuple(row)
+            if row not in self.extension_relation:
+                continue
+            self.extension_relation.discard(row)
+            pair = (row[-1], row[0])
+            remaining = self._counts[pair] - 1
+            if remaining:
+                self._counts[pair] = remaining
+            else:
+                del self._counts[pair]
+                self.tree.delete((cell_key(pair[0]), cell_key(pair[1])), buffer)
+        for row in added:
+            row = tuple(row)
+            if row in self.extension_relation:
+                continue
+            self.extension_relation.add(row)
+            pair = (row[-1], row[0])
+            self._counts[pair] += 1
+            if self._counts[pair] == 1:
+                self.tree.insert(
+                    (cell_key(pair[0]), cell_key(pair[1])), pair, buffer
+                )
+
+    # ------------------------------------------------------------------
+    # the one supported query
+    # ------------------------------------------------------------------
+
+    def supports_query(self, i: int, j: int) -> bool:
+        """Only the whole-path backward lookup is answerable."""
+        return i == 0 and j == self.path.n
+
+    def lookup(self, value: Cell, buffer=None) -> set[OID]:
+        """Anchors whose path reaches ``value`` — one index probe."""
+        prefix = cell_key(value)
+        anchors: set[OID] = set()
+        for key, (_value, anchor) in self.tree.range(lo=(prefix, ()), buffer=buffer):
+            if key[0] != prefix:
+                break
+            anchors.add(anchor)
+        return anchors
+
+    def lookup_range(self, lo: Cell, hi: Cell, buffer=None) -> set[OID]:
+        """Anchors reaching any value in ``[lo, hi)`` (value clustering)."""
+        anchors: set[OID] = set()
+        for _key, (_value, anchor) in self.tree.range(
+            lo=(cell_key(lo), ()), hi=(cell_key(hi), ()), buffer=buffer
+        ):
+            anchors.add(anchor)
+        return anchors
+
+    # ------------------------------------------------------------------
+    # statistics / verification
+    # ------------------------------------------------------------------
+
+    @property
+    def pair_count(self) -> int:
+        return len(self._counts)
+
+    @property
+    def tuple_count(self) -> int:
+        """ASR-interface shim: stored (value, anchor) pairs."""
+        return len(self._counts)
+
+    #: ASR-interface shim: a nested index has no partitions of its own.
+    partitions: tuple = ()
+
+    @property
+    def total_bytes(self) -> int:
+        return self.pair_count * 2 * self.oid_size
+
+    @property
+    def total_pages(self) -> int:
+        return self.tree.leaf_count() if self.pair_count else 0
+
+    @property
+    def decomposition(self):
+        """ASR-interface shim: the index has no contiguous decomposition."""
+        return None
+
+    def consistency_check(self, db: ObjectBase) -> None:
+        """Assert the stored pairs match a from-scratch recomputation."""
+        expected_rows = build_extension(db, self.path, Extension.CANONICAL).rows
+        assert expected_rows == self.extension_relation.rows, (
+            "nested index's canonical extension drifted"
+        )
+        expected_pairs: Counter = Counter()
+        for row in expected_rows:
+            expected_pairs[(row[-1], row[0])] += 1
+        assert expected_pairs == self._counts, "nested index pair counts drifted"
+        stored = {pair for _key, pair in self.tree.items()}
+        assert stored == set(expected_pairs), "nested index tree drifted"
+
+    def __repr__(self) -> str:
+        return (
+            f"NestedAttributeIndex({self.path}, {self.pair_count} value/anchor pairs)"
+        )

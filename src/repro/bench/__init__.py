@@ -1,0 +1,16 @@
+"""Shared machinery for the benchmark harness.
+
+:mod:`repro.bench.figures` computes, for every figure of the paper's
+evaluation, the data series the figure plots (using the profiles of
+:mod:`repro.workload.profiles` and the cost model); the per-figure
+benchmark files under ``benchmarks/`` time these computations, render the
+series, and assert the paper's qualitative claims.
+
+:mod:`repro.bench.render` turns the series into fixed-width text tables
+so ``bench_output.txt`` doubles as the reproduction's figure data.
+"""
+
+from repro.bench.render import format_series, format_table
+from repro.bench import figures
+
+__all__ = ["format_series", "format_table", "figures"]

@@ -1,0 +1,48 @@
+"""Plain-text rendering of benchmark series."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A fixed-width table; numbers are right-aligned with ``g`` format."""
+    rendered_rows = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """One column per named series, one row per x value."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x, *(values[index] for values in series.values())])
+    return format_table(headers, rows, title)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 1e12:
+            return f"{int(cell)}"
+        return f"{cell:.3g}" if abs(cell) < 1 else f"{cell:.1f}"
+    return str(cell)

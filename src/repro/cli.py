@@ -1,0 +1,371 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figures [--only figNN]``
+    Regenerate the paper's evaluation figures as text tables.
+
+``advise --profile profile.json [--pup P] [--top N] [--budget-kib K]``
+    Rank physical designs for a profile and operation mix.  The JSON
+    file holds the Figure 3 parameters and (optionally) the mix::
+
+        {
+          "c": [1000, 5000, 10000, 50000, 100000],
+          "d": [900, 4000, 8000, 20000],
+          "fan": [2, 2, 3, 4],
+          "size": [500, 400, 300, 300, 100],
+          "queries": [[0.5, 0, 4, "bw"], [0.5, 0, 3, "bw"]],
+          "updates": [[1.0, 3]]
+        }
+
+``validate [--seed S] [--scale X]``
+    Generate a chain object base, run queries on the page-counting
+    simulator, and print measured vs model page counts.
+
+``demo``
+    The robot quickstart (paper Query 1) end to end.
+
+``export-demo --out db.json``
+    Write the paper's Company world (Figure 2), with a full-extension
+    ASR configuration, to a JSON database file.
+
+``profile --db db.json --path "Division.Manufactures.Composition.Name"``
+    Load a saved database and print the measured Figure 3 parameters of
+    a path over it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.asr import ASRManager, Decomposition, Extension
+from repro.costmodel import (
+    ApplicationProfile,
+    DesignAdvisor,
+    OperationMix,
+    QueryCostModel,
+    QuerySpec,
+    UpdateSpec,
+)
+from repro.errors import ReproError
+from repro.query import BackwardQuery, QueryEvaluator
+from repro.workload import ChainGenerator, FIG14_MIX, measure_profile
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Access support relations for object bases "
+        "(Kemper & Moerkotte, SIGMOD 1990) — reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figures = commands.add_parser("figures", help="regenerate the paper's figures")
+    figures.add_argument(
+        "--only",
+        metavar="figNN",
+        help="one figure id, e.g. fig04, fig14 (default: all)",
+    )
+
+    advise = commands.add_parser("advise", help="rank physical designs")
+    advise.add_argument("--profile", required=True, type=Path, help="JSON profile")
+    advise.add_argument("--pup", type=float, default=0.2, help="update probability")
+    advise.add_argument("--top", type=int, default=10, help="designs to print")
+    advise.add_argument(
+        "--budget-kib", type=float, default=None, help="storage budget in KiB"
+    )
+
+    validate = commands.add_parser(
+        "validate", help="measured (simulator) vs model page counts"
+    )
+    validate.add_argument("--seed", type=int, default=7)
+    validate.add_argument(
+        "--scale", type=float, default=1.0, help="multiplier on the base world size"
+    )
+
+    commands.add_parser("demo", help="run the robot quickstart")
+
+    export_demo = commands.add_parser(
+        "export-demo", help="write the Company demo world to a JSON file"
+    )
+    export_demo.add_argument("--out", required=True, type=Path)
+
+    measure = commands.add_parser(
+        "profile", help="measured Figure 3 parameters of a path over a saved db"
+    )
+    measure.add_argument("--db", required=True, type=Path, help="JSON database")
+    measure.add_argument(
+        "--path", required=True, help='path expression, e.g. "Division.Manufactures.Composition.Name"'
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+
+
+def _cmd_figures(args, out) -> int:
+    from repro.bench import figures as figure_module
+    from repro.bench.render import format_series, format_table
+
+    sections: list[tuple[str, callable]] = [
+        ("fig04", lambda: format_table(
+            ["design", "KiB"], sorted(figure_module.fig04_sizes().items()),
+            "Figure 4 — access support relation sizes (KiB)")),
+        ("fig05", lambda: format_series(
+            "d_i", *figure_module.fig05_varying_d(),
+            title="Figure 5 — sizes under varying d_i (KiB)")),
+        ("fig06", lambda: format_table(
+            ["design", "pages"], sorted(figure_module.fig06_backward_query().items()),
+            "Figure 6 — Q_{0,4}(bw) cost")),
+        ("fig07", lambda: format_series(
+            "size_i", *figure_module.fig07_object_size(),
+            title="Figure 7 — Q_{0,4}(bw) vs object size")),
+        ("fig08", lambda: format_series(
+            "d_i", *figure_module.fig08_partial_query(),
+            title="Figure 8 — Q_{0,3}(bw) support")),
+        ("fig09", lambda: format_series(
+            "fan_i", *figure_module.fig09_fanout(),
+            title="Figure 9 — Q_{0,4}(bw) vs fan-out")),
+        ("fig11", lambda: format_table(
+            ["design", "pages"], sorted(figure_module.fig11_update_costs().items()),
+            "Figure 11 — ins_3 update cost")),
+        ("fig12", lambda: format_table(
+            ["design", "pages"], sorted(figure_module.fig12_update_costs().items()),
+            "Figure 12 — ins_3 update cost (fan 2,1,1,4)")),
+        ("fig13", lambda: format_series(
+            "size_i", *figure_module.fig13_update_sizes(),
+            title="Figure 13 — ins_1 update cost vs object size")),
+        ("fig14", lambda: format_series(
+            "P_up", *figure_module.fig14_opmix(),
+            title="Figure 14 — normalized mix cost (binary dec)")),
+        ("fig15", lambda: format_series(
+            "P_up", *figure_module.fig15_opmix(),
+            title="Figure 15 — normalized mix cost (dec (0,3,4))")),
+        ("fig16", lambda: format_series(
+            "P_up", *figure_module.fig16_left_vs_full(),
+            title="Figure 16 — left vs full (n=5)")),
+        ("fig17", lambda: format_series(
+            "P_up", *figure_module.fig17_right_vs_full(),
+            title="Figure 17 — right vs full (n=5)")),
+    ]
+    wanted = dict(sections)
+    if args.only:
+        if args.only not in wanted:
+            print(f"unknown figure {args.only!r}; known: {sorted(wanted)}", file=out)
+            return 2
+        sections = [(args.only, wanted[args.only])]
+    for index, (_name, render) in enumerate(sections):
+        if index:
+            print("", file=out)
+        print(render(), file=out)
+    return 0
+
+
+def _load_profile(path: Path) -> tuple[ApplicationProfile, OperationMix]:
+    data = json.loads(path.read_text())
+    profile = ApplicationProfile(
+        c=tuple(data["c"]),
+        d=tuple(data["d"]),
+        fan=tuple(data["fan"]),
+        size=tuple(data.get("size", ())),
+        shar=tuple(data.get("shar", ())),
+    )
+    if "queries" in data or "updates" in data:
+        queries = tuple(
+            (float(w), QuerySpec(int(i), int(j), str(kind)))
+            for w, i, j, kind in data.get("queries", ())
+        )
+        updates = tuple(
+            (float(w), UpdateSpec(int(i))) for w, i in data.get("updates", ())
+        )
+        mix = OperationMix(queries=queries, updates=updates)
+    else:
+        mix = FIG14_MIX
+    return profile, mix
+
+
+def _cmd_advise(args, out) -> int:
+    profile, mix = _load_profile(args.profile)
+    advisor = DesignAdvisor(profile)
+    budget = args.budget_kib * 1024 if args.budget_kib is not None else None
+    choices = advisor.enumerate(mix, args.pup, max_storage_bytes=budget)
+    print(f"mix: {mix}", file=out)
+    print(f"P_up = {args.pup:g}; {len(choices)} feasible designs", file=out)
+    for rank, choice in enumerate(choices[: args.top], start=1):
+        print(f"{rank:3d}. {choice.describe()}", file=out)
+    return 0
+
+
+def _cmd_validate(args, out) -> int:
+    base = ApplicationProfile(
+        c=(50, 100, 200, 400),
+        d=(45, 85, 170),
+        fan=(2, 2, 2),
+        size=(500, 400, 300, 100),
+    )
+    scaled = ApplicationProfile(
+        c=tuple(max(2, int(value * args.scale)) for value in base.c),
+        d=tuple(int(value * args.scale) for value in base.d),
+        fan=base.fan,
+        size=base.size,
+    )
+    generated = ChainGenerator(seed=args.seed).generate(scaled)
+    measured = measure_profile(generated)
+    manager = ASRManager(generated.db)
+    asr = manager.create(
+        generated.path, Extension.FULL, Decomposition.binary(generated.path.m)
+    )
+    evaluator = QueryEvaluator(generated.db, generated.store)
+    model = QueryCostModel(measured)
+    target = generated.layers[measured.n][0]
+    query = BackwardQuery(generated.path, 0, measured.n, target=target)
+    unsupported = evaluator.evaluate_unsupported(query)
+    supported = evaluator.evaluate_supported(query, asr)
+    print(
+        f"world: c={tuple(int(x) for x in measured.c)} "
+        f"(seed {args.seed}, scale {args.scale:g})",
+        file=out,
+    )
+    print(
+        f"Q_0,{measured.n}(bw): measured unsupported {unsupported.page_reads} "
+        f"pages vs model {model.qnas(0, measured.n, 'bw'):.0f}",
+        file=out,
+    )
+    print(
+        f"Q_0,{measured.n}(bw): measured supported  {supported.page_reads} "
+        f"pages vs model "
+        f"{model.q(Extension.FULL, 0, measured.n, 'bw', Decomposition.binary(measured.n)):.0f}",
+        file=out,
+    )
+    print(
+        "results identical:", supported.cells == unsupported.cells, file=out
+    )
+    return 0
+
+
+def _cmd_demo(args, out) -> int:
+    from repro.gom import ObjectBase, PathExpression, Schema
+    from repro.query import Planner, SelectExecutor
+
+    schema = Schema()
+    schema.define_tuple("MANUFACTURER", {"Name": "STRING", "Location": "STRING"})
+    schema.define_tuple("TOOL", {"Function": "STRING", "ManufacturedBy": "MANUFACTURER"})
+    schema.define_tuple("ARM", {"MountedTool": "TOOL"})
+    schema.define_tuple("ROBOT", {"Name": "STRING", "Arm": "ARM"})
+    schema.define_set("ROBOT_SET", "ROBOT")
+    db = ObjectBase(schema)
+    maker = db.new("MANUFACTURER", Name="RobClone", Location="Utopia")
+    tools = [
+        db.new("TOOL", Function="welding", ManufacturedBy=maker),
+        db.new("TOOL", Function="gripping", ManufacturedBy=maker),
+    ]
+    robots = [
+        db.new("ROBOT", Name=name, Arm=db.new("ARM", MountedTool=tool))
+        for name, tool in [("R2D2", tools[0]), ("X4D5", tools[1]), ("Robi", tools[1])]
+    ]
+    db.set_var("OurRobots", db.new_set("ROBOT_SET", robots), "ROBOT_SET")
+    path = PathExpression.parse(
+        schema, "ROBOT.Arm.MountedTool.ManufacturedBy.Location"
+    )
+    manager = ASRManager(db)
+    asr = manager.create(path, Extension.CANONICAL, Decomposition.binary(path.m))
+    print(f"indexed {path} ({asr.tuple_count} complete paths)", file=out)
+    executor = SelectExecutor(db, Planner(manager), QueryEvaluator(db))
+    report = executor.run(
+        'select r.Name from r in OurRobots '
+        'where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"'
+    )
+    print(f"Query 1 -> {sorted(report.rows)}  [{report.strategy}]", file=out)
+    return 0
+
+
+def _cmd_export_demo(args, out) -> int:
+    from repro.gom import ObjectBase, PathExpression, Schema
+    from repro.gom.serialization import save
+
+    schema = Schema()
+    schema.define_tuple("BasePart", {"Name": "STRING", "Price": "DECIMAL"})
+    schema.define_set("BasePartSET", "BasePart")
+    schema.define_tuple("Product", {"Name": "STRING", "Composition": "BasePartSET"})
+    schema.define_set("ProdSET", "Product")
+    schema.define_tuple("Division", {"Name": "STRING", "Manufactures": "ProdSET"})
+    schema.define_set("Company", "Division")
+    db = ObjectBase(schema)
+    door = db.new("BasePart", Name="Door", Price=1205.50)
+    pepper = db.new("BasePart", Name="Pepper", Price=0.12)
+    sec = db.new(
+        "Product", Name="560 SEC", Composition=db.new_set("BasePartSET", [door])
+    )
+    trak = db.new("Product", Name="MB Trak")
+    sausage = db.new(
+        "Product", Name="Sausage", Composition=db.new_set("BasePartSET", [pepper])
+    )
+    auto = db.new("Division", Name="Auto", Manufactures=db.new_set("ProdSET", [sec]))
+    truck = db.new(
+        "Division", Name="Truck", Manufactures=db.new_set("ProdSET", [sec, trak])
+    )
+    space = db.new("Division", Name="Space")
+    db.set_var("Mercedes", db.new_set("Company", [auto, truck, space]), "Company")
+    path = PathExpression.parse(schema, "Division.Manufactures.Composition.Name")
+    manager = ASRManager(db)
+    manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+    save(db, args.out, asrs=manager.asrs)
+    print(
+        f"wrote {len(db)} objects and {len(manager.asrs)} ASR configuration(s) "
+        f"to {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_profile(args, out) -> int:
+    from repro.costmodel import profile_from_database
+    from repro.gom import PathExpression
+    from repro.gom.serialization import load
+
+    db, asrs = load(args.db)
+    path = PathExpression.parse(db.schema, args.path)
+    profile = profile_from_database(db, path)
+    print(f"measured profile of {path} over {args.db}:", file=out)
+    print(f"  c    = {tuple(int(x) for x in profile.c)}", file=out)
+    print(f"  d    = {tuple(int(x) for x in profile.d)}", file=out)
+    print(f"  fan  = {tuple(round(x, 2) for x in profile.fan)}", file=out)
+    print(f"  shar = {tuple(round(x, 2) for x in profile.shar)}", file=out)
+    if asrs:
+        print(f"  {len(asrs)} ASR configuration(s) restored alongside", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "advise": _cmd_advise,
+    "validate": _cmd_validate,
+    "demo": _cmd_demo,
+    "export-demo": _cmd_export_demo,
+    "profile": _cmd_profile,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Cardinalities of access support relations (section 4.2).
+
+``partition_cardinality(profile, extension, i, j)`` estimates
+``#E^{i,j}_X`` — the number of tuples of the ``(…, i, j, …)`` partition
+of the ASR in extension ``X``.  Indices are *type* indices (the cost
+model works under the paper's "no set sharing" simplification where the
+collection-OID columns are dropped and ``m = n``; read ``n`` as ``m``
+otherwise, as the paper notes at the end of section 3).
+
+The four closed forms:
+
+* **canonical** — paths crossing ``[i, j]`` that are anchored on both
+  sides: ``P_RefBy(0,i) · path(i,j) · P_Ref(j,n)``;
+* **full** — every maximal partial sub-path within ``[i, j]``: the double
+  sum over segment length ``k`` and start ``l``, each weighted by the
+  probability of being left-bounded at ``l`` and right-bounded at
+  ``l+k``;
+* **left-complete** — segments starting at ``i`` (reached from ``t_0``),
+  of every length, right-bounded where they stop;
+* **right-complete** — segments ending at ``j`` (reaching ``t_n``),
+  left-bounded where they start.
+"""
+
+from __future__ import annotations
+
+from repro.asr.extensions import Extension
+from repro.costmodel.derived import DerivedQuantities, derived_for
+from repro.costmodel.parameters import ApplicationProfile
+from repro.errors import CostModelError
+
+
+def partition_cardinality(
+    profile: ApplicationProfile,
+    extension: Extension,
+    i: int,
+    j: int,
+    derived: DerivedQuantities | None = None,
+) -> float:
+    """``#E^{i,j}_X`` for the partition spanning type indices ``i..j``."""
+    if not 0 <= i < j <= profile.n:
+        raise CostModelError(f"invalid partition ({i}, {j}) for n={profile.n}")
+    q = derived or derived_for(profile)
+    if extension is Extension.CANONICAL:
+        return _canonical(q, i, j)
+    if extension is Extension.FULL:
+        return _full(q, i, j)
+    if extension is Extension.LEFT:
+        return _left(q, i, j)
+    if extension is Extension.RIGHT:
+        return _right(q, i, j)
+    raise CostModelError(f"unknown extension {extension!r}")
+
+
+def extension_cardinality(
+    profile: ApplicationProfile, extension: Extension
+) -> float:
+    """``#E_X`` of the whole, undecomposed relation (``i=0, j=n``)."""
+    return partition_cardinality(profile, extension, 0, profile.n)
+
+
+def _canonical(q: DerivedQuantities, i: int, j: int) -> float:
+    n = q.profile.n
+    return q.p_refby(0, i) * q.path(i, j) * q.p_ref(j, n)
+
+
+def _full(q: DerivedQuantities, i: int, j: int) -> float:
+    total = 0.0
+    for k in range(1, j - i + 1):
+        for l in range(i, j - k + 1):
+            total += (
+                q.p_lb(max(i, l - 1), l)
+                * q.path(l, l + k)
+                * q.p_rb(l + k, min(j, l + k + 1))
+            )
+    return total
+
+
+def _left(q: DerivedQuantities, i: int, j: int) -> float:
+    total = 0.0
+    for k in range(1, j - i + 1):
+        total += (
+            q.p_refby(0, i)
+            * q.path(i, i + k)
+            * q.p_rb(i + k, min(j, i + k + 1))
+        )
+    return total
+
+
+def _right(q: DerivedQuantities, i: int, j: int) -> float:
+    n = q.profile.n
+    total = 0.0
+    for k in range(1, j - i + 1):
+        total += (
+            q.p_lb(max(i, j - k - 1), j - k)
+            * q.path(j - k, j)
+            * q.p_ref(j, n)
+        )
+    return total

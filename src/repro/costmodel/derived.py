@@ -1,0 +1,206 @@
+"""Derived probabilistic quantities (sections 4.1 and 5.6).
+
+All closed forms from the paper, with the domain guards the formulas
+need in the extreme corners of parameter space:
+
+* probabilities are clamped into ``[0, 1]``;
+* ``(1 - fan/e)`` and ``(1 - shar/d)`` bases are clamped to ``≥ 0``
+  (a fan-out exceeding the number of reachable targets means every
+  target is hit);
+* divisions by zero (``d_i = 0``, ``e_j = 0``) collapse to the obvious
+  limits (no paths).
+
+Implemented quantities:
+
+=====================  ======================================================
+``p_a(i)``             Eq. 1 — ``P_{A_i} = d_i / c_i``
+``p_h(i)``             Eq. 2 — ``P_{H_i} = e_i / c_i``
+``refby(i, j)``        Eq. 6 — objects of ``t_j`` referenced from ``t_i``
+``p_refby(i, j)``      Eq. 7
+``ref(i, j)``          Eq. 8 — objects of ``t_i`` with a path to ``t_j``
+``p_ref(i, j)``        Eq. 9
+``path(i, j)``         Eq. 10 — number of (partial) paths
+``p_lb(i, j)``         Eq. 11 — "left bound": not hit from ``t_i``
+``p_rb(i, j)``         Eq. 12 — "right bound": no emanating path to ``t_j``
+``refby_k(i, j, k)``   Eq. 29 — three-argument generalization
+``ref_k(i, j, k)``     Eq. 30
+``p_path(l)``          Eq. 38 / ``p_nopath(l)`` Eq. 37
+=====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.costmodel.parameters import ApplicationProfile
+from repro.errors import CostModelError
+
+
+def _clamp01(x: float) -> float:
+    return min(max(x, 0.0), 1.0)
+
+
+class DerivedQuantities:
+    """Memoized evaluation of the derived quantities for one profile."""
+
+    def __init__(self, profile: ApplicationProfile) -> None:
+        self.profile = profile
+        self._refby_cache: dict[tuple[int, int], float] = {}
+        self._ref_cache: dict[tuple[int, int], float] = {}
+        self._refby_k_cache: dict[tuple[int, int, float], float] = {}
+        self._ref_k_cache: dict[tuple[int, int, float], float] = {}
+
+    # ------------------------------------------------------------------
+    # elementary probabilities
+    # ------------------------------------------------------------------
+
+    def p_a(self, i: int) -> float:
+        """Eq. 1: probability that ``o_i.A_{i+1}`` is defined."""
+        return _clamp01(self.profile.d_(i) / self.profile.c_(i))
+
+    def p_h(self, i: int) -> float:
+        """Eq. 2: probability that a ``t_i`` object is hit from ``t_{i-1}``."""
+        return _clamp01(self.profile.e_(i) / self.profile.c_(i))
+
+    # ------------------------------------------------------------------
+    # RefBy / Ref (Eqs. 6-9)
+    # ------------------------------------------------------------------
+
+    def refby(self, i: int, j: int) -> float:
+        """Eq. 6: objects of ``t_j`` on ≥1 (partial) path from ``t_i``."""
+        self._check_pair(i, j)
+        key = (i, j)
+        if key not in self._refby_cache:
+            if j == i + 1:
+                value = self.profile.e_(j)
+            else:
+                e_j = self.profile.e_(j)
+                if e_j == 0:
+                    value = 0.0
+                else:
+                    base = _clamp01(1.0 - self.profile.fan_(j - 1) / e_j)
+                    exponent = self.refby(i, j - 1) * self.p_a(j - 1)
+                    value = e_j * (1.0 - base**exponent)
+            self._refby_cache[key] = min(value, self.profile.c_(j))
+        return self._refby_cache[key]
+
+    def p_refby(self, i: int, j: int) -> float:
+        """Eq. 7: probability a given ``t_j`` object is reached from ``t_i``."""
+        if i == j:
+            return 1.0
+        return _clamp01(self.refby(i, j) / self.profile.c_(j))
+
+    def ref(self, i: int, j: int) -> float:
+        """Eq. 8: objects of ``t_i`` with ≥1 path leading to ``t_j``."""
+        self._check_pair(i, j)
+        key = (i, j)
+        if key not in self._ref_cache:
+            d_i = self.profile.d_(i)
+            if j == i + 1 or d_i == 0:
+                value = d_i
+            else:
+                base = _clamp01(1.0 - self.profile.shar_(i) / d_i)
+                exponent = self.ref(i + 1, j) * self.p_h(i + 1)
+                value = d_i * (1.0 - base**exponent)
+            self._ref_cache[key] = min(value, self.profile.c_(i))
+        return self._ref_cache[key]
+
+    def p_ref(self, i: int, j: int) -> float:
+        """Eq. 9: probability a given ``t_i`` object reaches ``t_j``."""
+        if i == j:
+            return 1.0
+        return _clamp01(self.ref(i, j) / self.profile.c_(i))
+
+    # ------------------------------------------------------------------
+    # path counts and bound probabilities (Eqs. 10-12)
+    # ------------------------------------------------------------------
+
+    def path(self, i: int, j: int) -> float:
+        """Eq. 10: number of paths between ``t_i`` and ``t_j`` objects."""
+        self._check_pair(i, j)
+        count = self.profile.ref_(i)
+        for l in range(i + 1, j):
+            count *= self.p_a(l) * self.profile.fan_(l)
+        return count
+
+    def p_lb(self, i: int, j: int) -> float:
+        """Eq. 11: a ``t_j`` object is *not* hit by any path from ``t_i``."""
+        if i < j:
+            return _clamp01(1.0 - self.p_refby(i, j))
+        return 1.0
+
+    def p_rb(self, i: int, j: int) -> float:
+        """Eq. 12: a ``t_i`` object has *no* emanating path to ``t_j``."""
+        if i < j:
+            return _clamp01(1.0 - self.p_ref(i, j))
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # three-argument generalizations (Eqs. 29-30)
+    # ------------------------------------------------------------------
+
+    def refby_k(self, i: int, j: int, k: float) -> float:
+        """Eq. 29: ``t_j`` objects on ≥1 path from a ``k``-subset of ``t_i``."""
+        self._check_pair(i, j)
+        if k <= 0:
+            return 0.0
+        key = (i, j, float(k))
+        if key not in self._refby_k_cache:
+            e_j = self.profile.e_(j)
+            if e_j == 0:
+                value = 0.0
+            elif j == i + 1:
+                base = _clamp01(1.0 - self.profile.fan_(i) / e_j)
+                value = e_j * (1.0 - base**k)
+            else:
+                base = _clamp01(1.0 - self.profile.fan_(j - 1) / e_j)
+                exponent = self.refby_k(i, j - 1, k) * self.p_a(j - 1)
+                value = e_j * (1.0 - base**exponent)
+            self._refby_k_cache[key] = min(value, self.profile.c_(j))
+        return self._refby_k_cache[key]
+
+    def ref_k(self, i: int, j: int, k: float) -> float:
+        """Eq. 30: ``t_i`` objects with a path to a ``k``-subset of ``t_j``."""
+        self._check_pair(i, j)
+        if k <= 0:
+            return 0.0
+        key = (i, j, float(k))
+        if key not in self._ref_k_cache:
+            d_i = self.profile.d_(i)
+            if d_i == 0:
+                value = 0.0
+            else:
+                base = _clamp01(1.0 - self.profile.shar_(i) / d_i)
+                if j == i + 1:
+                    value = d_i * (1.0 - base**k)
+                else:
+                    exponent = self.ref_k(i + 1, j, k) * self.p_h(i + 1)
+                    value = d_i * (1.0 - base**exponent)
+            self._ref_k_cache[key] = min(value, self.profile.c_(i))
+        return self._ref_k_cache[key]
+
+    # ------------------------------------------------------------------
+    # complete-path probabilities (Eqs. 37-38)
+    # ------------------------------------------------------------------
+
+    def p_path(self, l: int) -> float:
+        """Eq. 38: a complete ``t_0``→``t_n`` path runs through ``o_l``."""
+        return _clamp01(self.p_refby(0, l) * self.p_ref(l, self.profile.n))
+
+    def p_nopath(self, l: int) -> float:
+        """Eq. 37."""
+        return _clamp01(1.0 - self.p_path(l))
+
+    # ------------------------------------------------------------------
+    def _check_pair(self, i: int, j: int) -> None:
+        if not 0 <= i < j <= self.profile.n:
+            raise CostModelError(
+                f"index pair ({i}, {j}) out of range for n={self.profile.n}"
+            )
+
+
+@lru_cache(maxsize=256)
+def derived_for(profile: ApplicationProfile) -> DerivedQuantities:
+    """Shared memoized :class:`DerivedQuantities` per profile."""
+    return DerivedQuantities(profile)

@@ -1,0 +1,199 @@
+"""Operation mixes (section 6.4).
+
+A mix ``M = (Q_mix, U_mix, P_up)`` consists of weighted queries,
+weighted ``ins_i`` updates, and the probability ``P_up`` that a database
+operation is an update.  The expected per-operation cost of a physical
+design ``(X, dec)`` is::
+
+    cost = (1 − P_up) · Σ w_q · Q_X(q, dec)  +  P_up · Σ w_u · upd_X(u, dec)
+
+The paper's figures 14–17 plot this (normalized) against ``P_up``; the
+interesting outputs are the *break-even points* where designs swap
+places, which :meth:`MixCostModel.break_even` locates by bisection on a
+dense grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.asr.decomposition import Decomposition
+from repro.asr.extensions import Extension
+from repro.costmodel.parameters import ApplicationProfile, SystemParameters
+from repro.costmodel.querycost import QueryCostModel
+from repro.costmodel.storagecost import StorageModel
+from repro.costmodel.updatecost import UpdateCostModel
+from repro.errors import CostModelError
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One weighted query shape, e.g. ``Q_{0,4}(bw)``."""
+
+    i: int
+    j: int
+    kind: str  # 'fw' | 'bw'
+
+    def __str__(self) -> str:
+        return f"Q{self.i},{self.j}({self.kind})"
+
+
+@dataclass(frozen=True)
+class UpdateSpec:
+    """One weighted update shape ``ins_i``."""
+
+    i: int
+
+    def __str__(self) -> str:
+        return f"ins_{self.i}"
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Weighted queries and updates (weights each sum to 1)."""
+
+    queries: tuple[tuple[float, QuerySpec], ...]
+    updates: tuple[tuple[float, UpdateSpec], ...] = ()
+
+    def __post_init__(self) -> None:
+        for weights, label in (
+            ([w for w, _ in self.queries], "query"),
+            ([w for w, _ in self.updates], "update"),
+        ):
+            if weights and not math.isclose(sum(weights), 1.0, abs_tol=1e-9):
+                raise CostModelError(f"{label} weights must sum to 1, got {sum(weights)}")
+
+    def __str__(self) -> str:
+        queries = ", ".join(f"{w:g}·{q}" for w, q in self.queries)
+        updates = ", ".join(f"{w:g}·{u}" for w, u in self.updates)
+        return f"Q_mix={{{queries}}} U_mix={{{updates}}}"
+
+
+class MixCostModel:
+    """Expected per-operation cost of physical designs under a mix."""
+
+    def __init__(
+        self,
+        profile: ApplicationProfile,
+        system: SystemParameters | None = None,
+    ) -> None:
+        self.profile = profile
+        self.system = system or SystemParameters()
+        self.storage = StorageModel(profile, self.system)
+        self.querycost = QueryCostModel(profile, self.system, self.storage)
+        self.updatecost = UpdateCostModel(
+            profile, self.system, self.storage, self.querycost
+        )
+
+    # ------------------------------------------------------------------
+    # components
+    # ------------------------------------------------------------------
+
+    def query_mix_cost(
+        self, extension: Extension, dec: Decomposition, mix: OperationMix
+    ) -> float:
+        return sum(
+            w * self.querycost.q(extension, spec.i, spec.j, spec.kind, dec)
+            for w, spec in mix.queries
+        )
+
+    def update_mix_cost(
+        self, extension: Extension, dec: Decomposition, mix: OperationMix
+    ) -> float:
+        return sum(
+            w * self.updatecost.total(extension, spec.i, dec)
+            for w, spec in mix.updates
+        )
+
+    # ------------------------------------------------------------------
+    # totals
+    # ------------------------------------------------------------------
+
+    def mix_cost(
+        self,
+        extension: Extension,
+        dec: Decomposition,
+        mix: OperationMix,
+        p_up: float,
+    ) -> float:
+        """Expected page accesses per operation for design ``(X, dec)``."""
+        self._check_p(p_up)
+        return (1.0 - p_up) * self.query_mix_cost(extension, dec, mix) + (
+            p_up
+        ) * self.update_mix_cost(extension, dec, mix)
+
+    def nosupport_cost(self, mix: OperationMix, p_up: float) -> float:
+        """The same mix evaluated without any access support relation."""
+        self._check_p(p_up)
+        queries = sum(
+            w * self.querycost.qnas(spec.i, spec.j, spec.kind)
+            for w, spec in mix.queries
+        )
+        updates = sum(
+            w * self.updatecost.nosupport_total() for w, _spec in mix.updates
+        )
+        return (1.0 - p_up) * queries + p_up * updates
+
+    def normalized_cost(
+        self,
+        extension: Extension,
+        dec: Decomposition,
+        mix: OperationMix,
+        p_up: float,
+    ) -> float:
+        """Design cost divided by the no-support cost of the same mix.
+
+        The paper plots "normalized costs" without defining the
+        normalizer; break-even points are invariant to this choice.
+        """
+        baseline = self.nosupport_cost(mix, p_up)
+        if baseline == 0:
+            raise CostModelError("degenerate mix: zero baseline cost")
+        return self.mix_cost(extension, dec, mix, p_up) / baseline
+
+    # ------------------------------------------------------------------
+    # break-even analysis
+    # ------------------------------------------------------------------
+
+    def break_even(
+        self,
+        design_a: tuple[Extension, Decomposition] | None,
+        design_b: tuple[Extension, Decomposition] | None,
+        mix: OperationMix,
+        lo: float = 0.0,
+        hi: float = 1.0,
+        tolerance: float = 1e-6,
+    ) -> float | None:
+        """The ``P_up`` where designs a and b swap (None if one dominates).
+
+        ``None`` in place of a design denotes the no-support baseline.
+        """
+
+        def cost_of(design, p_up: float) -> float:
+            if design is None:
+                return self.nosupport_cost(mix, p_up)
+            return self.mix_cost(design[0], design[1], mix, p_up)
+
+        def gap(p_up: float) -> float:
+            return cost_of(design_a, p_up) - cost_of(design_b, p_up)
+
+        gap_lo, gap_hi = gap(lo), gap(hi)
+        if gap_lo == 0:
+            return lo
+        if gap_hi == 0:
+            return hi
+        if (gap_lo > 0) == (gap_hi > 0):
+            return None
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2
+            if (gap(mid) > 0) == (gap_lo > 0):
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2
+
+    @staticmethod
+    def _check_p(p_up: float) -> None:
+        if not 0.0 <= p_up <= 1.0:
+            raise CostModelError(f"P_up must lie in [0, 1], got {p_up}")

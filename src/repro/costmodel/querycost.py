@@ -1,0 +1,235 @@
+"""Query costs (sections 5.6–5.8, Eqs. 31–35).
+
+``qnas`` — unsupported evaluation on the clustered object representation:
+
+* forward: one page for the start object plus, per intermediate level,
+  Yao's estimate of the pages holding the objects reachable from a single
+  start (``RefBy(i, l, 1)``);
+* backward: an exhaustive scan of the ``t_i`` extent (``op_i``) plus, per
+  intermediate level, the pages holding everything reachable from all
+  ``d_i`` defined origins (``RefBy(i, l, d_i)``).
+
+``qsup`` — evaluation over a decomposed access support relation, the
+three-case split of Eqs. 33–34:
+
+1. the query endpoint lies on a partition border — one root-to-leaf
+   descent plus the leaf pages of a single key (``ht + nlp``);
+2. the endpoint lies strictly inside a partition — every page of that
+   partition must be inspected (``ap``);
+3. each further partition towards the other endpoint — the root, the
+   interior pages covering the frontier's keys (Yao over ``pg − 1``
+   pages), and the leaf pages holding the frontier's tuples (Yao over
+   ``ap`` pages).
+
+``q`` — the applicability dispatch of Eq. 35 (falling back to ``qnas``
+when the extension cannot answer the query).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.asr.decomposition import Decomposition
+from repro.asr.extensions import Extension
+from repro.costmodel.derived import DerivedQuantities, derived_for
+from repro.costmodel.parameters import ApplicationProfile, SystemParameters
+from repro.costmodel.storagecost import StorageModel
+from repro.costmodel.yao import yao
+from repro.errors import CostModelError
+
+_KINDS = ("fw", "bw")
+
+
+class QueryCostModel:
+    """Page-access estimates for ``Q_{i,j}(fw|bw)`` under one profile."""
+
+    def __init__(
+        self,
+        profile: ApplicationProfile,
+        system: SystemParameters | None = None,
+        storage: StorageModel | None = None,
+    ) -> None:
+        self.profile = profile
+        self.system = system or SystemParameters()
+        self.storage = storage or StorageModel(profile, self.system)
+        self.derived: DerivedQuantities = derived_for(profile)
+
+    # ------------------------------------------------------------------
+    # unsupported evaluation (Eqs. 31-32)
+    # ------------------------------------------------------------------
+
+    def qnas(self, i: int, j: int, kind: str) -> float:
+        """Eq. 31 (fw) / Eq. 32 (bw); 0 when the range is empty (i = j)."""
+        self._check_kind(kind)
+        if i == j:
+            return 0.0
+        if not 0 <= i < j <= self.profile.n:
+            raise CostModelError(f"invalid query range ({i}, {j})")
+        q = self.derived
+        if kind == "fw":
+            total = 1.0
+            subset = 1.0
+        else:
+            total = self.storage.op(i)
+            subset = self.profile.d_(i)
+        for l in range(i + 1, j):
+            reached = math.ceil(q.refby_k(i, l, subset))
+            total += yao(reached, self.storage.op(l), self.profile.c_(l))
+        return total
+
+    # ------------------------------------------------------------------
+    # supported evaluation (Eqs. 33-34)
+    # ------------------------------------------------------------------
+
+    def qsup(
+        self,
+        extension: Extension,
+        i: int,
+        j: int,
+        kind: str,
+        dec: Decomposition,
+    ) -> float:
+        """Eq. 33 (fw) / Eq. 34 (bw) over decomposition ``dec``."""
+        self._check_kind(kind)
+        if not 0 <= i < j <= self.profile.n:
+            raise CostModelError(f"invalid query range ({i}, {j})")
+        if dec.m != self.profile.n:
+            raise CostModelError(f"decomposition {dec} does not span 0..{self.profile.n}")
+        if kind == "fw":
+            return self._qsup_forward(extension, i, j, dec)
+        return self._qsup_backward(extension, i, j, dec)
+
+    def _qsup_forward(
+        self, extension: Extension, i: int, j: int, dec: Decomposition
+    ) -> float:
+        storage, q = self.storage, self.derived
+        fanout = self.system.btree_fanout
+        total = 0.0
+        for a, b in dec.partitions:
+            if a == i:
+                total += storage.ht(extension, a, b) + storage.nlp(extension, a, b)
+            elif a < i < b:
+                total += storage.ap(extension, a, b)
+            elif i < a < j:
+                frontier = math.ceil(self._refby1(i, a))
+                interior = storage.pg(extension, a, b) - 1
+                total += 1.0
+                total += yao(frontier, interior, interior * fanout)
+                total += yao(
+                    frontier * storage.nlp(extension, a, b),
+                    storage.ap(extension, a, b),
+                    storage.count(extension, a, b),
+                )
+        return total
+
+    def _qsup_backward(
+        self, extension: Extension, i: int, j: int, dec: Decomposition
+    ) -> float:
+        storage, q = self.storage, self.derived
+        fanout = self.system.btree_fanout
+        total = 0.0
+        for a, b in dec.partitions:
+            if b == j:
+                total += storage.ht(extension, a, b) + storage.rnlp(extension, a, b)
+            elif a < j < b:
+                total += storage.ap(extension, a, b)
+            elif i < b < j:
+                frontier = math.ceil(self._ref1(b, j))
+                interior = storage.pg(extension, a, b) - 1
+                total += 1.0
+                total += yao(frontier, interior, interior * fanout)
+                total += yao(
+                    frontier * storage.rnlp(extension, a, b),
+                    storage.ap(extension, a, b),
+                    storage.count(extension, a, b),
+                )
+        return total
+
+    def _refby1(self, i: int, l: int) -> float:
+        """``RefBy(i, l, 1)`` extended with ``RefBy(i, i, ·) = 1``."""
+        return 1.0 if l == i else self.derived.refby_k(i, l, 1.0)
+
+    def _ref1(self, l: int, j: int) -> float:
+        """``Ref(l, j, 1)`` extended with ``Ref(j, j, ·) = 1``."""
+        return 1.0 if l == j else self.derived.ref_k(l, j, 1.0)
+
+    # ------------------------------------------------------------------
+    # value-range extension (beyond the paper)
+    # ------------------------------------------------------------------
+
+    def qsup_range(
+        self,
+        extension: Extension,
+        i: int,
+        selectivity: float,
+        dec: Decomposition,
+    ) -> float:
+        """Supported cost of a terminal value-range query (``j = n``).
+
+        A range query replaces the single-key probe into the final
+        partition's backward clustering with a leaf-range scan covering a
+        ``selectivity`` fraction of the partition's data pages; every
+        partition further left is then driven by the matched frontier,
+        costed with the same Yao terms as Eq. 34 but with frontier size
+        ``selectivity · (distinct last-column keys)`` instead of 1.
+
+        This quantity has no counterpart in the paper (which only prices
+        point lookups); it is the analytical twin of
+        :class:`repro.query.queries.ValueRangeQuery`.
+        """
+        if not 0.0 <= selectivity <= 1.0:
+            raise CostModelError(f"selectivity must lie in [0, 1], got {selectivity}")
+        n = self.profile.n
+        if not 0 <= i < n:
+            raise CostModelError(f"invalid query origin {i}")
+        if dec.m != n:
+            raise CostModelError(f"decomposition {dec} does not span 0..{n}")
+        storage = self.storage
+        fanout = self.system.btree_fanout
+        total = 0.0
+        matched = 0.0
+        for a, b in reversed(dec.partitions):
+            if b <= i:
+                break
+            if b == n:
+                # Leaf-range scan over the value clustering.
+                pages = storage.ap(extension, a, b)
+                total += storage.ht(extension, a, b)
+                total += max(1.0, math.ceil(selectivity * pages))
+                matched = math.ceil(
+                    selectivity * storage._backward_keys(extension, b)
+                )
+            else:
+                frontier = max(1.0, math.ceil(self._ref1(b, n) * matched))
+                frontier = min(frontier, self.profile.c_(b))
+                interior = storage.pg(extension, a, b) - 1
+                total += 1.0
+                total += yao(frontier, interior, interior * fanout)
+                total += yao(
+                    frontier * storage.rnlp(extension, a, b),
+                    storage.ap(extension, a, b),
+                    storage.count(extension, a, b),
+                )
+        return total
+
+    # ------------------------------------------------------------------
+    # dispatch (Eq. 35)
+    # ------------------------------------------------------------------
+
+    def q(
+        self,
+        extension: Extension,
+        i: int,
+        j: int,
+        kind: str,
+        dec: Decomposition,
+    ) -> float:
+        """Eq. 35: supported cost when the extension applies, else ``qnas``."""
+        if extension.supports_query(i, j, self.profile.n):
+            return self.qsup(extension, i, j, kind, dec)
+        return self.qnas(i, j, kind)
+
+    @staticmethod
+    def _check_kind(kind: str) -> None:
+        if kind not in _KINDS:
+            raise CostModelError(f"query kind must be 'fw' or 'bw', got {kind!r}")

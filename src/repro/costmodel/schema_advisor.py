@@ -1,0 +1,142 @@
+"""Schema-wide physical design under a global storage budget.
+
+The paper's advisor question is per path expression; a real database has
+*several* hot paths competing for index space.  This module extends the
+§7 vision across a whole schema: given, per path, an application
+profile, an operation mix, an update probability, and a workload weight,
+pick one (extension, decomposition) — or no support at all — for *every*
+path such that the total ASR storage stays within a byte budget and the
+weighted expected page cost is (approximately) minimized.
+
+The optimization is the classic greedy for budgeted selection: start
+every path at the no-support baseline, then repeatedly apply the upgrade
+with the best marginal *savings per extra byte* that still fits.  This
+is a knapsack-style approximation (optimal per path without a budget; a
+good heuristic with one), which matches the "semi-automatic" framing of
+the paper's conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.advisor import DesignAdvisor, DesignChoice
+from repro.costmodel.opmix import OperationMix
+from repro.costmodel.parameters import ApplicationProfile, SystemParameters
+from repro.errors import CostModelError
+
+
+@dataclass(frozen=True)
+class PathWorkload:
+    """One path expression's share of the schema-wide workload."""
+
+    name: str
+    profile: ApplicationProfile
+    mix: OperationMix
+    p_up: float
+    #: Relative frequency of operations against this path (≥ 0).
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise CostModelError(f"workload weight must be ≥ 0, got {self.weight}")
+
+
+@dataclass
+class SchemaDesign:
+    """The advisor's result: one design choice per path."""
+
+    choices: dict[str, DesignChoice]
+    total_bytes: float
+    weighted_cost: float
+    baseline_cost: float
+
+    @property
+    def savings_factor(self) -> float:
+        """Baseline cost divided by the designed cost (≥ 1 when it helps)."""
+        if self.weighted_cost == 0:
+            return float("inf")
+        return self.baseline_cost / self.weighted_cost
+
+    def describe(self) -> str:
+        lines = [
+            f"schema design: {self.weighted_cost:.1f} weighted pages/op "
+            f"(baseline {self.baseline_cost:.1f}, x{self.savings_factor:.1f} "
+            f"better) using {self.total_bytes / 1024:.0f} KiB"
+        ]
+        for name, choice in sorted(self.choices.items()):
+            lines.append(f"  {name}: {choice.describe()}")
+        return "\n".join(lines)
+
+
+class SchemaDesignAdvisor:
+    """Budgeted design selection across several path workloads."""
+
+    def __init__(
+        self,
+        workloads: list[PathWorkload],
+        system: SystemParameters | None = None,
+    ) -> None:
+        if not workloads:
+            raise CostModelError("at least one path workload is required")
+        names = [workload.name for workload in workloads]
+        if len(set(names)) != len(names):
+            raise CostModelError("path workload names must be unique")
+        self.workloads = list(workloads)
+        self.system = system or SystemParameters()
+
+    # ------------------------------------------------------------------
+
+    def _candidates(self, workload: PathWorkload) -> list[DesignChoice]:
+        advisor = DesignAdvisor(workload.profile, self.system)
+        return advisor.enumerate(workload.mix, workload.p_up)
+
+    def plan(self, budget_bytes: float | None = None) -> SchemaDesign:
+        """Choose one design per path within the storage budget.
+
+        ``budget_bytes=None`` removes the budget: every path gets its
+        individually optimal design (identical to running
+        :class:`~repro.costmodel.advisor.DesignAdvisor` per path).
+        """
+        candidates = {
+            workload.name: self._candidates(workload)
+            for workload in self.workloads
+        }
+        weights = {workload.name: workload.weight for workload in self.workloads}
+        baselines = {
+            name: next(choice for choice in options if choice.extension is None)
+            for name, options in candidates.items()
+        }
+        current: dict[str, DesignChoice] = dict(baselines)
+        used = 0.0
+        baseline_cost = sum(
+            baselines[name].cost * weights[name] for name in baselines
+        )
+
+        def upgrade_gain(name: str, choice: DesignChoice) -> tuple[float, float]:
+            """(weighted savings, extra bytes) of switching ``name`` to ``choice``."""
+            savings = (current[name].cost - choice.cost) * weights[name]
+            extra = choice.storage_bytes - current[name].storage_bytes
+            return savings, extra
+
+        while True:
+            best: tuple[float, str, DesignChoice] | None = None
+            for name, options in candidates.items():
+                for choice in options:
+                    savings, extra = upgrade_gain(name, choice)
+                    if savings <= 0:
+                        continue
+                    if budget_bytes is not None and used + extra > budget_bytes:
+                        continue
+                    density = savings / extra if extra > 0 else float("inf")
+                    if best is None or density > best[0]:
+                        best = (density, name, choice)
+            if best is None:
+                break
+            _density, name, choice = best
+            used += choice.storage_bytes - current[name].storage_bytes
+            current[name] = choice
+        weighted_cost = sum(
+            current[name].cost * weights[name] for name in current
+        )
+        return SchemaDesign(current, used, weighted_cost, baseline_cost)

@@ -1,0 +1,230 @@
+"""Update (maintenance) costs for ``ins_i`` operations (section 6).
+
+``ins_i`` inserts an object of type ``t_{i+1}`` into the (set-valued)
+attribute connecting ``t_i`` to ``t_{i+1}``.  Its total cost decomposes
+into (section 6):
+
+1. updating the object representation itself — the paper puts this at 3
+   page accesses (read the object, extend the set, write back);
+2. **searching** the identifiers of the new/affected paths
+   (``search``, Eq. 36) — the extension determines how much of the
+   neighbourhood is already in the ASR and how much must be found in the
+   data: canonical may need a forward *and* a backward data search, left
+   only a forward search, right only a backward (extent-scan) search,
+   full none at all;
+3. **updating the ASR partitions** (``aup``) — per partition, descend the
+   forward-clustered tree, read and write the affected leaf clusters,
+   then the same for the backward-clustered tree.  The number of affected
+   clusters per tree is the extension-specific ``qfw``/``qbw`` count of
+   sections 6.2.1–6.2.4 (a *cluster* is the group of tuples sharing one
+   key).
+
+Partitions whose cluster count is zero are skipped entirely (the printed
+formula adds one root access per partition unconditionally; a partition
+that provably contains no affected cluster — e.g. any partition not
+covering ``(i, i+1)`` under the full extension — is never touched).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.asr.decomposition import Decomposition
+from repro.asr.extensions import Extension
+from repro.costmodel.derived import DerivedQuantities, derived_for
+from repro.costmodel.parameters import ApplicationProfile, SystemParameters
+from repro.costmodel.querycost import QueryCostModel
+from repro.costmodel.storagecost import StorageModel
+from repro.costmodel.yao import yao
+from repro.errors import CostModelError
+
+
+class UpdateCostModel:
+    """Page-access estimates for maintaining one ASR under ``ins_i``."""
+
+    #: Page accesses for the object-representation update itself
+    #: (section 6: "the cost for updating o_i.A_i amounts to 3").
+    object_update_cost: float = 3.0
+
+    def __init__(
+        self,
+        profile: ApplicationProfile,
+        system: SystemParameters | None = None,
+        storage: StorageModel | None = None,
+        querycost: QueryCostModel | None = None,
+    ) -> None:
+        self.profile = profile
+        self.system = system or SystemParameters()
+        self.storage = storage or StorageModel(profile, self.system)
+        self.querycost = querycost or QueryCostModel(profile, self.system, self.storage)
+        self.derived: DerivedQuantities = derived_for(profile)
+
+    # ------------------------------------------------------------------
+    # search costs (Eq. 36)
+    # ------------------------------------------------------------------
+
+    def search(self, extension: Extension, i: int, dec: Decomposition) -> float:
+        """Eq. 36: pages read to find the paths affected by ``ins_i``."""
+        self._check_i(i)
+        n = self.profile.n
+        q = self.derived
+        qc = self.querycost
+        sup_fw = qc.qsup(extension, i, i + 1, "fw", dec)
+        sup_bw = qc.qsup(extension, i, i + 1, "bw", dec)
+        if extension is Extension.CANONICAL:
+            forward = qc.qnas(i + 1, n, "fw") * q.p_nopath(i + 1) if i + 1 < n else 0.0
+            backward = (
+                qc.qnas(0, i, "bw") * q.p_ref(i + 1, n) * q.p_nopath(i)
+                if i > 0
+                else 0.0
+            )
+            return forward + sup_bw + backward + sup_fw
+        if extension is Extension.FULL:
+            return min(sup_fw, sup_bw)
+        if extension is Extension.LEFT:
+            forward = (
+                qc.qnas(i + 1, n, "fw")
+                * (1.0 - q.p_refby(0, i + 1))
+                * q.p_refby(0, i)
+                if i + 1 < n
+                else 0.0
+            )
+            return forward + min(sup_fw, sup_bw)
+        if extension is Extension.RIGHT:
+            scan = sum(self.storage.op(l) for l in range(0, i + 1))
+            backward = scan * (1.0 - q.p_ref(i, n)) * q.p_ref(i + 1, n)
+            return backward + min(sup_fw, sup_bw)
+        raise CostModelError(f"unknown extension {extension!r}")
+
+    # ------------------------------------------------------------------
+    # cluster counts (sections 6.2.1-6.2.4)
+    # ------------------------------------------------------------------
+
+    def qfw(self, extension: Extension, i: int, a: int, b: int) -> float:
+        """Clusters to update in the forward tree of partition ``(a, b)``."""
+        self._check_i(i)
+        q = self.derived
+        n = self.profile.n
+        if extension is Extension.CANONICAL:
+            if a <= i:
+                return self._ref1(a, i) * q.p_refby(0, a) * q.p_ref(i + 1, n)
+            return self._refby1(i + 1, a) * q.p_refby(0, i) * q.p_ref(a, n)
+        if extension is Extension.FULL:
+            if a <= i < b:
+                return self._ref1(a, i) + sum(
+                    q.p_lb(l - 1, l) * self._ref1(l, i) for l in range(a + 1, i + 1)
+                )
+            return 0.0
+        if extension is Extension.LEFT:
+            if b <= i:
+                return 0.0
+            if a <= i < b:
+                return self._ref1(a, i) * q.p_refby(0, a)
+            return q.p_lb(0, a) * self._refby1(i + 1, a) * q.p_refby(0, i)
+        if extension is Extension.RIGHT:
+            if b <= i:
+                segment = self._ref1(a, i) + sum(
+                    q.p_lb(l - 1, l) * self._ref1(l, i) for l in range(a + 1, b)
+                )
+                return q.p_rb(b, n) * q.p_ref(i + 1, n) * segment
+            if a <= i < b:
+                segment = self._ref1(a, i) + sum(
+                    q.p_lb(l - 1, l) * self._ref1(l, i) for l in range(a + 1, i + 1)
+                )
+                return q.p_ref(i + 1, n) * segment
+            return 0.0
+        raise CostModelError(f"unknown extension {extension!r}")
+
+    def qbw(self, extension: Extension, i: int, a: int, b: int) -> float:
+        """Clusters to update in the backward tree of partition ``(a, b)``."""
+        self._check_i(i)
+        q = self.derived
+        n = self.profile.n
+        if extension is Extension.CANONICAL:
+            if b <= i:
+                return self._ref1(b, i) * q.p_refby(0, b) * q.p_ref(i + 1, n)
+            return self._refby1(i + 1, b) * q.p_refby(0, i) * q.p_ref(b, n)
+        if extension is Extension.FULL:
+            if a <= i < b:
+                return self._refby1(i + 1, b) + sum(
+                    q.p_rb(l, l + 1) * self._refby1(i + 1, l)
+                    for l in range(i + 2, b)
+                )
+            return 0.0
+        if extension is Extension.LEFT:
+            if b <= i:
+                return 0.0
+            if a <= i < b:
+                tail = self._refby1(i + 1, b) + sum(
+                    q.p_rb(l, l + 1) * self._refby1(i + 1, l)
+                    for l in range(i + 2, b)
+                )
+                return q.p_refby(0, i) * tail
+            tail = self._refby1(i + 1, b) + sum(
+                q.p_rb(l, l + 1) * self._refby1(i + 1, l) for l in range(a + 1, b)
+            )
+            return q.p_refby(0, i) * q.p_lb(0, a) * tail
+        if extension is Extension.RIGHT:
+            if b <= i:
+                return q.p_rb(b, n) * self._ref1(b, i) * q.p_ref(i + 1, n)
+            if a <= i < b:
+                return self._refby1(i + 1, b) * q.p_ref(b, n)
+            return 0.0
+        raise CostModelError(f"unknown extension {extension!r}")
+
+    # ------------------------------------------------------------------
+    # partition update cost (section 6.2)
+    # ------------------------------------------------------------------
+
+    def aup(self, extension: Extension, i: int, dec: Decomposition) -> float:
+        """Pages to update all partitions' two trees after ``ins_i``."""
+        self._check_i(i)
+        if dec.m != self.profile.n:
+            raise CostModelError(f"decomposition {dec} does not span 0..{self.profile.n}")
+        storage = self.storage
+        fanout = self.system.btree_fanout
+        total = 0.0
+        for a, b in dec.partitions:
+            pages = storage.ap(extension, a, b)
+            count = storage.count(extension, a, b)
+            interior = storage.pg(extension, a, b) - 1
+            for clusters in (self.qfw(extension, i, a, b), self.qbw(extension, i, a, b)):
+                if clusters <= 0:
+                    continue
+                clusters = math.ceil(clusters)
+                total += 1.0
+                total += yao(clusters, interior, interior * fanout)
+                total += yao(clusters, pages, count) * 2.0
+        return total
+
+    # ------------------------------------------------------------------
+    # totals
+    # ------------------------------------------------------------------
+
+    def total(self, extension: Extension, i: int, dec: Decomposition) -> float:
+        """Object update + path search + ASR partition updates."""
+        return (
+            self.object_update_cost
+            + self.search(extension, i, dec)
+            + self.aup(extension, i, dec)
+        )
+
+    def nosupport_total(self) -> float:
+        """Update cost without any ASR: just the object update."""
+        return self.object_update_cost
+
+    # ------------------------------------------------------------------
+    def _ref1(self, l: int, i: int) -> float:
+        """``Ref(l, i, 1)`` with ``Ref(i, i, ·) = 1`` (the object itself)."""
+        return 1.0 if l >= i else self.derived.ref_k(l, i, 1.0)
+
+    def _refby1(self, start: int, l: int) -> float:
+        """``RefBy(i+1, l, 1)`` with ``RefBy(l, l, ·) = 1``."""
+        return 1.0 if l <= start else self.derived.refby_k(start, l, 1.0)
+
+    def _check_i(self, i: int) -> None:
+        if not 0 <= i < self.profile.n:
+            raise CostModelError(
+                f"ins_{i} out of range: the edge must lie within the path "
+                f"(0 ≤ i < {self.profile.n})"
+            )

@@ -1,0 +1,47 @@
+"""Yao's block-access formula (section 5.6; Yao, CACM 1977).
+
+``yao(k, m, n)`` estimates the number of pages touched when ``k`` out of
+``n`` uniformly distributed records are fetched from ``m`` pages holding
+``n/m`` records each::
+
+    y(k, m, n) = ⌈ m · (1 − Π_{i=1}^{k} (n·(1−1/m) − i + 1) / (n − i + 1)) ⌉
+
+Degenerate cases are resolved to their limits: no pages or no records →
+0; ``k ≥ n − n/m + 1`` forces every page to be touched (some factor in
+the product reaches zero).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def yao(k: float, m: float, n: float) -> float:
+    """Pages touched fetching ``k`` of ``n`` records spread over ``m`` pages.
+
+    Arguments may be fractional (the cost model chains expectations); the
+    result is the paper's ceiling of the expected page count, capped at
+    ``m``.
+    """
+    if m <= 0 or n <= 0 or k <= 0:
+        return 0.0
+    k = min(k, n)
+    if m == 1:
+        return 1.0
+    records_elsewhere = n * (1.0 - 1.0 / m)
+    product = 1.0
+    steps = int(math.ceil(k))
+    for i in range(1, steps + 1):
+        numerator = records_elsewhere - i + 1
+        denominator = n - i + 1
+        if numerator <= 0 or denominator <= 0:
+            product = 0.0
+            break
+        product *= numerator / denominator
+        if product < 1e-12:
+            product = 0.0
+            break
+    # Guard the ceiling against floating-point noise (e.g. 1.0 computed
+    # as 1.0000000000000009 must not become 2 pages).
+    expected = m * (1.0 - product)
+    return float(min(math.ceil(expected - 1e-9), math.ceil(m)))

@@ -1,0 +1,150 @@
+"""Behavior: methods on tuple types with inheritance and overriding.
+
+The paper motivates object models by "incorporation of type
+extensibility and object-specific behavior within the model" (§1).
+This module supplies the behavioral half of GOM: methods are registered
+per tuple type, inherited along the supertype lattice, overridable in
+subtypes, and dispatched on the *runtime* type of the receiver —
+object-specific behavior in the late-binding sense.
+
+Methods receive a :class:`Receiver` as their first argument: a thin,
+read-friendly handle combining the object base and the OID.
+
+Example::
+
+    registry = MethodRegistry(schema)
+    registry.define("ROBOT", "describe",
+                    lambda self: f"robot {self['Name']}")
+    registry.define("WELDING_ROBOT", "describe",
+                    lambda self: f"welder {self['Name']}")
+    registry.invoke(db, some_robot, "describe")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SchemaError, TypingError
+from repro.gom.database import ObjectBase
+from repro.gom.objects import OID, Cell
+from repro.gom.schema import Schema
+from repro.gom.types import NULL
+
+
+class Receiver:
+    """The ``self`` handle passed to GOM methods.
+
+    Supports ``receiver["Attr"]`` for attribute reads, ``receiver.oid``,
+    ``receiver.type_name``, navigation via :meth:`follow`, and calling
+    sibling methods via :meth:`send` (dynamic dispatch again).
+    """
+
+    __slots__ = ("db", "oid", "_registry")
+
+    def __init__(self, db: ObjectBase, oid: OID, registry: "MethodRegistry") -> None:
+        self.db = db
+        self.oid = oid
+        self._registry = registry
+
+    @property
+    def type_name(self) -> str:
+        return self.db.type_of(self.oid)
+
+    def __getitem__(self, attribute: str) -> Cell:
+        return self.db.attr(self.oid, attribute)
+
+    def follow(self, attribute: str) -> "Receiver | Cell":
+        """Dereference an object-valued attribute into another receiver."""
+        value = self.db.attr(self.oid, attribute)
+        if isinstance(value, OID):
+            return Receiver(self.db, value, self._registry)
+        return value
+
+    def send(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke another method on the same object (late-bound)."""
+        return self._registry.invoke(self.db, self.oid, method, *args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"Receiver({self.oid}, {self.type_name})"
+
+
+class MethodRegistry:
+    """Per-schema method tables with inheritance-aware dispatch."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._methods: dict[tuple[str, str], Callable[..., Any]] = {}
+
+    # ------------------------------------------------------------------
+    # definition
+    # ------------------------------------------------------------------
+
+    def define(
+        self, type_name: str, method: str, implementation: Callable[..., Any]
+    ) -> None:
+        """Attach ``implementation`` as ``type_name``'s ``method``.
+
+        Redefinition on the same type is rejected (define once); a
+        *subtype* may override by defining the same method name on
+        itself.
+        """
+        self.schema.tuple_type(type_name)  # must be tuple-structured
+        if not callable(implementation):
+            raise SchemaError(f"method {method!r} needs a callable implementation")
+        key = (type_name, method)
+        if key in self._methods:
+            raise SchemaError(
+                f"method {method!r} is already defined on {type_name!r}"
+            )
+        self._methods[key] = implementation
+
+    def override(
+        self, type_name: str, method: str, implementation: Callable[..., Any]
+    ) -> None:
+        """Replace an existing (possibly inherited) definition explicitly."""
+        self.schema.tuple_type(type_name)
+        if self.resolve(type_name, method) is None:
+            raise SchemaError(
+                f"cannot override {method!r}: no definition visible on "
+                f"{type_name!r}"
+            )
+        self._methods[(type_name, method)] = implementation
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def resolve(self, type_name: str, method: str) -> Callable[..., Any] | None:
+        """The most specific implementation visible on ``type_name``."""
+        if (type_name, method) in self._methods:
+            return self._methods[(type_name, method)]
+        for supertype in self.schema.supertypes_of(type_name):
+            if (supertype, method) in self._methods:
+                return self._methods[(supertype, method)]
+        return None
+
+    def methods_of(self, type_name: str) -> dict[str, Callable[..., Any]]:
+        """Every method visible on ``type_name`` (own + inherited)."""
+        visible: dict[str, Callable[..., Any]] = {}
+        for supertype in reversed(self.schema.supertypes_of(type_name)):
+            for (owner, name), fn in self._methods.items():
+                if owner == supertype:
+                    visible[name] = fn
+        for (owner, name), fn in self._methods.items():
+            if owner == type_name:
+                visible[name] = fn
+        return visible
+
+    def invoke(
+        self, db: ObjectBase, oid: OID, method: str, *args: Any, **kwargs: Any
+    ) -> Any:
+        """Dispatch ``method`` on the runtime type of ``oid``."""
+        if oid is NULL or not isinstance(oid, OID):
+            raise TypingError("methods can only be invoked on objects")
+        type_name = db.type_of(oid)
+        implementation = self.resolve(type_name, method)
+        if implementation is None:
+            raise SchemaError(
+                f"no method {method!r} visible on type {type_name!r}"
+            )
+        return implementation(Receiver(db, oid, self), *args, **kwargs)

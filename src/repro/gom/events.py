@@ -1,0 +1,84 @@
+"""Change events emitted by the object base.
+
+Access support relations must be kept consistent with the object base
+under updates (paper, section 6).  Rather than wiring the index code into
+the update paths, :class:`repro.gom.database.ObjectBase` publishes one
+event per primitive mutation and interested parties (notably
+:class:`repro.asr.manager.ASRManager`) subscribe.
+
+Events are emitted *after* the mutation has been applied, and carry the
+previous value where a subscriber needs it to compute a delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.gom.objects import OID, Cell
+
+
+@dataclass(frozen=True)
+class ObjectCreated:
+    """A new instance was created (tuple, set, or list structured)."""
+
+    oid: OID
+    type_name: str
+
+
+@dataclass(frozen=True)
+class ObjectDeleted:
+    """An instance was removed from the object base.
+
+    ``old_value`` is the value the object held at deletion time so that
+    subscribers can retract derived tuples without re-reading the object.
+    """
+
+    oid: OID
+    type_name: str
+    old_value: Any
+
+
+@dataclass(frozen=True)
+class AttributeSet:
+    """``obj.attribute := new_value`` was executed on a tuple object.
+
+    Corresponds to overwriting a single-valued attribute; assigning NULL
+    models attribute deletion.  ``old_value`` is the previously stored
+    cell (possibly NULL).
+    """
+
+    oid: OID
+    type_name: str
+    attribute: str
+    old_value: Cell
+    new_value: Cell
+
+
+@dataclass(frozen=True)
+class SetInserted:
+    """``insert element into set_object`` — the paper's ``ins_i`` operation.
+
+    ``owner`` identifies the tuple object whose set-valued attribute holds
+    the set, when the set is reachable from exactly one such owner; it is
+    ``None`` for free-standing sets (set sharing makes the owner ambiguous
+    and subscribers must consult the object graph instead).
+    """
+
+    set_oid: OID
+    set_type: str
+    element: Cell
+    owner: OID | None = None
+
+
+@dataclass(frozen=True)
+class SetRemoved:
+    """``remove element from set_object`` (inverse of :class:`SetInserted`)."""
+
+    set_oid: OID
+    set_type: str
+    element: Cell
+    owner: OID | None = None
+
+
+Event = ObjectCreated | ObjectDeleted | AttributeSet | SetInserted | SetRemoved

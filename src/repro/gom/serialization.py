@@ -1,0 +1,237 @@
+"""Persistence: dump and load object bases (plus ASR configurations).
+
+A production library needs its databases to survive the process.  The
+format is plain JSON, organized as::
+
+    {
+      "format": "repro-objectbase",
+      "version": 1,
+      "schema":    [ {kind, name, ...}, ... ]      # in definition order
+      "objects":   [ {oid, type, value}, ... ]
+      "variables": { name: {cell, type} }
+      "next_oid":  int
+      "asrs":      [ {path, extension, borders}, ... ]   # optional
+    }
+
+Cells are encoded as tagged one-key objects: ``{"oid": 7}``,
+``{"null": true}``, or ``{"value": <atomic>}`` — so OIDs, NULLs, and
+atomic values round-trip unambiguously.  ASRs are persisted as
+*configurations* (path, extension, decomposition) and re-materialized on
+load; their contents are derivable, and rebuilding keeps the loader
+simple and trustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import ObjectBaseError
+from repro.gom.database import ObjectBase
+from repro.gom.objects import OID, Cell
+from repro.gom.schema import Schema
+from repro.gom.types import NULL, AtomicType, ListType, SetType, TupleType
+
+FORMAT_NAME = "repro-objectbase"
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# cell encoding
+# ----------------------------------------------------------------------
+
+
+def encode_cell(cell: Cell) -> dict[str, Any]:
+    """Encode a cell as a tagged one-key JSON object."""
+    if cell is NULL:
+        return {"null": True}
+    if isinstance(cell, OID):
+        return {"oid": cell.value}
+    return {"value": cell}
+
+
+def decode_cell(data: dict[str, Any]) -> Cell:
+    """Inverse of :func:`encode_cell`."""
+    if "null" in data:
+        return NULL
+    if "oid" in data:
+        return OID(int(data["oid"]))
+    if "value" in data:
+        return data["value"]
+    raise ObjectBaseError(f"malformed cell encoding: {data!r}")
+
+
+# ----------------------------------------------------------------------
+# schema encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_schema(schema: Schema) -> list[dict[str, Any]]:
+    entries = []
+    for gom_type in schema:
+        if isinstance(gom_type, AtomicType):
+            continue  # built-ins are implicit
+        if isinstance(gom_type, TupleType):
+            entries.append(
+                {
+                    "kind": "tuple",
+                    "name": gom_type.name,
+                    "attributes": dict(gom_type.attributes),
+                    "supertypes": list(gom_type.supertypes),
+                }
+            )
+        elif isinstance(gom_type, SetType):
+            entries.append(
+                {"kind": "set", "name": gom_type.name, "element": gom_type.element_type}
+            )
+        elif isinstance(gom_type, ListType):
+            entries.append(
+                {"kind": "list", "name": gom_type.name, "element": gom_type.element_type}
+            )
+    return entries
+
+
+def _decode_schema(entries: Iterable[dict[str, Any]]) -> Schema:
+    schema = Schema()
+    for entry in entries:
+        kind = entry.get("kind")
+        if kind == "tuple":
+            schema.define_tuple(
+                entry["name"], entry["attributes"], entry.get("supertypes", ())
+            )
+        elif kind == "set":
+            schema.define_set(entry["name"], entry["element"])
+        elif kind == "list":
+            schema.define_list(entry["name"], entry["element"])
+        else:
+            raise ObjectBaseError(f"unknown schema entry kind {kind!r}")
+    schema.validate()
+    return schema
+
+
+# ----------------------------------------------------------------------
+# object base encoding
+# ----------------------------------------------------------------------
+
+
+def dump_object_base(db: ObjectBase, asrs: Iterable = ()) -> dict[str, Any]:
+    """Encode ``db`` (and optionally ASR configurations) as a JSON dict."""
+    objects = []
+    for instance in sorted(db.objects(), key=lambda o: o.oid.value):
+        value = instance.value
+        if isinstance(value, dict):
+            encoded: Any = {
+                attr: encode_cell(cell) for attr, cell in sorted(value.items())
+            }
+        elif isinstance(value, set):
+            encoded = {
+                "set": sorted(
+                    (encode_cell(cell) for cell in value),
+                    key=lambda c: json.dumps(c, sort_keys=True, default=str),
+                )
+            }
+        else:
+            encoded = {"list": [encode_cell(cell) for cell in value]}
+        objects.append(
+            {"oid": instance.oid.value, "type": instance.type_name, "value": encoded}
+        )
+    variables = {
+        name: {"cell": encode_cell(db.get_var(name)), "type": db.var_type(name)}
+        for name in db._variables
+    }
+    asr_entries = [
+        {
+            "path": str(asr.path),
+            "extension": asr.extension.value,
+            "borders": list(asr.decomposition.borders),
+        }
+        for asr in asrs
+    ]
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "schema": _encode_schema(db.schema),
+        "objects": objects,
+        "variables": variables,
+        "next_oid": db._next_oid,
+        "asrs": asr_entries,
+    }
+
+
+def load_object_base(data: dict[str, Any]):
+    """Rebuild ``(db, asrs)`` from a dict produced by :func:`dump_object_base`.
+
+    Objects are re-created with their original OIDs (bypassing the typed
+    constructors, then re-checked); ASRs are re-materialized from their
+    stored configurations.
+    """
+    from repro.asr.asr import AccessSupportRelation
+    from repro.asr.decomposition import Decomposition
+    from repro.asr.extensions import Extension
+    from repro.gom.objects import ObjectInstance
+    from repro.gom.paths import PathExpression
+
+    if data.get("format") != FORMAT_NAME:
+        raise ObjectBaseError(f"not a {FORMAT_NAME} document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ObjectBaseError(f"unsupported format version {data.get('version')!r}")
+    schema = _decode_schema(data["schema"])
+    db = ObjectBase(schema)
+    # First pass: allocate all objects empty so references resolve.
+    for entry in data["objects"]:
+        oid = OID(int(entry["oid"]))
+        type_name = entry["type"]
+        gom_type = schema.lookup(type_name)
+        if isinstance(gom_type, TupleType):
+            value: Any = {attr: NULL for attr in schema.attributes_of(type_name)}
+        elif isinstance(gom_type, SetType):
+            value = set()
+        elif isinstance(gom_type, ListType):
+            value = []
+        else:
+            raise ObjectBaseError(f"cannot materialize atomic type {type_name!r}")
+        if oid in db._objects:
+            raise ObjectBaseError(f"duplicate OID {oid!r} in document")
+        db._objects[oid] = ObjectInstance(oid, type_name, value)
+        db._extents.setdefault(type_name, set()).add(oid)
+    db._next_oid = int(data.get("next_oid", 0))
+    # Second pass: fill contents through the type-checked mutators.
+    for entry in data["objects"]:
+        oid = OID(int(entry["oid"]))
+        encoded = entry["value"]
+        if "set" in encoded:
+            for cell in encoded["set"]:
+                db.set_insert(oid, decode_cell(cell))
+        elif "list" in encoded:
+            for cell in encoded["list"]:
+                db.list_append(oid, decode_cell(cell))
+        else:
+            for attr, cell in encoded.items():
+                decoded = decode_cell(cell)
+                if decoded is not NULL:
+                    db.set_attr(oid, attr, decoded)
+    for name, entry in data.get("variables", {}).items():
+        db.set_var(name, decode_cell(entry["cell"]), entry.get("type"))
+    asrs = []
+    for entry in data.get("asrs", ()):
+        path = PathExpression.parse(schema, entry["path"])
+        extension = Extension(entry["extension"])
+        decomposition = Decomposition(tuple(entry["borders"]))
+        asrs.append(AccessSupportRelation.build(db, path, extension, decomposition))
+    return db, asrs
+
+
+# ----------------------------------------------------------------------
+# file convenience
+# ----------------------------------------------------------------------
+
+
+def save(db: ObjectBase, path: str | Path, asrs: Iterable = ()) -> None:
+    """Write the object base (and ASR configurations) to a JSON file."""
+    Path(path).write_text(json.dumps(dump_object_base(db, asrs), indent=1))
+
+
+def load(path: str | Path):
+    """Read ``(db, asrs)`` back from a JSON file written by :func:`save`."""
+    return load_object_base(json.loads(Path(path).read_text()))

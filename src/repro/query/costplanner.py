@@ -1,0 +1,153 @@
+"""Cost-based planning: Eq. 35 dispatch with *measured* cost estimates.
+
+The basic :class:`~repro.query.planner.Planner` only ranks the
+applicable ASRs structurally.  The paper's Figure 8 shows why that is
+not enough: a partial-range query against a *non-decomposed* full
+extension degenerates to an exhaustive index scan that can be costlier
+than no support at all.  The analytical cost model knows this — so this
+planner closes the loop:
+
+1. measure the live profile of the queried path
+   (:func:`~repro.costmodel.profiling.profile_from_database`), cached
+   and refreshed on demand;
+2. price the unsupported evaluation (Eqs. 31–32) and every applicable
+   ASR's supported evaluation (Eqs. 33–34, with the ASR's *actual*
+   decomposition translated to type indices);
+3. execute whichever is cheapest — possibly the plain traversal/scan
+   even when an ASR applies.
+"""
+
+from __future__ import annotations
+
+from repro.asr.asr import AccessSupportRelation
+from repro.asr.decomposition import Decomposition
+from repro.asr.manager import ASRManager
+from repro.costmodel.parameters import ApplicationProfile
+from repro.costmodel.profiling import profile_from_database
+from repro.costmodel.querycost import QueryCostModel
+from repro.gom.paths import PathExpression
+from repro.query.evaluator import EvaluationResult, QueryEvaluator
+from repro.query.planner import Plan, Planner
+from repro.query.queries import Query
+
+
+class CostBasedPlanner(Planner):
+    """Ranks plans with the paper's analytical cost model.
+
+    ``object_sizes`` maps type names to byte sizes for the measured
+    profile (defaulting to ``default_size``); call :meth:`invalidate`
+    after bulk changes so the cached profile is re-measured.
+    """
+
+    def __init__(
+        self,
+        manager: ASRManager,
+        object_sizes: dict[str, int] | None = None,
+        default_size: int = 100,
+    ) -> None:
+        super().__init__(manager)
+        self.object_sizes = object_sizes
+        self.default_size = default_size
+        self._profiles: dict[PathExpression, ApplicationProfile] = {}
+
+    # ------------------------------------------------------------------
+
+    def invalidate(self, path: PathExpression | None = None) -> None:
+        """Drop cached profiles (all of them, or one path's)."""
+        if path is None:
+            self._profiles.clear()
+        else:
+            self._profiles.pop(path, None)
+
+    def profile_for(self, path: PathExpression) -> ApplicationProfile:
+        """The (cached) measured profile of ``path``."""
+        if path not in self._profiles:
+            self._profiles[path] = profile_from_database(
+                self.manager.db, path, self.object_sizes, self.default_size
+            )
+        return self._profiles[path]
+
+    # ------------------------------------------------------------------
+
+    def _type_decomposition(self, asr: AccessSupportRelation) -> Decomposition:
+        """The ASR's decomposition expressed over type indices (m = n)."""
+        borders = tuple(
+            dict.fromkeys(
+                asr.path.type_index_of_column(column)
+                for column in asr.decomposition.borders
+            )
+        )
+        return Decomposition(borders)
+
+    def unsupported_cost(self, query: Query) -> float:
+        """Model estimate for the traversal/scan evaluation (Eqs. 31-32)."""
+        model = QueryCostModel(self.profile_for(query.path))
+        return model.qnas(query.i, query.j, query.kind)
+
+    def supported_cost(self, query: Query, asr: AccessSupportRelation) -> float:
+        """Model estimate for evaluation through ``asr`` (Eqs. 33-34)."""
+        model = QueryCostModel(self.profile_for(query.path))
+        return model.qsup(
+            asr.extension, query.i, query.j, query.kind, self._type_decomposition(asr)
+        )
+
+    def plan(self, query: Query) -> Plan:
+        """The cheapest plan — including the deliberate fallback.
+
+        Returns a plan with ``asr=None`` whenever the model prices the
+        unsupported evaluation below every applicable ASR (the Figure 8
+        situation).
+        """
+        fallback_cost = self.unsupported_cost(query)
+        best_asr: AccessSupportRelation | None = None
+        best_cost = fallback_cost
+        for asr in self.applicable(query):
+            cost = self.supported_cost(query, asr)
+            if cost < best_cost:
+                best_asr, best_cost = asr, cost
+        return Plan(query, best_asr, best_cost)
+
+    def execute(self, query: Query, evaluator: QueryEvaluator) -> EvaluationResult:
+        plan = self.plan(query)
+        if plan.asr is None:
+            return evaluator.evaluate_unsupported(query)
+        return evaluator.evaluate_supported(query, plan.asr)
+
+
+class RecordingPlanner(CostBasedPlanner):
+    """A cost-based planner that also feeds the self-tuning loop.
+
+    Every executed query is recorded into per-path
+    :class:`~repro.asr.adaptive.WorkloadRecorder` instances, so an
+    :class:`~repro.asr.adaptive.AdaptiveDesigner` can later re-tune the
+    physical design from the *actual* query history — no manual
+    ``record_query`` calls needed.  (Updates are counted by attaching
+    the recorder to the object base, as usual.)
+    """
+
+    def __init__(
+        self,
+        manager: ASRManager,
+        object_sizes: dict[str, int] | None = None,
+        default_size: int = 100,
+        record_updates: bool = True,
+    ) -> None:
+        super().__init__(manager, object_sizes, default_size)
+        from repro.asr.adaptive import WorkloadRecorder
+
+        self._recorder_class = WorkloadRecorder
+        self._record_updates = record_updates
+        self.recorders: dict[PathExpression, "WorkloadRecorder"] = {}
+
+    def recorder_for(self, path: PathExpression):
+        """The (lazily created) workload recorder of ``path``."""
+        if path not in self.recorders:
+            recorder = self._recorder_class(path)
+            if self._record_updates:
+                recorder.attach(self.manager.db)
+            self.recorders[path] = recorder
+        return self.recorders[path]
+
+    def execute(self, query: Query, evaluator: QueryEvaluator) -> EvaluationResult:
+        self.recorder_for(query.path).record_query(query.i, query.j, query.kind)
+        return super().execute(query, evaluator)

@@ -1,0 +1,317 @@
+"""Query evaluation with page-access measurement.
+
+Two strategies per query (section 5.6 / 5.7):
+
+**Unsupported** evaluation works on the object representation only.
+Forward queries chase references level by level, reading each referenced
+object's page; backward queries have no reverse pointers to follow, so
+they exhaustively scan the extent of ``t_i`` and traverse forward from
+every candidate (the simulator's page charges mirror the terms of
+Eqs. 31–32 — ``op_i`` for the scan, one page per distinct object touched
+at the intermediate levels).
+
+**Supported** evaluation chains through the partitions of an access
+support relation: a lookup per frontier value in partitions whose border
+matches the query endpoint, and an exhaustive partition scan when the
+endpoint falls strictly inside a partition — the same case split as the
+three sums of Eq. 33/34.
+
+Both strategies return the *same* result sets (property-tested); only
+their page-access profiles differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asr.asr import AccessSupportRelation
+from repro.errors import QueryError
+from repro.gom.database import ObjectBase
+from repro.gom.objects import OID, Cell
+from repro.gom.types import NULL
+from repro.query.queries import BackwardQuery, ForwardQuery, Query, ValueRangeQuery
+from repro.storage.objectstore import ClusteredObjectStore
+from repro.storage.stats import AccessStats, BufferScope
+
+
+@dataclass
+class EvaluationResult:
+    """The answer set of a query plus its measured page accesses."""
+
+    cells: set[Cell]
+    page_reads: int = 0
+    page_writes: int = 0
+    strategy: str = "unsupported"
+    detail: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_pages(self) -> int:
+        return self.page_reads + self.page_writes
+
+
+class QueryEvaluator:
+    """Evaluates forward/backward queries over one object base.
+
+    Parameters
+    ----------
+    db:
+        The object base.
+    store:
+        Optional clustered object store; when given, unsupported
+        evaluation charges object-page accesses to it.  Without a store,
+        results are still exact but page counts are zero.
+    """
+
+    def __init__(self, db: ObjectBase, store: ClusteredObjectStore | None = None):
+        self.db = db
+        self.store = store
+        self.stats = AccessStats()
+
+    def _new_buffer(self) -> BufferScope:
+        return BufferScope(self.stats)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, query: Query, asr: AccessSupportRelation | None = None
+    ) -> EvaluationResult:
+        """Evaluate with the ASR when it applies (Eq. 35), else unsupported."""
+        if asr is not None and asr.supports_query(query.i, query.j):
+            return self.evaluate_supported(query, asr)
+        return self.evaluate_unsupported(query)
+
+    def evaluate_unsupported(self, query: Query) -> EvaluationResult:
+        before = self.stats.snapshot()
+        with self._new_buffer() as buffer:
+            if isinstance(query, ForwardQuery):
+                cells = self._forward_traverse(query, buffer)
+            elif isinstance(query, ValueRangeQuery):
+                cells = self._range_scan(query, buffer)
+            elif isinstance(query, BackwardQuery):
+                cells = self._backward_scan(query, buffer)
+            else:
+                raise QueryError(f"unknown query shape {query!r}")
+        delta = self.stats.delta_since(before)
+        return EvaluationResult(
+            cells,
+            delta.page_reads,
+            delta.page_writes,
+            "unsupported",
+            dict(delta.by_category),
+        )
+
+    def evaluate_supported(
+        self, query: Query, asr: AccessSupportRelation
+    ) -> EvaluationResult:
+        if asr.path != query.path:
+            raise QueryError("the ASR does not index this query's path")
+        if not asr.supports_query(query.i, query.j):
+            raise QueryError(
+                f"extension {asr.extension.value!r} cannot evaluate "
+                f"Q{query.i},{query.j} (Eq. 35)"
+            )
+        before = self.stats.snapshot()
+        with self._new_buffer() as buffer:
+            if isinstance(query, ForwardQuery):
+                cells = self._supported_forward(query, asr, buffer)
+            elif isinstance(query, ValueRangeQuery):
+                cells = self._supported_range(query, asr, buffer)
+            elif isinstance(query, BackwardQuery):
+                cells = self._supported_backward(query, asr, buffer)
+            else:
+                raise QueryError(f"unknown query shape {query!r}")
+        delta = self.stats.delta_since(before)
+        return EvaluationResult(
+            cells,
+            delta.page_reads,
+            delta.page_writes,
+            f"asr:{asr.extension.value}:{asr.decomposition}",
+            dict(delta.by_category),
+        )
+
+    # ------------------------------------------------------------------
+    # unsupported strategies
+    # ------------------------------------------------------------------
+
+    def _charge_object(self, oid: OID, type_name: str, buffer) -> None:
+        if self.store is not None:
+            self.store.access(oid, type_name, buffer)
+
+    def _forward_traverse(self, query: ForwardQuery, buffer) -> set[Cell]:
+        """Pointer-chasing from a single start object (Eq. 31 profile)."""
+        path, i, j = query.path, query.i, query.j
+        if isinstance(query.start, OID) and query.start not in self.db:
+            return set()
+        frontier: set[Cell] = {query.start}
+        for level in range(i, j):
+            step = path.steps[level]
+            next_frontier: set[Cell] = set()
+            for cell in frontier:
+                if not isinstance(cell, OID):
+                    continue
+                # Reading the attribute requires the object's page.
+                self._charge_object(cell, self.db.type_of(cell), buffer)
+                value = self.db.attr(cell, step.attribute)
+                if value is NULL:
+                    continue
+                if step.is_set_occurrence:
+                    assert isinstance(value, OID)
+                    next_frontier.update(self.db.members(value))
+                else:
+                    next_frontier.add(value)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+    def _range_scan(self, query: ValueRangeQuery, buffer) -> set[Cell]:
+        """Exhaustive search with a value-range predicate at the terminal."""
+        from repro.asr.asr import cell_key
+
+        path, i = query.path, query.i
+        origin_type = path.types[i]
+        if self.store is not None:
+            self.store.scan_type(origin_type, buffer)
+        lo_key, hi_key = cell_key(query.lo), cell_key(query.hi)
+        origins: set[Cell] = set()
+        for oid in self.db.extent(origin_type):
+            reached = self._forward_from(
+                oid, path, i, path.n, buffer, charge_start=False
+            )
+            if any(lo_key <= cell_key(value) < hi_key for value in reached):
+                origins.add(oid)
+        return origins
+
+    def _backward_scan(self, query: BackwardQuery, buffer) -> set[Cell]:
+        """Exhaustive search from the ``t_i`` extent (Eq. 32 profile)."""
+        path, i, j = query.path, query.i, query.j
+        origin_type = path.types[i]
+        if self.store is not None:
+            self.store.scan_type(origin_type, buffer)
+        origins: set[Cell] = set()
+        for oid in self.db.extent(origin_type):
+            reached = self._forward_from(oid, path, i, j, buffer, charge_start=False)
+            if query.target in reached:
+                origins.add(oid)
+        return origins
+
+    def _forward_from(
+        self, start: Cell, path, i: int, j: int, buffer, charge_start: bool
+    ) -> set[Cell]:
+        frontier: set[Cell] = {start}
+        for level in range(i, j):
+            step = path.steps[level]
+            next_frontier: set[Cell] = set()
+            for cell in frontier:
+                if not isinstance(cell, OID):
+                    continue
+                if level > i or charge_start:
+                    self._charge_object(cell, self.db.type_of(cell), buffer)
+                value = self.db.attr(cell, step.attribute)
+                if value is NULL:
+                    continue
+                if step.is_set_occurrence:
+                    assert isinstance(value, OID)
+                    next_frontier.update(self.db.members(value))
+                else:
+                    next_frontier.add(value)
+            frontier = next_frontier
+            if not frontier:
+                break
+        return frontier
+
+    # ------------------------------------------------------------------
+    # supported strategies
+    # ------------------------------------------------------------------
+
+    def _supported_forward(
+        self, query: ForwardQuery, asr: AccessSupportRelation, buffer
+    ) -> set[Cell]:
+        path = asr.path
+        first_column = path.column_of(query.i)
+        last_column = path.column_of(query.j)
+        frontier: set[Cell] = {query.start}
+        for partition in asr.partitions:
+            a, b = partition.first_column, partition.last_column
+            if b <= first_column:
+                continue
+            if a >= last_column:
+                break
+            if a < first_column:
+                # The query's origin lies strictly inside this partition:
+                # every page must be inspected (second sum of Eq. 33).
+                offset = first_column - a
+                rows = [
+                    row for row in partition.scan(buffer) if row[offset] in frontier
+                ]
+            else:
+                rows = [
+                    row
+                    for cell in frontier
+                    for row in partition.lookup_forward(cell, buffer)
+                ]
+            advance = min(b, last_column) - a
+            frontier = {row[advance] for row in rows if row[advance] is not NULL}
+            if not frontier:
+                break
+        return frontier
+
+    def _supported_range(
+        self, query: ValueRangeQuery, asr: AccessSupportRelation, buffer
+    ) -> set[Cell]:
+        """Index range scan over the final partition's value clustering."""
+        path = asr.path
+        first_column = path.column_of(query.i)
+        last_column = path.m
+        frontier: set[Cell] | None = None
+        for partition in reversed(asr.partitions):
+            a, b = partition.first_column, partition.last_column
+            if b <= first_column:
+                break
+            if frontier is None:
+                # The terminal partition: one range scan over the values.
+                rows = partition.lookup_backward_range(query.lo, query.hi, buffer)
+            else:
+                rows = [
+                    row
+                    for cell in frontier
+                    for row in partition.lookup_backward(cell, buffer)
+                ]
+            advance = max(a, first_column) - a
+            frontier = {row[advance] for row in rows if row[advance] is not NULL}
+            if not frontier:
+                break
+        return frontier or set()
+
+    def _supported_backward(
+        self, query: BackwardQuery, asr: AccessSupportRelation, buffer
+    ) -> set[Cell]:
+        path = asr.path
+        first_column = path.column_of(query.i)
+        last_column = path.column_of(query.j)
+        frontier: set[Cell] = {query.target}
+        for partition in reversed(asr.partitions):
+            a, b = partition.first_column, partition.last_column
+            if a >= last_column:
+                continue
+            if b <= first_column:
+                break
+            if b > last_column:
+                # The query's target lies strictly inside this partition.
+                offset = last_column - a
+                rows = [
+                    row for row in partition.scan(buffer) if row[offset] in frontier
+                ]
+            else:
+                rows = [
+                    row
+                    for cell in frontier
+                    for row in partition.lookup_backward(cell, buffer)
+                ]
+            advance = max(a, first_column) - a
+            frontier = {row[advance] for row in rows if row[advance] is not NULL}
+            if not frontier:
+                break
+        return frontier

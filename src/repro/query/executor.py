@@ -1,0 +1,313 @@
+"""Execution of parsed select statements against an object base.
+
+The executor binds range variables (database variables holding sets,
+type extents, or dependent ranges over attribute paths), evaluates the
+``where`` predicates, and produces the selected values.
+
+When a :class:`~repro.query.planner.Planner` is supplied, the executor
+recognizes the paper's flagship pattern — a predicate comparing a path
+expression rooted at a range variable with a literal — and answers it
+through a registered access support relation as a backward query,
+instead of traversing from every binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterable
+
+from repro.errors import QueryError
+from repro.gom.database import ObjectBase
+from repro.gom.objects import OID, Cell
+from repro.gom.paths import PathExpression
+from repro.gom.types import NULL, SetType, ListType, TupleType
+from repro.query.parser import (
+    DottedPath,
+    Literal,
+    Operand,
+    Predicate,
+    SelectStatement,
+    parse_select,
+)
+from repro.query.planner import Planner
+from repro.query.queries import BackwardQuery
+from repro.query.evaluator import QueryEvaluator
+
+
+#: Per cell-kind (rank of :func:`repro.asr.asr.cell_key`) sentinels that
+#: sort below/above every real value of that kind, used to build one-sided
+#: range scans.  Rank 3 is numbers, rank 4 strings.
+_RANK_BOUNDS = {
+    2: (False, True),
+    3: (float("-inf"), float("inf")),
+    4: ("", "\uffff" * 8),
+}
+
+
+@dataclass
+class ExecutionReport:
+    """Result rows plus how they were obtained."""
+
+    rows: list[tuple[Cell, ...]]
+    strategy: str = "nested-loop traversal"
+    page_reads: int = 0
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class SelectExecutor:
+    """Runs :class:`SelectStatement` objects over one object base."""
+
+    def __init__(
+        self,
+        db: ObjectBase,
+        planner: Planner | None = None,
+        evaluator: QueryEvaluator | None = None,
+    ) -> None:
+        self.db = db
+        self.planner = planner
+        self.evaluator = evaluator or QueryEvaluator(db)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, statement: SelectStatement | str) -> ExecutionReport:
+        if isinstance(statement, str):
+            statement = parse_select(statement)
+        bindings_list, strategy, pages = self._bind_and_filter(statement)
+        rows: list[tuple[Cell, ...]] = []
+        seen: set[tuple[Cell, ...]] = set()
+        for bindings in bindings_list:
+            value_sets = [
+                sorted(self._resolve(target, bindings), key=repr)
+                for target in statement.targets
+            ]
+            if any(not values for values in value_sets):
+                continue
+            for combo in product(*value_sets):
+                if combo not in seen:
+                    seen.add(combo)
+                    rows.append(combo)
+        return ExecutionReport(rows, strategy, pages)
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+
+    def _bind_and_filter(
+        self, statement: SelectStatement
+    ) -> tuple[list[dict[str, Cell]], str, int]:
+        strategy = "nested-loop traversal"
+        pages = 0
+        first = statement.ranges[0]
+        candidates = set(self._range_members(first, {}))
+        asr_filtered: set[str] = set()
+        # ASR fast path: predicates of the form  var.path = literal  where
+        # var is the first range variable and an ASR indexes the path.
+        if self.planner is not None:
+            for predicate in statement.predicates:
+                rooted = self._rooted_literal_predicate(predicate, first.variable)
+                if rooted is None:
+                    continue
+                attributes, literal, op = rooted
+                path = self._try_path(first, attributes)
+                if path is None:
+                    continue
+                query = self._indexable_query(path, literal, op)
+                if query is None:
+                    continue
+                plan = self.planner.plan(query)
+                if plan.asr is None:
+                    continue
+                result = self.evaluator.evaluate_supported(query, plan.asr)
+                candidates &= result.cells
+                pages += result.total_pages
+                strategy = f"asr-backward via {plan.asr.extension.value}"
+                asr_filtered.add(str(predicate))
+        bindings_list: list[dict[str, Cell]] = []
+        for candidate in sorted(candidates, key=repr):
+            self._extend_bindings(
+                statement, 1, {first.variable: candidate}, bindings_list, asr_filtered
+            )
+        return bindings_list, strategy, pages
+
+    def _extend_bindings(
+        self,
+        statement: SelectStatement,
+        range_index: int,
+        bindings: dict[str, Cell],
+        output: list[dict[str, Cell]],
+        asr_filtered: set[str],
+    ) -> None:
+        if range_index == len(statement.ranges):
+            if all(
+                str(predicate) in asr_filtered or self._holds(predicate, bindings)
+                for predicate in statement.predicates
+            ):
+                output.append(dict(bindings))
+            return
+        decl = statement.ranges[range_index]
+        for member in sorted(self._range_members(decl, bindings), key=repr):
+            bindings[decl.variable] = member
+            self._extend_bindings(
+                statement, range_index + 1, bindings, output, asr_filtered
+            )
+            del bindings[decl.variable]
+
+    def _range_members(self, decl, bindings: dict[str, Cell]) -> Iterable[Cell]:
+        if decl.is_extent:
+            return self.db.extent(decl.source.variable)
+        if decl.source.variable in bindings:
+            return self._resolve(decl.source, bindings)
+        # A database variable: a set/list yields members, anything else a
+        # singleton binding; attribute hops may follow.
+        root = self.db.get_var(decl.source.variable)
+        cells = self._follow({root}, decl.source.attributes)
+        return self._flatten_collections(cells)
+
+    def _flatten_collections(self, cells: Iterable[Cell]) -> set[Cell]:
+        result: set[Cell] = set()
+        for cell in cells:
+            if isinstance(cell, OID) and isinstance(
+                self.db.schema.lookup(self.db.type_of(cell)), (SetType, ListType)
+            ):
+                result.update(self.db.members(cell))
+            else:
+                result.add(cell)
+        return result
+
+    # ------------------------------------------------------------------
+    # evaluation of operands and predicates
+    # ------------------------------------------------------------------
+
+    def _resolve(self, operand: Operand, bindings: dict[str, Cell]) -> set[Cell]:
+        if isinstance(operand, Literal):
+            return {operand.value}
+        if operand.variable not in bindings:
+            raise QueryError(f"unbound variable {operand.variable!r}")
+        return self._follow({bindings[operand.variable]}, operand.attributes)
+
+    def _follow(self, cells: set[Cell], attributes: tuple[str, ...]) -> set[Cell]:
+        current = set(cells)
+        for attribute in attributes:
+            next_cells: set[Cell] = set()
+            for cell in current:
+                if not isinstance(cell, OID):
+                    continue
+                type_name = self.db.type_of(cell)
+                gom_type = self.db.schema.lookup(type_name)
+                if isinstance(gom_type, (SetType, ListType)):
+                    # Implicit flattening before the hop.
+                    for member in self.db.members(cell):
+                        next_cells.update(self._follow({member}, (attribute,)))
+                    continue
+                if not isinstance(gom_type, TupleType):
+                    continue
+                if attribute not in self.db.schema.attributes_of(type_name):
+                    raise QueryError(f"{type_name!r} has no attribute {attribute!r}")
+                value = self.db.attr(cell, attribute)
+                if value is NULL:
+                    continue
+                if isinstance(value, OID) and isinstance(
+                    self.db.schema.lookup(self.db.type_of(value)), (SetType, ListType)
+                ):
+                    next_cells.update(self.db.members(value))
+                else:
+                    next_cells.add(value)
+            current = next_cells
+        return current
+
+    def _holds(self, predicate: Predicate, bindings: dict[str, Cell]) -> bool:
+        left = self._resolve(predicate.left, bindings)
+        right = self._resolve(predicate.right, bindings)
+        if predicate.op in ("=", "in"):
+            # '=' on multi-valued path expressions has existential
+            # semantics, as in the paper's Query 1; 'in' is the explicit
+            # membership form.
+            return bool(left & right)
+        # Order comparisons are existential too: some reachable value
+        # satisfies the bound.  Cells are compared through the total
+        # order the storage layer uses for its value clustering.
+        from repro.asr.asr import cell_key
+
+        comparators = {
+            "<": lambda a, b: cell_key(a) < cell_key(b),
+            "<=": lambda a, b: cell_key(a) <= cell_key(b),
+            ">": lambda a, b: cell_key(a) > cell_key(b),
+            ">=": lambda a, b: cell_key(a) >= cell_key(b),
+        }
+        compare = comparators[predicate.op]
+        return any(compare(a, b) for a in left for b in right)
+
+    # ------------------------------------------------------------------
+    # ASR fast-path helpers
+    # ------------------------------------------------------------------
+
+    _MIRRORED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "in": "in"}
+
+    @classmethod
+    def _rooted_literal_predicate(
+        cls, predicate: Predicate, variable: str
+    ) -> tuple[tuple[str, ...], Literal, str] | None:
+        left, right, op = predicate.left, predicate.right, predicate.op
+        if isinstance(left, Literal) and isinstance(right, DottedPath):
+            left, right = right, left
+            op = cls._MIRRORED_OPS[op]
+        if not isinstance(left, DottedPath) or not isinstance(right, Literal):
+            return None
+        if left.variable != variable or not left.attributes:
+            return None
+        return left.attributes, right, op
+
+    @staticmethod
+    def _indexable_query(path, literal: Literal, op: str):
+        """The backward/range query answering ``path op literal``."""
+        from repro.asr.asr import cell_key
+        from repro.query.queries import ValueRangeQuery
+
+        if op in ("=", "in"):
+            return BackwardQuery(path, 0, path.n, target=literal.value)
+        if not path.terminal_is_atomic:
+            return None
+        rank = cell_key(literal.value)[0]
+        lowest = _RANK_BOUNDS[rank][0]
+        highest = _RANK_BOUNDS[rank][1]
+        try:
+            if op == "<":
+                return ValueRangeQuery(path, 0, path.n, lo=lowest, hi=literal.value)
+            if op == ">=":
+                return ValueRangeQuery(path, 0, path.n, lo=literal.value, hi=highest)
+        except Exception:
+            return None
+        # '<=' and '>' need inclusive/exclusive bounds the half-open scan
+        # cannot express exactly for arbitrary value domains; fall back to
+        # the nested-loop filter for those.
+        return None
+
+    def _try_path(self, decl, attributes: tuple[str, ...]) -> PathExpression | None:
+        element_type = self._element_type(decl)
+        if element_type is None:
+            return None
+        try:
+            return PathExpression(self.db.schema, element_type, attributes)
+        except Exception:
+            return None
+
+    def _element_type(self, decl) -> str | None:
+        if decl.is_extent:
+            return decl.source.variable
+        if decl.source.attributes:
+            return None
+        declared = self.db.var_type(decl.source.variable)
+        if declared is None:
+            return None
+        gom_type = self.db.schema.lookup(declared)
+        if isinstance(gom_type, (SetType, ListType)):
+            return gom_type.element_type
+        return declared

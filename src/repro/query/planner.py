@@ -1,0 +1,99 @@
+"""Plan selection: which ASR (if any) should answer a query.
+
+Implements the case analysis of Eq. 35: an access support relation can
+answer ``Q_{i,j}`` only when its extension covers the query's range
+(canonical: whole path; left: prefixes; right: suffixes; full: any), and
+otherwise the query falls back to unsupported evaluation.  When several
+registered ASRs apply, the planner ranks them by an estimate of the pages
+a supported evaluation touches (partition data pages along the query
+range, which dominates; tree interiors are comparatively tiny).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asr.asr import AccessSupportRelation
+from repro.asr.manager import ASRManager
+from repro.query.evaluator import EvaluationResult, QueryEvaluator
+from repro.query.queries import Query
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A chosen evaluation strategy for one query."""
+
+    query: Query
+    asr: AccessSupportRelation | None
+    estimated_pages: float
+
+    @property
+    def supported(self) -> bool:
+        return self.asr is not None
+
+    def describe(self) -> str:
+        if self.asr is None:
+            return f"{self.query}: unsupported traversal/scan"
+        return (
+            f"{self.query}: via ASR[{self.asr.extension.value}, "
+            f"dec={self.asr.decomposition}] (~{self.estimated_pages:.0f} pages)"
+        )
+
+
+class Planner:
+    """Chooses among registered ASRs and the unsupported fallback."""
+
+    def __init__(self, manager: ASRManager) -> None:
+        self.manager = manager
+
+    def applicable(self, query: Query) -> list[AccessSupportRelation]:
+        """All registered ASRs that may answer ``query`` per Eq. 35."""
+        return [
+            asr
+            for asr in self.manager.asrs
+            if asr.path == query.path and asr.supports_query(query.i, query.j)
+        ]
+
+    def estimate_supported_pages(
+        self, query: Query, asr: AccessSupportRelation
+    ) -> float:
+        """A coarse page estimate for ranking candidate ASRs.
+
+        Partitions whose border matches the query endpoint cost roughly
+        their tree height plus a handful of leaf pages; partitions that
+        must be scanned cost all their data pages.  This mirrors the
+        structure of Eqs. 33–34 without needing the application profile.
+        """
+        path = asr.path
+        first_column = path.column_of(query.i)
+        last_column = path.column_of(query.j)
+        pages = 0.0
+        for partition in asr.partitions:
+            a, b = partition.first_column, partition.last_column
+            if b <= first_column or a >= last_column:
+                continue
+            endpoint_interior = (
+                a < first_column if query.kind == "fw" else b > last_column
+            )
+            if endpoint_interior:
+                pages += partition.page_count
+            else:
+                pages += partition.forward_tree.interior_height + 2
+        return pages
+
+    def plan(self, query: Query) -> Plan:
+        """The cheapest plan for ``query`` among ASRs and the fallback."""
+        candidates = self.applicable(query)
+        if not candidates:
+            return Plan(query, None, float("inf"))
+        best = min(
+            candidates, key=lambda asr: self.estimate_supported_pages(query, asr)
+        )
+        return Plan(query, best, self.estimate_supported_pages(query, best))
+
+    def execute(self, query: Query, evaluator: QueryEvaluator) -> EvaluationResult:
+        """Plan and evaluate in one step."""
+        plan = self.plan(query)
+        if plan.asr is None:
+            return evaluator.evaluate_unsupported(query)
+        return evaluator.evaluate_supported(query, plan.asr)

@@ -1,0 +1,496 @@
+"""A B+ tree with per-node page accounting.
+
+Access support relation partitions are stored in *two redundant* B+ trees
+(section 5.2, following Valduriez's join indices): one clustered on the
+partition's first column, one on its last.  This module provides the
+underlying tree: unique totally ordered keys, values at the leaves,
+leaves doubly linked for range scans, interior nodes holding separators.
+
+Duplicate logical keys (one OID starting many partial paths) are handled
+one level up (:mod:`repro.asr.asr`) by composite keys ``(cell key, row
+tie-break)``; this keeps the tree itself in the textbook unique-key
+regime with full delete rebalancing (borrow from siblings, merge,
+root collapse).
+
+Every node is one page.  Read operations accept a *buffer* (see
+:mod:`repro.storage.stats`) and charge one page read per distinct node
+touched; mutating operations charge page writes for each node they dirty.
+Passing ``buffer=None`` performs the operation without accounting (the
+logical layer uses that).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from math import ceil
+from typing import Any, Iterator, Sequence
+
+from repro.errors import StorageError
+
+_INTERIOR_CATEGORY = "btree_interior"
+_LEAF_CATEGORY = "btree_leaf"
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next", "prev")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.next: _Leaf | None = None
+        self.prev: _Leaf | None = None
+
+    is_leaf = True
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class _Interior:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # keys[i] is the smallest key reachable in children[i + 1].
+        self.keys: list[Any] = []
+        self.children: list[Any] = []
+
+    is_leaf = False
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+
+class BPlusTree:
+    """A unique-key B+ tree.
+
+    Parameters
+    ----------
+    leaf_capacity:
+        Maximum number of entries per leaf page (the model's ``atpp``).
+    interior_capacity:
+        Maximum number of children per interior page (the model's
+        ``B+fan``).
+    """
+
+    def __init__(self, leaf_capacity: int, interior_capacity: int) -> None:
+        if leaf_capacity < 2:
+            raise StorageError("leaf capacity must be at least 2")
+        if interior_capacity < 3:
+            raise StorageError("interior capacity must be at least 3")
+        self.leaf_capacity = leaf_capacity
+        self.interior_capacity = interior_capacity
+        self._root: _Leaf | _Interior = _Leaf()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self.search(key) is not _MISSING
+
+    @property
+    def height(self) -> int:
+        """Number of levels including the leaf level (>= 1)."""
+        levels = 1
+        node = self._root
+        while not node.is_leaf:
+            levels += 1
+            node = node.children[0]
+        return levels
+
+    @property
+    def interior_height(self) -> int:
+        """Levels excluding the leaves — the cost model's ``ht`` (Eq. 19)."""
+        return self.height - 1
+
+    def leaf_count(self) -> int:
+        count = 0
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            count += 1
+            leaf = leaf.next
+        return count
+
+    def interior_count(self) -> int:
+        if self._root.is_leaf:
+            return 0
+        count = 0
+        level = [self._root]
+        while level and not level[0].is_leaf:
+            count += len(level)
+            level = [child for node in level for child in node.children]
+        return count
+
+    def _leftmost_leaf(self, buffer=None) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            _touch(buffer, node, _INTERIOR_CATEGORY)
+            node = node.children[0]
+        return node
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def _descend(self, key: Any, buffer=None) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            _touch(buffer, node, _INTERIOR_CATEGORY)
+            node = node.children[bisect_right(node.keys, key)]
+        return node
+
+    def search(self, key: Any, buffer=None) -> Any:
+        """The value stored under ``key``, or the ``MISSING`` sentinel."""
+        leaf = self._descend(key, buffer)
+        _touch(buffer, leaf, _LEAF_CATEGORY)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return _MISSING
+
+    def range(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        buffer=None,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Yield ``(key, value)`` for ``lo <= key < hi`` in key order.
+
+        ``None`` bounds are open.  Pages are charged as the scan touches
+        them (interior pages on the initial descent, every leaf visited).
+        """
+        if lo is None:
+            leaf: _Leaf | None = self._leftmost_leaf(buffer)
+            index = 0
+        else:
+            leaf = self._descend(lo, buffer)
+            index = bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            _touch(buffer, leaf, _LEAF_CATEGORY)
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if hi is not None and not key < hi:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return self.range()
+
+    def keys(self) -> Iterator[Any]:
+        return (key for key, _ in self.range())
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any, buffer=None) -> None:
+        """Insert a new entry; raises :class:`StorageError` on duplicate key."""
+        split = self._insert(self._root, key, value, buffer)
+        if split is not None:
+            separator, right = split
+            new_root = _Interior()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            _touch_write(buffer, new_root, _INTERIOR_CATEGORY)
+        self._size += 1
+
+    def _insert(self, node, key, value, buffer):
+        if node.is_leaf:
+            index = bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                raise StorageError(f"duplicate key {key!r}")
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            _touch_write(buffer, node, _LEAF_CATEGORY)
+            if len(node.keys) > self.leaf_capacity:
+                return self._split_leaf(node, buffer)
+            return None
+        child_index = bisect_right(node.keys, key)
+        split = self._insert(node.children[child_index], key, value, buffer)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(child_index, separator)
+        node.children.insert(child_index + 1, right)
+        _touch_write(buffer, node, _INTERIOR_CATEGORY)
+        if len(node.children) > self.interior_capacity:
+            return self._split_interior(node, buffer)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf, buffer) -> tuple[Any, _Leaf]:
+        middle = (len(leaf.keys) + 1) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        del leaf.keys[middle:]
+        del leaf.values[middle:]
+        right.next = leaf.next
+        if right.next is not None:
+            right.next.prev = right
+        right.prev = leaf
+        leaf.next = right
+        _touch_write(buffer, right, _LEAF_CATEGORY)
+        return right.keys[0], right
+
+    def _split_interior(self, node: _Interior, buffer) -> tuple[Any, _Interior]:
+        middle = len(node.children) // 2
+        right = _Interior()
+        separator = node.keys[middle - 1]
+        right.keys = node.keys[middle:]
+        right.children = node.children[middle:]
+        del node.keys[middle - 1 :]
+        del node.children[middle:]
+        _touch_write(buffer, right, _INTERIOR_CATEGORY)
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Any, buffer=None) -> bool:
+        """Remove ``key``; returns False when it was not present."""
+        removed = self._delete(self._root, key, buffer)
+        if removed:
+            self._size -= 1
+            if not self._root.is_leaf and len(self._root.children) == 1:
+                self._root = self._root.children[0]
+        return removed
+
+    def _min_leaf_fill(self) -> int:
+        return ceil(self.leaf_capacity / 2)
+
+    def _min_interior_fill(self) -> int:
+        return ceil(self.interior_capacity / 2)
+
+    def _delete(self, node, key, buffer) -> bool:
+        if node.is_leaf:
+            index = bisect_left(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                return False
+            del node.keys[index]
+            del node.values[index]
+            _touch_write(buffer, node, _LEAF_CATEGORY)
+            return True
+        child_index = bisect_right(node.keys, key)
+        child = node.children[child_index]
+        removed = self._delete(child, key, buffer)
+        if removed and self._is_underfull(child):
+            self._rebalance(node, child_index, buffer)
+            _touch_write(buffer, node, _INTERIOR_CATEGORY)
+        return removed
+
+    def _is_underfull(self, node) -> bool:
+        if node.is_leaf:
+            return len(node.keys) < self._min_leaf_fill()
+        return len(node.children) < self._min_interior_fill()
+
+    def _rebalance(self, parent: _Interior, index: int, buffer) -> None:
+        child = parent.children[index]
+        left = parent.children[index - 1] if index > 0 else None
+        right = parent.children[index + 1] if index + 1 < len(parent.children) else None
+        if left is not None and self._can_lend(left):
+            self._borrow_from_left(parent, index, buffer)
+        elif right is not None and self._can_lend(right):
+            self._borrow_from_right(parent, index, buffer)
+        elif left is not None:
+            self._merge(parent, index - 1, buffer)
+        else:
+            self._merge(parent, index, buffer)
+
+    def _can_lend(self, node) -> bool:
+        if node.is_leaf:
+            return len(node.keys) > self._min_leaf_fill()
+        return len(node.children) > self._min_interior_fill()
+
+    def _borrow_from_left(self, parent: _Interior, index: int, buffer) -> None:
+        child = parent.children[index]
+        left = parent.children[index - 1]
+        if child.is_leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[index - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[index - 1])
+            parent.keys[index - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+        _touch_write(buffer, child, _category(child))
+        _touch_write(buffer, left, _category(left))
+
+    def _borrow_from_right(self, parent: _Interior, index: int, buffer) -> None:
+        child = parent.children[index]
+        right = parent.children[index + 1]
+        if child.is_leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[index] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[index])
+            parent.keys[index] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+        _touch_write(buffer, child, _category(child))
+        _touch_write(buffer, right, _category(right))
+
+    def _merge(self, parent: _Interior, left_index: int, buffer) -> None:
+        """Merge ``children[left_index + 1]`` into ``children[left_index]``."""
+        left = parent.children[left_index]
+        right = parent.children[left_index + 1]
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+            if right.next is not None:
+                right.next.prev = left
+        else:
+            left.keys.append(parent.keys[left_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[left_index]
+        del parent.children[left_index + 1]
+        _touch_write(buffer, left, _category(left))
+
+    # ------------------------------------------------------------------
+    # bulk loading
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        entries: Sequence[tuple[Any, Any]],
+        leaf_capacity: int,
+        interior_capacity: int,
+        fill_factor: float = 1.0,
+    ) -> "BPlusTree":
+        """Build a tree from *sorted, duplicate-free* ``(key, value)`` pairs.
+
+        Leaves are packed to ``fill_factor`` of capacity (1.0 matches the
+        cost model's ``ap = ⌈#E / atpp⌉`` leaf-page count).
+        """
+        tree = cls(leaf_capacity, interior_capacity)
+        if not entries:
+            return tree
+        keys = [key for key, _ in entries]
+        if any(not a < b for a, b in zip(keys, keys[1:])):
+            raise StorageError("bulk_load requires strictly sorted unique keys")
+        per_leaf = max(2, min(leaf_capacity, int(leaf_capacity * fill_factor)))
+        leaves: list[_Leaf] = []
+        for start in range(0, len(entries), per_leaf):
+            chunk = entries[start : start + per_leaf]
+            leaf = _Leaf()
+            leaf.keys = [key for key, _ in chunk]
+            leaf.values = [value for _, value in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+                leaf.prev = leaves[-1]
+            leaves.append(leaf)
+        # Avoid an underfull final leaf (rebalance with its predecessor).
+        if len(leaves) > 1 and len(leaves[-1].keys) < ceil(leaf_capacity / 2):
+            last, before = leaves[-1], leaves[-2]
+            combined_keys = before.keys + last.keys
+            combined_values = before.values + last.values
+            half = len(combined_keys) // 2
+            before.keys, last.keys = combined_keys[:half], combined_keys[half:]
+            before.values, last.values = combined_values[:half], combined_values[half:]
+        level: list[Any] = leaves
+        while len(level) > 1:
+            next_level: list[Any] = []
+            for start in range(0, len(level), interior_capacity):
+                group = level[start : start + interior_capacity]
+                if len(group) == 1:
+                    next_level.append(group[0])
+                    continue
+                node = _Interior()
+                node.children = group
+                node.keys = [cls._smallest_key(child) for child in group[1:]]
+                next_level.append(node)
+            # Avoid an interior node with a single child at the tail.
+            if (
+                len(next_level) >= 2
+                and not next_level[-1].is_leaf
+                and len(next_level[-1].children) < 2
+            ):
+                orphan = next_level.pop()
+                target = next_level[-1]
+                target.keys.append(cls._smallest_key(orphan.children[0]))
+                target.children.extend(orphan.children)
+            level = next_level
+        tree._root = level[0]
+        tree._size = len(entries)
+        return tree
+
+    @staticmethod
+    def _smallest_key(node) -> Any:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # invariants (used by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any structural invariant is violated."""
+        self._check_node(self._root, None, None, is_root=True)
+        # Leaf chain is sorted and complete.
+        collected = [key for key, _ in self.range()]
+        assert collected == sorted(collected), "leaf chain out of order"
+        assert len(collected) == self._size, "size counter out of sync"
+
+    def _check_node(self, node, lo, hi, is_root=False) -> int:
+        if node.is_leaf:
+            assert len(node.keys) == len(node.values)
+            if not is_root:
+                assert len(node.keys) >= 1, "empty non-root leaf"
+            for key in node.keys:
+                assert lo is None or not key < lo
+                assert hi is None or key < hi
+            assert node.keys == sorted(node.keys)
+            return 1
+        assert len(node.children) == len(node.keys) + 1
+        if not is_root:
+            assert len(node.children) >= 2, "interior node with < 2 children"
+        depths = set()
+        bounds = [lo, *node.keys, hi]
+        for index, child in enumerate(node.children):
+            depths.add(self._check_node(child, bounds[index], bounds[index + 1]))
+        assert len(depths) == 1, "unbalanced subtree depths"
+        return depths.pop() + 1
+
+
+class _Missing:
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+
+#: Sentinel returned by :meth:`BPlusTree.search` for absent keys (values
+#: may legitimately be ``None``).
+_MISSING = _Missing()
+MISSING = _MISSING
+
+
+def _touch(buffer, node, category: str) -> None:
+    if buffer is not None:
+        buffer.touch(id(node), category)
+
+
+def _touch_write(buffer, node, category: str) -> None:
+    if buffer is not None:
+        buffer.touch_write(id(node), category)
+
+
+def _category(node) -> str:
+    return _LEAF_CATEGORY if node.is_leaf else _INTERIOR_CATEGORY

@@ -1,0 +1,72 @@
+"""Page-geometry arithmetic (Figure 3 and Eqs. 13–18 of the paper).
+
+All quantities are pure functions of the system parameters so that the
+storage simulator and the analytical cost model share one source of
+truth for the layout arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import StorageError
+
+#: Net page size in bytes (Figure 3: ``PageSize = 4056``).
+DEFAULT_PAGE_SIZE = 4056
+#: Size of an object identifier in bytes (Figure 3: ``OIDsize = 8``).
+DEFAULT_OID_SIZE = 8
+#: Size of a page pointer in bytes (Figure 3: ``PPsize = 4``).
+DEFAULT_PP_SIZE = 4
+
+
+def btree_fanout(
+    page_size: int = DEFAULT_PAGE_SIZE,
+    pp_size: int = DEFAULT_PP_SIZE,
+    oid_size: int = DEFAULT_OID_SIZE,
+) -> int:
+    """``B+fan = ⌊PageSize / (PPsize + OIDsize)⌋`` (Figure 3)."""
+    fanout = page_size // (pp_size + oid_size)
+    if fanout < 2:
+        raise StorageError("page size too small for a B+ tree node")
+    return fanout
+
+
+def tuple_size(first_column: int, last_column: int, oid_size: int = DEFAULT_OID_SIZE) -> int:
+    """``ats(i,j) = OIDsize · (j - i + 1)`` (Eq. 13): bytes per partition tuple."""
+    if last_column < first_column:
+        raise StorageError(f"invalid column range ({first_column}, {last_column})")
+    return oid_size * (last_column - first_column + 1)
+
+
+def tuples_per_page(
+    first_column: int,
+    last_column: int,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    oid_size: int = DEFAULT_OID_SIZE,
+) -> int:
+    """``atpp(i,j) = ⌊PageSize / ats(i,j)⌋`` (Eq. 14)."""
+    per_page = page_size // tuple_size(first_column, last_column, oid_size)
+    if per_page < 1:
+        raise StorageError("a partition tuple does not fit on one page")
+    return per_page
+
+
+def objects_per_page(object_size: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """``opp_i = ⌊PageSize / size_i⌋`` (Eq. 17), at least one object per page.
+
+    The paper's formula can reach zero for objects larger than a page; we
+    clamp to one (an over-page object occupies its page(s) alone), which
+    keeps both simulator and model defined for large ``size_i`` sweeps.
+    """
+    if object_size <= 0:
+        raise StorageError(f"object size must be positive, got {object_size}")
+    return max(1, page_size // object_size)
+
+
+def pages_needed(count: int, per_page: int) -> int:
+    """``⌈count / per_page⌉`` — Eqs. 16 and 18."""
+    if per_page <= 0:
+        raise StorageError("per_page must be positive")
+    if count < 0:
+        raise StorageError("count must be non-negative")
+    return math.ceil(count / per_page)

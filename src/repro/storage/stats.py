@@ -1,0 +1,171 @@
+"""Page-access accounting.
+
+Every storage structure charges its page touches to an
+:class:`AccessStats` instance.  A :class:`BufferScope` models the
+per-operation buffer the analytical model implicitly assumes: within one
+query or update, re-touching a page that is already resident is free —
+this is exactly the "number of *distinct* pages" that Yao's formula
+estimates (section 5.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+@dataclass
+class AccessStats:
+    """Counters for secondary-storage page accesses.
+
+    ``page_reads``/``page_writes`` are the headline numbers the cost model
+    predicts; ``by_category`` breaks them down by the structure that
+    caused them (``object``, ``btree_interior``, ``btree_leaf``, …) which
+    the validation benchmarks use to compare against individual cost-model
+    terms.
+    """
+
+    page_reads: int = 0
+    page_writes: int = 0
+    by_category: dict[str, int] = field(default_factory=dict)
+
+    def read(self, pages: int = 1, category: str = "page") -> None:
+        self.page_reads += pages
+        self.by_category[category] = self.by_category.get(category, 0) + pages
+
+    def write(self, pages: int = 1, category: str = "page") -> None:
+        self.page_writes += pages
+        key = f"{category}:write"
+        self.by_category[key] = self.by_category.get(key, 0) + pages
+
+    @property
+    def total(self) -> int:
+        """Total page accesses (reads + writes) — the paper's cost measure."""
+        return self.page_reads + self.page_writes
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.by_category.clear()
+
+    def snapshot(self) -> "AccessStats":
+        clone = AccessStats(self.page_reads, self.page_writes, dict(self.by_category))
+        return clone
+
+    def delta_since(self, before: "AccessStats") -> "AccessStats":
+        """The accesses accumulated since ``before`` (a prior snapshot)."""
+        by_category = {
+            key: count - before.by_category.get(key, 0)
+            for key, count in self.by_category.items()
+            if count - before.by_category.get(key, 0)
+        }
+        return AccessStats(
+            self.page_reads - before.page_reads,
+            self.page_writes - before.page_writes,
+            by_category,
+        )
+
+
+class BufferScope:
+    """A per-operation buffer: each distinct page is charged once.
+
+    Storage structures call :meth:`touch` with a hashable page identity;
+    the first touch within the scope charges one read to ``stats``,
+    subsequent touches are free.  Writes are charged through
+    :meth:`touch_write` (a page is written back at most once per scope).
+
+    Use as a context manager around one logical operation::
+
+        with BufferScope(stats) as buffer:
+            evaluator.run(query, buffer=buffer)
+    """
+
+    def __init__(self, stats: AccessStats) -> None:
+        self.stats = stats
+        self._resident: set[Hashable] = set()
+        self._dirty: set[Hashable] = set()
+
+    def __enter__(self) -> "BufferScope":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def touch(self, page_id: Hashable, category: str = "page") -> bool:
+        """Read ``page_id``; returns True when it caused a physical read."""
+        if page_id in self._resident:
+            return False
+        self._resident.add(page_id)
+        self.stats.read(1, category)
+        return True
+
+    def touch_write(self, page_id: Hashable, category: str = "page") -> bool:
+        """Mark ``page_id`` dirty; returns True on the first write charge."""
+        if page_id in self._dirty:
+            return False
+        self._dirty.add(page_id)
+        self.stats.write(1, category)
+        return True
+
+    @property
+    def distinct_pages(self) -> int:
+        return len(self._resident)
+
+    def evict_all(self) -> None:
+        """Forget residency (the next touches are charged again)."""
+        self._resident.clear()
+        self._dirty.clear()
+
+
+class NullBuffer:
+    """A buffer that charges every touch (no caching) to its stats."""
+
+    def __init__(self, stats: AccessStats) -> None:
+        self.stats = stats
+
+    def touch(self, page_id: Hashable, category: str = "page") -> bool:
+        self.stats.read(1, category)
+        return True
+
+    def touch_write(self, page_id: Hashable, category: str = "page") -> bool:
+        self.stats.write(1, category)
+        return True
+
+
+class BoundedBufferScope(BufferScope):
+    """A buffer with finite capacity and LRU replacement.
+
+    The plain :class:`BufferScope` models the paper's implicit
+    assumption of a buffer large enough to hold one operation's working
+    set (Yao's distinct-page counting).  This variant bounds residency at
+    ``capacity`` pages: re-touching an evicted page is charged again,
+    which is what a real, smaller buffer pool would do.  Used by the
+    buffer-sensitivity ablation benchmark.
+    """
+
+    def __init__(self, stats: AccessStats, capacity: int) -> None:
+        super().__init__(stats)
+        if capacity < 1:
+            raise ValueError("buffer capacity must be at least one page")
+        self.capacity = capacity
+        self._lru: dict[Hashable, None] = {}
+
+    def touch(self, page_id: Hashable, category: str = "page") -> bool:
+        if page_id in self._lru:
+            self._lru.pop(page_id)
+            self._lru[page_id] = None  # refresh recency
+            return False
+        self.stats.read(1, category)
+        self._lru[page_id] = None
+        if len(self._lru) > self.capacity:
+            evicted = next(iter(self._lru))
+            del self._lru[evicted]
+        return True
+
+    @property
+    def distinct_pages(self) -> int:
+        return len(self._lru)
+
+    def evict_all(self) -> None:
+        self._lru.clear()
+        self._dirty.clear()

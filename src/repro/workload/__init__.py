@@ -1,0 +1,55 @@
+"""Workloads: the paper's parameter tables and synthetic object bases.
+
+:mod:`repro.workload.profiles` encodes, verbatim, every
+application-characteristics table from the paper's evaluation sections
+(with the two documented typo corrections), keyed by figure number, plus
+the operation mixes of section 6.4.
+
+:mod:`repro.workload.generator` materializes a *live* object base whose
+measured characteristics match a (scaled-down) profile — the bridge
+between the analytical cost model and the executable storage simulator.
+"""
+
+from repro.workload.profiles import (
+    FIG4_PROFILE,
+    FIG5_BASE,
+    FIG6_PROFILE,
+    FIG8_BASE,
+    FIG9_BASE,
+    FIG11_PROFILE,
+    FIG12_PROFILE,
+    FIG14_MIX,
+    FIG16_MIX,
+    FIG16_PROFILE,
+    FIG17_MIX,
+    FIG17_PROFILE,
+    fig5_profile,
+    fig7_profile,
+    fig8_profile,
+    fig9_profile,
+    fig13_profile,
+)
+from repro.workload.generator import ChainGenerator, GeneratedDatabase, measure_profile
+
+__all__ = [
+    "FIG4_PROFILE",
+    "FIG5_BASE",
+    "FIG6_PROFILE",
+    "FIG8_BASE",
+    "FIG9_BASE",
+    "FIG11_PROFILE",
+    "FIG12_PROFILE",
+    "FIG14_MIX",
+    "FIG16_PROFILE",
+    "FIG16_MIX",
+    "FIG17_PROFILE",
+    "FIG17_MIX",
+    "fig5_profile",
+    "fig7_profile",
+    "fig8_profile",
+    "fig9_profile",
+    "fig13_profile",
+    "ChainGenerator",
+    "GeneratedDatabase",
+    "measure_profile",
+]

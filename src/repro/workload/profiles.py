@@ -1,0 +1,186 @@
+"""The paper's application-characteristic tables, by figure.
+
+Every evaluation figure in the paper is driven by an explicit parameter
+table; this module transcribes them.  Two corrections (both documented
+in DESIGN.md):
+
+* **Figure 6/7 table** prints ``d_2 = 8000`` while ``c_2 = 1000``; a
+  defined-attribute count cannot exceed the object count, so we use
+  ``d_2 = 800`` (consistent with the neighbouring ``d_i ≈ 0.8·c_i``
+  pattern of the table).
+* **Figure 17 table** lists six ``d`` values for ``n = 5``; ``d_5`` is
+  meaningless (there is no ``A_6``) and is dropped.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.opmix import OperationMix, QuerySpec, UpdateSpec
+from repro.costmodel.parameters import ApplicationProfile
+
+# ----------------------------------------------------------------------
+# Section 4.4.1, Figure 4 — storage comparison between extensions and
+# decompositions (also section 6.3.1/Figure 11 object counts).
+# ----------------------------------------------------------------------
+
+FIG4_PROFILE = ApplicationProfile(
+    c=(1000, 5000, 10000, 50000, 100000),
+    d=(900, 4000, 8000, 20000),
+    fan=(2, 2, 3, 4),
+)
+
+# ----------------------------------------------------------------------
+# Section 4.4.2, Figure 5 — varying all d_i simultaneously.
+# ----------------------------------------------------------------------
+
+FIG5_BASE = ApplicationProfile(
+    c=(10_000,) * 5,
+    d=(10_000,) * 4,
+    fan=(2, 2, 2, 2),
+)
+
+
+def fig5_profile(d: float) -> ApplicationProfile:
+    """The Figure 5 profile with all ``d_i`` set to ``d`` (2500 … 10^4)."""
+    return FIG5_BASE.with_d((d,) * 4)
+
+
+# ----------------------------------------------------------------------
+# Section 5.9.1, Figure 6 — backward query Q_{0,4}(bw) costs.
+# (d_2 corrected from the printed 8000; see module docstring.)
+# ----------------------------------------------------------------------
+
+FIG6_PROFILE = ApplicationProfile(
+    c=(100, 500, 1000, 5000, 10000),
+    d=(90, 400, 800, 2000),
+    fan=(2, 2, 3, 4),
+    size=(500, 400, 300, 300, 100),
+)
+
+
+def fig7_profile(size: float) -> ApplicationProfile:
+    """Section 5.9.2, Figure 7: the Figure 6 profile with uniform sizes."""
+    return FIG6_PROFILE.with_size((size,) * 5)
+
+
+# ----------------------------------------------------------------------
+# Section 5.9.3, Figure 8 — which queries are supported (Q_{0,3}(bw)).
+# ----------------------------------------------------------------------
+
+FIG8_BASE = ApplicationProfile(
+    c=(10_000,) * 5,
+    d=(10_000,) * 4,
+    fan=(2, 2, 2, 2),
+    size=(120,) * 5,
+)
+
+
+def fig8_profile(d: float) -> ApplicationProfile:
+    """The Figure 8 profile with all ``d_i`` set to ``d`` (10 … 10^4)."""
+    return FIG8_BASE.with_d((d,) * 4)
+
+
+# ----------------------------------------------------------------------
+# Section 5.9.4, Figure 9 — an application favouring canonical/left.
+# ----------------------------------------------------------------------
+
+FIG9_BASE = ApplicationProfile(
+    c=(400_000,) * 5,
+    d=(10, 100, 1000, 100_000),
+    fan=(10, 10, 10, 10),
+    size=(120,) * 5,
+)
+
+
+def fig9_profile(fan: float) -> ApplicationProfile:
+    """The Figure 9 profile with all fan-outs set to ``fan`` (10 … 100)."""
+    return FIG9_BASE.with_fan((fan,) * 4)
+
+
+# ----------------------------------------------------------------------
+# Section 6.3.1, Figure 11 — update costs, first fixed profile.
+# ----------------------------------------------------------------------
+
+FIG11_PROFILE = ApplicationProfile(
+    c=(1000, 5000, 10000, 50000, 100000),
+    d=(900, 4000, 8000, 20000),
+    fan=(2, 2, 3, 4),
+    size=(500, 400, 300, 300, 100),
+)
+
+# ----------------------------------------------------------------------
+# Section 6.3.2, Figure 12 — update costs, second fixed profile.
+# ----------------------------------------------------------------------
+
+FIG12_PROFILE = ApplicationProfile(
+    c=(1000, 5000, 10000, 50000, 100000),
+    d=(900, 4000, 8000, 20000),
+    fan=(2, 1, 1, 4),
+    size=(500, 400, 300, 300, 100),
+)
+
+
+def fig13_profile(size: float) -> ApplicationProfile:
+    """Section 6.3.3, Figure 13: Figure 11's profile with uniform sizes."""
+    return FIG11_PROFILE.with_size((size,) * 5)
+
+
+# ----------------------------------------------------------------------
+# Section 6.4.2/6.4.3, Figures 14-15 — operation mix over FIG11_PROFILE.
+# ----------------------------------------------------------------------
+
+FIG14_MIX = OperationMix(
+    queries=(
+        (0.5, QuerySpec(0, 4, "bw")),
+        (0.25, QuerySpec(0, 3, "bw")),
+        (0.25, QuerySpec(1, 2, "fw")),
+    ),
+    updates=(
+        (0.5, UpdateSpec(2)),
+        (0.5, UpdateSpec(3)),
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Section 6.4.4, Figure 16 — left-complete vs full, n = 5.
+# ----------------------------------------------------------------------
+
+FIG16_PROFILE = ApplicationProfile(
+    c=(1000, 1000, 5000, 10000, 100000, 100000),
+    d=(100, 1000, 3000, 8000, 100000),
+    fan=(2, 2, 3, 4, 10),
+    size=(600, 500, 400, 300, 300, 100),
+)
+
+FIG16_MIX = OperationMix(
+    queries=(
+        (1 / 3, QuerySpec(0, 5, "bw")),
+        (1 / 3, QuerySpec(0, 4, "bw")),
+        (1 / 3, QuerySpec(0, 5, "fw")),
+    ),
+    updates=(
+        (1 / 3, UpdateSpec(3)),
+        (1 / 3, UpdateSpec(0)),
+        (1 / 3, UpdateSpec(4)),
+    ),
+)
+
+# ----------------------------------------------------------------------
+# Section 6.4.5, Figure 17 — right-complete vs full, n = 5.
+# (The printed table's sixth d value is dropped; see module docstring.)
+# ----------------------------------------------------------------------
+
+FIG17_PROFILE = ApplicationProfile(
+    c=(100_000, 100_000, 50_000, 10_000, 1000, 1000),
+    d=(100_000, 10_000, 30_000, 10_000, 100),
+    fan=(1, 10, 20, 4, 1),
+    size=(600, 500, 400, 300, 200, 700),
+)
+
+FIG17_MIX = OperationMix(
+    queries=(
+        (0.5, QuerySpec(0, 5, "bw")),
+        (0.25, QuerySpec(1, 5, "bw")),
+        (0.25, QuerySpec(2, 5, "bw")),
+    ),
+    updates=((1.0, UpdateSpec(3)),),
+)

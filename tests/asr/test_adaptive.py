@@ -1,0 +1,149 @@
+"""Self-adjusting physical design: recorder + adaptive designer."""
+
+import pytest
+
+from repro.asr import (
+    ASRManager,
+    AdaptiveDesigner,
+    Decomposition,
+    Extension,
+    WorkloadRecorder,
+)
+from repro.costmodel import ApplicationProfile
+from repro.errors import CostModelError
+from repro.workload import ChainGenerator
+
+PROFILE = ApplicationProfile(
+    c=(30, 60, 120, 240),
+    d=(27, 48, 96),
+    fan=(2, 2, 2),
+    size=(400, 300, 200, 100),
+)
+
+SIZES = {"T0": 400, "T1": 300, "T2": 200, "T3": 100}
+
+
+@pytest.fixture()
+def world():
+    generated = ChainGenerator(seed=19).generate(PROFILE)
+    manager = ASRManager(generated.db)
+    return generated, manager
+
+
+class TestWorkloadRecorder:
+    def test_counts_queries_and_updates(self, world):
+        generated, _manager = world
+        recorder = WorkloadRecorder(generated.path)
+        recorder.record_query(0, 3, "bw", count=3)
+        recorder.record_query(0, 1, "fw")
+        recorder.record_update(1, count=2)
+        assert recorder.total_queries == 4
+        assert recorder.total_updates == 2
+        assert recorder.total_operations == 6
+
+    def test_to_mix_weights(self, world):
+        generated, _manager = world
+        recorder = WorkloadRecorder(generated.path)
+        recorder.record_query(0, 3, "bw", count=3)
+        recorder.record_query(0, 2, "bw", count=1)
+        recorder.record_update(0, count=4)
+        mix, p_up = recorder.to_mix()
+        assert p_up == pytest.approx(0.5)
+        weights = {str(spec): w for w, spec in mix.queries}
+        assert weights["Q0,3(bw)"] == pytest.approx(0.75)
+        assert weights["Q0,2(bw)"] == pytest.approx(0.25)
+
+    def test_empty_log_rejected(self, world):
+        generated, _manager = world
+        with pytest.raises(CostModelError):
+            WorkloadRecorder(generated.path).to_mix()
+
+    def test_validation(self, world):
+        generated, _manager = world
+        recorder = WorkloadRecorder(generated.path)
+        with pytest.raises(CostModelError):
+            recorder.record_query(2, 2, "bw")
+        with pytest.raises(CostModelError):
+            recorder.record_query(0, 1, "sideways")
+        with pytest.raises(CostModelError):
+            recorder.record_update(3)
+
+    def test_attached_recorder_counts_update_events(self, world):
+        generated, _manager = world
+        db = generated.db
+        recorder = WorkloadRecorder(generated.path)
+        recorder.attach(db)
+        owner = generated.layers[0][0]
+        collection = db.attr(owner, "A")
+        if collection:
+            db.set_insert(collection, generated.layers[1][0])
+            assert recorder.updates[0] >= 1
+
+    def test_reset(self, world):
+        generated, _manager = world
+        recorder = WorkloadRecorder(generated.path)
+        recorder.record_update(0)
+        recorder.reset()
+        assert recorder.total_operations == 0
+
+
+class TestAdaptiveDesigner:
+    def test_switches_away_from_poor_design(self, world):
+        generated, manager = world
+        path = generated.path
+        asr = manager.create(path, Extension.RIGHT, Decomposition.binary(path.m))
+        recorder = WorkloadRecorder(path)
+        for _ in range(50):
+            recorder.record_query(0, 2, "bw")  # RIGHT cannot serve (0,2)
+        recorder.record_update(0, count=2)
+        designer = AdaptiveDesigner(manager, asr, recorder, SIZES)
+        decision = designer.retune()
+        assert decision.retuned
+        assert designer.asr.extension in (Extension.FULL, Extension.LEFT)
+        manager.check_consistency()
+
+    def test_keeps_good_design(self, world):
+        generated, manager = world
+        path = generated.path
+        asr = manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        recorder = WorkloadRecorder(path)
+        recorder.record_query(1, 2, "fw", count=20)  # only full serves this
+        designer = AdaptiveDesigner(
+            manager, asr, recorder, SIZES, improvement_threshold=3.0
+        )
+        decision = designer.retune()
+        assert designer.asr is asr  # not replaced
+        assert "pages/op" in decision.describe()
+
+    def test_retuned_asr_stays_maintained(self, world):
+        generated, manager = world
+        db, path = generated.db, generated.path
+        asr = manager.create(path, Extension.RIGHT, Decomposition.binary(path.m))
+        recorder = WorkloadRecorder(path)
+        for _ in range(30):
+            recorder.record_query(0, 1, "bw")
+        designer = AdaptiveDesigner(manager, asr, recorder, SIZES)
+        designer.retune()
+        owner = generated.layers[0][0]
+        collection = db.attr(owner, "A")
+        if collection:
+            db.set_insert(collection, generated.layers[1][1])
+        manager.check_consistency()
+
+    def test_unregistered_asr_rejected(self, world):
+        from repro.asr import AccessSupportRelation
+
+        generated, manager = world
+        orphan = AccessSupportRelation.build(
+            generated.db, generated.path, Extension.FULL
+        )
+        recorder = WorkloadRecorder(generated.path)
+        with pytest.raises(CostModelError):
+            AdaptiveDesigner(manager, orphan, recorder)
+
+    def test_threshold_validation(self, world):
+        generated, manager = world
+        asr = manager.create(generated.path, Extension.FULL)
+        recorder = WorkloadRecorder(generated.path)
+        with pytest.raises(CostModelError):
+            AdaptiveDesigner(manager, asr, recorder, improvement_threshold=0.5)

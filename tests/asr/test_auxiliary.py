@@ -1,0 +1,68 @@
+"""Auxiliary relations (Definition 3.3) against the paper's own tables."""
+
+from repro.asr import auxiliary_relations
+from repro.asr.auxiliary import auxiliary_relation
+from repro.gom.types import NULL
+
+
+class TestCompanyAuxiliaries:
+    """Section 3's worked example over the Figure 2 extension."""
+
+    def test_e0_manufactures(self, company_world):
+        db, path, o = company_world
+        e0 = auxiliary_relation(db, path, 1)
+        assert e0.columns == ("OID_Division", "OID_ProdSET", "OID_Product")
+        assert e0.rows == {
+            (o["auto"], o["prods_auto"], o["sec"]),
+            (o["truck"], o["prods_truck"], o["sec"]),
+            (o["truck"], o["prods_truck"], o["trak"]),
+        }
+
+    def test_e1_composition(self, company_world):
+        db, path, o = company_world
+        e1 = auxiliary_relation(db, path, 2)
+        assert e1.rows == {
+            (o["sec"], o["parts_sec"], o["door"]),
+            (o["sausage"], o["parts_sausage"], o["pepper"]),
+        }
+
+    def test_e2_name_binary_with_values(self, company_world):
+        db, path, o = company_world
+        e2 = auxiliary_relation(db, path, 3)
+        assert e2.arity == 2
+        assert e2.rows == {(o["door"], "Door"), (o["pepper"], "Pepper")}
+
+    def test_undefined_attributes_excluded(self, company_world):
+        db, path, o = company_world
+        e0 = auxiliary_relation(db, path, 1)
+        assert o["space"] not in e0.distinct(0)  # Manufactures is NULL
+        e1 = auxiliary_relation(db, path, 2)
+        assert o["trak"] not in e1.distinct(0)  # Composition is NULL
+
+    def test_empty_set_rule(self, company_world):
+        db, path, _o = company_world
+        empty = db.new_set("ProdSET")
+        lonely = db.new("Division", Name="Lonely", Manufactures=empty)
+        e0 = auxiliary_relation(db, path, 1)
+        assert (lonely, empty, NULL) in e0.rows
+
+    def test_all_auxiliaries(self, company_world):
+        db, path, _o = company_world
+        auxiliaries = auxiliary_relations(db, path)
+        assert len(auxiliaries) == path.n
+        assert [aux.arity for aux in auxiliaries] == [3, 3, 2]
+
+
+class TestRobotAuxiliaries:
+    def test_linear_binary_relations(self, robot_world):
+        db, path, o = robot_world
+        auxiliaries = auxiliary_relations(db, path)
+        assert [aux.arity for aux in auxiliaries] == [2, 2, 2, 2]
+        assert auxiliaries[3].rows == {(o["robclone"], "Utopia")}
+
+    def test_shared_subobject(self, robot_world):
+        db, path, o = robot_world
+        e1 = auxiliary_relations(db, path)[1]  # ARM -> TOOL
+        # Both x4d5's and robi's arms mount the same gripping tool.
+        assert (o["arm_x4d5"], o["gripping"]) in e1.rows
+        assert (o["arm_robi"], o["gripping"]) in e1.rows

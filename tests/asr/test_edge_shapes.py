@@ -1,0 +1,116 @@
+"""Edge-shaped paths: length-1 chains, empty worlds, degenerate extents."""
+
+import pytest
+
+from repro.asr import (
+    ASRManager,
+    Decomposition,
+    Extension,
+    build_extension,
+)
+from repro.gom import NULL, ObjectBase, PathExpression, Schema
+from repro.query import BackwardQuery, ForwardQuery, QueryEvaluator
+
+
+@pytest.fixture()
+def single_step_world():
+    schema = Schema()
+    schema.define_tuple("Person", {"Name": "STRING"})
+    schema.define_tuple("Badge", {"Holder": "Person"})
+    schema.validate()
+    db = ObjectBase(schema)
+    alice = db.new("Person", Name="alice")
+    badge1 = db.new("Badge", Holder=alice)
+    badge2 = db.new("Badge")  # unassigned
+    path = PathExpression.parse(schema, "Badge.Holder")
+    return db, path, alice, badge1, badge2
+
+
+class TestSingleStepPaths:
+    def test_extensions(self, single_step_world):
+        db, path, alice, badge1, badge2 = single_step_world
+        assert path.n == 1 and path.m == 1
+        can = build_extension(db, path, Extension.CANONICAL)
+        assert can.rows == {(badge1, alice)}
+        # With one auxiliary relation, all four extensions coincide on
+        # this world (the only tuple is the defined edge).
+        for extension in Extension:
+            assert build_extension(db, path, extension).rows == can.rows
+
+    def test_only_trivial_decomposition(self, single_step_world):
+        db, path, *_ = single_step_world
+        decs = list(Decomposition.all_for(path.m))
+        assert decs == [Decomposition.of(0, 1)]
+
+    def test_queries(self, single_step_world):
+        db, path, alice, badge1, badge2 = single_step_world
+        manager = ASRManager(db)
+        asr = manager.create(path, Extension.FULL)
+        evaluator = QueryEvaluator(db)
+        backward = BackwardQuery(path, 0, 1, target=alice)
+        assert evaluator.evaluate_supported(backward, asr).cells == {badge1}
+        forward = ForwardQuery(path, 0, 1, start=badge1)
+        assert evaluator.evaluate_supported(forward, asr).cells == {alice}
+        assert evaluator.evaluate_supported(
+            ForwardQuery(path, 0, 1, start=badge2), asr
+        ).cells == set()
+
+    def test_maintenance(self, single_step_world):
+        db, path, alice, badge1, badge2 = single_step_world
+        manager = ASRManager(db)
+        for extension in Extension:
+            manager.create(path, extension)
+        db.set_attr(badge2, "Holder", alice)
+        manager.check_consistency()
+        db.set_attr(badge1, "Holder", NULL)
+        manager.check_consistency()
+        db.delete(alice)
+        manager.check_consistency()
+
+
+class TestEmptyWorlds:
+    def test_extensions_on_empty_extents(self):
+        schema = Schema()
+        schema.define_tuple("A", {"Next": "B"})
+        schema.define_tuple("B", {"Value": "INTEGER"})
+        schema.validate()
+        db = ObjectBase(schema)
+        path = PathExpression.parse(schema, "A.Next.Value")
+        for extension in Extension:
+            assert len(build_extension(db, path, extension)) == 0
+
+    def test_asr_over_empty_world(self):
+        schema = Schema()
+        schema.define_tuple("A", {"Next": "B"})
+        schema.define_tuple("B", {"Value": "INTEGER"})
+        schema.validate()
+        db = ObjectBase(schema)
+        path = PathExpression.parse(schema, "A.Next.Value")
+        manager = ASRManager(db)
+        asr = manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        assert asr.tuple_count == 0
+        assert asr.total_pages == 0
+        # First objects arriving through maintenance, not rebuild.
+        b = db.new("B", Value=7)
+        a = db.new("A", Next=b)
+        manager.check_consistency()
+        # The (b, 7) stub created first is superseded once a→b arrives:
+        # only the maximal row (a, b, 7) remains.
+        assert asr.tuple_count == 1
+        evaluator = QueryEvaluator(db)
+        query = BackwardQuery(path, 0, 2, target=7)
+        assert evaluator.evaluate_supported(query, asr).cells == {a}
+
+    def test_all_null_world(self):
+        """Objects exist but no attribute is defined anywhere."""
+        schema = Schema()
+        schema.define_tuple("A", {"Next": "B"})
+        schema.define_tuple("B", {"Value": "INTEGER"})
+        schema.validate()
+        db = ObjectBase(schema)
+        for _ in range(5):
+            db.new("A")
+            db.new("B")
+        path = PathExpression.parse(schema, "A.Next.Value")
+        for extension in Extension:
+            assert len(build_extension(db, path, extension)) == 0

@@ -1,0 +1,141 @@
+"""Physical sharing of partitions between ASRs (section 5.4 runtime)."""
+
+import random
+
+import pytest
+
+from repro.asr import ASRManager, Extension, SharedASRBundle
+from repro.errors import DecompositionError
+from repro.gom import NULL, ObjectBase, PathExpression, Schema
+from repro.query import BackwardQuery, QueryEvaluator
+
+
+@pytest.fixture()
+def world():
+    schema = Schema()
+    schema.define_tuple("MANUFACTURER", {"Name": "STRING", "Location": "STRING"})
+    schema.define_tuple(
+        "TOOL", {"Function": "STRING", "ManufacturedBy": "MANUFACTURER"}
+    )
+    schema.define_tuple("ARM", {"MountedTool": "TOOL"})
+    schema.define_tuple("ROBOT", {"Name": "STRING", "Arm": "ARM"})
+    schema.define_tuple("WORKCELL", {"SpareTool": "TOOL"})
+    schema.validate()
+    db = ObjectBase(schema)
+    rng = random.Random(8)
+    makers = [
+        db.new("MANUFACTURER", Name=f"M{i}", Location=rng.choice(["Utopia", "Sirius"]))
+        for i in range(4)
+    ]
+    tools = [
+        db.new("TOOL", Function=f"F{i}", ManufacturedBy=rng.choice(makers))
+        for i in range(10)
+    ]
+    arms = [db.new("ARM", MountedTool=rng.choice(tools)) for _ in range(6)]
+    for i in range(5):
+        db.new("ROBOT", Name=f"R{i}", Arm=rng.choice(arms))
+    for i in range(3):
+        db.new("WORKCELL", SpareTool=rng.choice(tools))
+    path_a = PathExpression.parse(
+        schema, "ROBOT.Arm.MountedTool.ManufacturedBy.Location"
+    )
+    path_b = PathExpression.parse(schema, "WORKCELL.SpareTool.ManufacturedBy.Location")
+    return db, path_a, path_b, makers, tools, arms
+
+
+class TestBuild:
+    def test_builds_with_shared_store(self, world):
+        db, path_a, path_b, *_ = world
+        bundle = SharedASRBundle.build(db, path_a, path_b, Extension.FULL)
+        assert bundle.view_a.forward_tree is bundle.view_b.forward_tree
+        assert bundle.view_a.backward_tree is bundle.view_b.backward_tree
+        assert bundle.view_a._counts is bundle.view_b._counts
+        assert bundle.view_a.shared and bundle.view_b.shared
+        # Views keep their own coordinates.
+        assert bundle.view_a.first_column == 2
+        assert bundle.view_b.first_column == 1
+
+    def test_bytes_saved_positive(self, world):
+        db, path_a, path_b, *_ = world
+        bundle = SharedASRBundle.build(db, path_a, path_b)
+        assert bundle.bytes_saved > 0
+        assert "stored once" in bundle.describe()
+
+    def test_illegal_extension_rejected(self, world):
+        db, path_a, path_b, *_ = world
+        with pytest.raises(DecompositionError):
+            SharedASRBundle.build(db, path_a, path_b, Extension.CANONICAL)
+        with pytest.raises(DecompositionError):
+            SharedASRBundle.build(db, path_a, path_b, Extension.LEFT)
+
+    def test_right_legal_for_common_suffix(self, world):
+        db, path_a, path_b, *_ = world
+        bundle = SharedASRBundle.build(db, path_a, path_b, Extension.RIGHT)
+        bundle.consistency_check(db)
+
+    def test_disjoint_paths_rejected(self, world):
+        db, path_a, _path_b, *_ = world
+        other = PathExpression.parse(db.schema, "ROBOT.Name")
+        with pytest.raises(DecompositionError):
+            SharedASRBundle.build(db, path_a, other)
+
+
+class TestQueriesAndMaintenance:
+    def test_queries_through_both_views(self, world):
+        db, path_a, path_b, *_ = world
+        bundle = SharedASRBundle.build(db, path_a, path_b)
+        evaluator = QueryEvaluator(db)
+        query_a = BackwardQuery(path_a, 0, path_a.n, target="Utopia")
+        query_b = BackwardQuery(path_b, 0, path_b.n, target="Utopia")
+        assert (
+            evaluator.evaluate_supported(query_a, bundle.asr_a).cells
+            == evaluator.evaluate_unsupported(query_a).cells
+        )
+        assert (
+            evaluator.evaluate_supported(query_b, bundle.asr_b).cells
+            == evaluator.evaluate_unsupported(query_b).cells
+        )
+
+    def test_maintained_under_update_stream(self, world):
+        db, path_a, path_b, makers, tools, arms = world
+        bundle = SharedASRBundle.build(db, path_a, path_b)
+        manager = ASRManager(db)
+        manager.register(bundle.asr_a)
+        manager.register(bundle.asr_b)
+        rng = random.Random(9)
+        for _ in range(80):
+            roll = rng.random()
+            if roll < 0.35:
+                db.set_attr(rng.choice(tools), "ManufacturedBy", rng.choice(makers))
+            elif roll < 0.5:
+                db.set_attr(rng.choice(tools), "ManufacturedBy", NULL)
+            elif roll < 0.75:
+                db.set_attr(
+                    rng.choice(makers), "Location", rng.choice(["Utopia", "Earth"])
+                )
+            else:
+                db.set_attr(rng.choice(arms), "MountedTool", rng.choice(tools))
+            bundle.consistency_check(db)
+
+    def test_shared_row_survives_while_either_side_needs_it(self, world):
+        db, path_a, path_b, makers, tools, arms = world
+        bundle = SharedASRBundle.build(db, path_a, path_b)
+        manager = ASRManager(db)
+        manager.register(bundle.asr_a)
+        manager.register(bundle.asr_b)
+        # Detach every arm from tools[0]; if any workcell still spares it,
+        # the (tool, maker, location) row must remain in the shared store.
+        spare_holders = [
+            cell
+            for cell in db.extent("WORKCELL")
+            if db.attr(cell, "SpareTool") == tools[0]
+        ]
+        for arm in arms:
+            if db.attr(arm, "MountedTool") == tools[0]:
+                db.set_attr(arm, "MountedTool", tools[1])
+        rows_with_tool0 = [
+            row for row in bundle.shared_partition.rows() if row[0] == tools[0]
+        ]
+        if spare_holders:
+            assert rows_with_tool0
+        bundle.consistency_check(db)

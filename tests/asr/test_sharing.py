@@ -1,0 +1,98 @@
+"""Sharing of access support relations across paths (section 5.4)."""
+
+import pytest
+
+from repro.asr import Extension, build_extension
+from repro.asr.sharing import best_shared_design, shareable_segments
+from repro.gom import ObjectBase, PathExpression, Schema
+
+
+@pytest.fixture()
+def two_path_schema():
+    """Two paths sharing the middle chain TOOL.ManufacturedBy.Location."""
+    schema = Schema()
+    schema.define_tuple("MANUFACTURER", {"Name": "STRING", "Location": "STRING"})
+    schema.define_tuple("TOOL", {"Function": "STRING", "ManufacturedBy": "MANUFACTURER"})
+    schema.define_tuple("ARM", {"MountedTool": "TOOL"})
+    schema.define_tuple("ROBOT", {"Name": "STRING", "Arm": "ARM"})
+    schema.define_tuple("WORKCELL", {"SpareTool": "TOOL"})
+    schema.validate()
+    path_a = PathExpression.parse(schema, "ROBOT.Arm.MountedTool.ManufacturedBy.Location")
+    path_b = PathExpression.parse(schema, "WORKCELL.SpareTool.ManufacturedBy.Location")
+    return schema, path_a, path_b
+
+
+class TestSegmentDetection:
+    def test_common_middle_found(self, two_path_schema):
+        _schema, path_a, path_b = two_path_schema
+        segments = shareable_segments(path_a, path_b)
+        best = best_shared_design(path_a, path_b)
+        assert best is not None
+        assert best.length == 2  # ManufacturedBy.Location
+        assert best.start_a == 2 and best.start_b == 1
+        assert best in segments
+
+    def test_no_overlap(self, two_path_schema):
+        schema, path_a, _path_b = two_path_schema
+        other = PathExpression.parse(schema, "ROBOT.Name")
+        assert shareable_segments(path_a, other) == []
+        assert best_shared_design(path_a, other) is None
+
+    def test_identical_paths_fully_shared(self, two_path_schema):
+        _schema, path_a, _path_b = two_path_schema
+        best = best_shared_design(path_a, path_a)
+        assert best is not None
+        assert best.length == path_a.n
+        assert best.start_a == best.start_b == 0
+
+    def test_maximality(self, two_path_schema):
+        _schema, path_a, path_b = two_path_schema
+        for segment in shareable_segments(path_a, path_b):
+            # No segment is a proper sub-segment of another reported one.
+            assert segment.length >= 1
+
+
+class TestLegality:
+    def test_middle_segment_full_only(self, two_path_schema):
+        _schema, path_a, path_b = two_path_schema
+        best = best_shared_design(path_a, path_b)
+        assert best.legal_extensions() == {Extension.FULL, Extension.RIGHT}
+        # Both segments end at t_n, so RIGHT is legal too (paper exception).
+
+    def test_common_prefix_allows_left(self, two_path_schema):
+        schema, path_a, _path_b = two_path_schema
+        prefix = PathExpression.parse(schema, "ROBOT.Arm.MountedTool")
+        best = best_shared_design(path_a, prefix)
+        assert Extension.LEFT in best.legal_extensions()
+        assert Extension.FULL in best.legal_extensions()
+        assert Extension.RIGHT not in best.legal_extensions()
+
+    def test_decompositions_cover_borders(self, two_path_schema):
+        _schema, path_a, path_b = two_path_schema
+        best = best_shared_design(path_a, path_b)
+        dec_a, dec_b = best.decomposition_a(), best.decomposition_b()
+        assert path_a.column_of(best.start_a) in dec_a.borders
+        assert path_a.column_of(best.end_a) in dec_a.borders
+        assert path_b.column_of(best.start_b) in dec_b.borders
+
+
+class TestSharedPartitionEquality:
+    def test_shared_partition_is_the_same_relation(self, two_path_schema):
+        """The partitions over the common sub-chain hold identical tuples."""
+        schema, path_a, path_b = two_path_schema
+        db = ObjectBase(schema)
+        maker = db.new("MANUFACTURER", Name="RobClone", Location="Utopia")
+        tool = db.new("TOOL", Function="welding", ManufacturedBy=maker)
+        arm = db.new("ARM", MountedTool=tool)
+        db.new("ROBOT", Name="R2D2", Arm=arm)
+        db.new("WORKCELL", SpareTool=tool)
+        best = best_shared_design(path_a, path_b)
+        full_a = build_extension(db, path_a, Extension.FULL)
+        full_b = build_extension(db, path_b, Extension.FULL)
+        slice_a = full_a.slice(
+            path_a.column_of(best.start_a), path_a.column_of(best.end_a)
+        )
+        slice_b = full_b.slice(
+            path_b.column_of(best.start_b), path_b.column_of(best.end_b)
+        )
+        assert slice_a.rows == slice_b.rows

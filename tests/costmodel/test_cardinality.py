@@ -1,0 +1,115 @@
+"""Cardinality estimates (section 4.2): structure and empirical accuracy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asr import Extension, build_extension
+from repro.costmodel import (
+    ApplicationProfile,
+    extension_cardinality,
+    partition_cardinality,
+)
+from repro.errors import CostModelError
+from repro.workload import ChainGenerator, measure_profile
+
+FIG4 = ApplicationProfile(
+    c=(1000, 5000, 10000, 50000, 100000),
+    d=(900, 4000, 8000, 20000),
+    fan=(2, 2, 3, 4),
+)
+
+
+class TestStructure:
+    def test_canonical_is_path_count_when_anchored(self):
+        from repro.costmodel.derived import derived_for
+
+        q = derived_for(FIG4)
+        assert extension_cardinality(FIG4, Extension.CANONICAL) == pytest.approx(
+            q.p_refby(0, 0) * q.path(0, 4) * q.p_ref(4, 4)
+        )
+
+    def test_lattice_ordering(self):
+        can = extension_cardinality(FIG4, Extension.CANONICAL)
+        left = extension_cardinality(FIG4, Extension.LEFT)
+        right = extension_cardinality(FIG4, Extension.RIGHT)
+        full = extension_cardinality(FIG4, Extension.FULL)
+        assert can <= left <= full
+        assert can <= right <= full
+
+    def test_partitions_smaller_than_whole_for_canonical(self):
+        whole = partition_cardinality(FIG4, Extension.CANONICAL, 0, 4)
+        for i in range(4):
+            part = partition_cardinality(FIG4, Extension.CANONICAL, i, i + 1)
+            assert part <= whole + 1e-6
+
+    def test_invalid_partition(self):
+        with pytest.raises(CostModelError):
+            partition_cardinality(FIG4, Extension.FULL, 2, 2)
+        with pytest.raises(CostModelError):
+            partition_cardinality(FIG4, Extension.FULL, 0, 9)
+
+    def test_all_nonnegative(self):
+        for extension in Extension:
+            for i in range(4):
+                for j in range(i + 1, 5):
+                    assert partition_cardinality(FIG4, extension, i, j) >= 0.0
+
+    def test_full_d_collapses_extensions(self):
+        saturated = ApplicationProfile(
+            c=(100, 100, 100), d=(100, 100), fan=(1, 1), shar=(1, 1)
+        )
+        values = {
+            extension: extension_cardinality(saturated, extension)
+            for extension in Extension
+        }
+        spread = max(values.values()) / min(values.values())
+        assert spread < 1.2  # Figure 5's convergence claim
+
+    def test_zero_d_zero_cardinality(self):
+        empty = ApplicationProfile(c=(10, 10), d=(0,), fan=(2,))
+        for extension in Extension:
+            assert extension_cardinality(empty, extension) == 0.0
+
+
+class TestEmpiricalAccuracy:
+    """Model estimates vs actual extension sizes on generated worlds."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_within_tolerance(self, seed):
+        profile = ApplicationProfile(
+            c=(40, 80, 160, 320),
+            d=(36, 64, 128),
+            fan=(2, 3, 2),
+            size=(400, 300, 200, 100),
+        )
+        generated = ChainGenerator(seed=seed).generate(profile)
+        measured = measure_profile(generated)
+        for extension in Extension:
+            actual = len(build_extension(generated.db, generated.path, extension))
+            estimate = partition_cardinality(measured, extension, 0, measured.n)
+            assert actual > 0
+            assert abs(estimate - actual) / actual < 0.4, (extension, actual, estimate)
+
+
+@st.composite
+def small_profiles(draw):
+    n = draw(st.integers(1, 4))
+    c = [draw(st.integers(2, 500)) for _ in range(n + 1)]
+    d = [draw(st.integers(0, c[i])) for i in range(n)]
+    fan = [draw(st.integers(1, 5)) for _ in range(n)]
+    return ApplicationProfile(tuple(c), tuple(d), tuple(fan))
+
+
+@settings(max_examples=100, deadline=None)
+@given(small_profiles())
+def test_lattice_holds_generally(profile):
+    can = extension_cardinality(profile, Extension.CANONICAL)
+    left = extension_cardinality(profile, Extension.LEFT)
+    right = extension_cardinality(profile, Extension.RIGHT)
+    full = extension_cardinality(profile, Extension.FULL)
+    tolerance = 1e-6 + 0.01 * full
+    assert can <= left + tolerance
+    assert can <= right + tolerance
+    assert left <= full + tolerance
+    assert right <= full + tolerance

@@ -1,0 +1,160 @@
+"""Derived probabilistic quantities: bounds, limits, and monotonicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import ApplicationProfile, DerivedQuantities
+from repro.errors import CostModelError
+
+
+@pytest.fixture()
+def q():
+    profile = ApplicationProfile(
+        c=(1000, 5000, 10000, 50000, 100000),
+        d=(900, 4000, 8000, 20000),
+        fan=(2, 2, 3, 4),
+    )
+    return DerivedQuantities(profile)
+
+
+class TestElementary:
+    def test_p_a(self, q):
+        assert q.p_a(0) == pytest.approx(0.9)
+        assert q.p_a(3) == pytest.approx(0.4)
+
+    def test_p_h_in_unit_interval(self, q):
+        for i in range(1, 5):
+            assert 0.0 <= q.p_h(i) <= 1.0
+
+
+class TestRefByAndRef:
+    def test_refby_base_case(self, q):
+        assert q.refby(0, 1) == q.profile.e_(1)
+
+    def test_refby_bounded(self, q):
+        for i in range(0, 4):
+            for j in range(i + 1, 5):
+                assert 0.0 <= q.refby(i, j) <= q.profile.c_(j)
+
+    def test_ref_base_case(self, q):
+        assert q.ref(3, 4) == q.profile.d_(3)
+
+    def test_ref_bounded_by_d(self, q):
+        for i in range(0, 4):
+            for j in range(i + 1, 5):
+                assert 0.0 <= q.ref(i, j) <= q.profile.d_(i) + 1e-9
+
+    def test_longer_paths_reach_fewer_or_equal(self, q):
+        # Ref(i, j) weakly decreases as j grows: reaching further is harder.
+        for i in range(0, 3):
+            values = [q.ref(i, j) for j in range(i + 1, 5)]
+            assert all(a >= b - 1e-6 for a, b in zip(values, values[1:]))
+
+    def test_probabilities(self, q):
+        assert q.p_refby(2, 2) == 1.0
+        assert q.p_ref(4, 4) == 1.0
+        for i in range(0, 4):
+            for j in range(i, 5):
+                assert 0.0 <= q.p_refby(i, j) <= 1.0
+                assert 0.0 <= q.p_ref(i, j) <= 1.0
+
+    def test_invalid_pairs(self, q):
+        with pytest.raises(CostModelError):
+            q.refby(2, 2)
+        with pytest.raises(CostModelError):
+            q.ref(3, 1)
+
+
+class TestPathCounts:
+    def test_adjacent_path_count(self, q):
+        assert q.path(0, 1) == q.profile.ref_(0)
+
+    def test_path_multiplies_fanout(self, q):
+        assert q.path(0, 2) == pytest.approx(
+            q.profile.ref_(0) * q.p_a(1) * q.profile.fan_(1)
+        )
+
+    def test_bounds_probabilities(self, q):
+        for i in range(0, 4):
+            for j in range(i, 5):
+                assert 0.0 <= q.p_lb(i, j) <= 1.0
+                assert 0.0 <= q.p_rb(i, j) <= 1.0
+        assert q.p_lb(3, 3) == 1.0
+        assert q.p_rb(3, 2) == 1.0
+
+
+class TestThreeArgument:
+    def test_k_zero(self, q):
+        assert q.refby_k(0, 2, 0) == 0.0
+        assert q.ref_k(0, 2, 0) == 0.0
+
+    def test_monotone_in_k(self, q):
+        for j in range(1, 5):
+            previous = 0.0
+            for k in (1, 5, 50, 500):
+                value = q.refby_k(0, j, k)
+                assert value >= previous - 1e-9
+                previous = value
+
+    def test_saturates_near_two_arg(self, q):
+        # RefBy(i, j, d_i) approximates the two-argument RefBy(i, j).  The
+        # paper's base cases differ (Eq. 6 charges all e_{i+1} targets,
+        # Eq. 29 applies the collision estimate to the k sources), so the
+        # k-version is a *lower* estimate of the same order of magnitude.
+        saturated = q.refby_k(0, 3, q.profile.d_(0))
+        assert 0.4 * q.refby(0, 3) <= saturated <= 1.05 * q.refby(0, 3)
+
+    def test_ref_k_saturates(self, q):
+        # A target subset of size c_j reaches essentially the plain Ref.
+        assert q.ref_k(0, 4, q.profile.c_(4)) == pytest.approx(
+            q.ref(0, 4), rel=0.05
+        )
+
+
+class TestPathProbabilities:
+    def test_p_path_bounds(self, q):
+        for l in range(0, 5):
+            assert 0.0 <= q.p_path(l) <= 1.0
+            assert q.p_nopath(l) == pytest.approx(1.0 - q.p_path(l))
+
+    def test_endpoints(self, q):
+        assert q.p_path(0) == pytest.approx(q.p_ref(0, 4))
+        assert q.p_path(4) == pytest.approx(q.p_refby(0, 4))
+
+
+# ----------------------------------------------------------------------
+# hypothesis: bounds hold for arbitrary profiles
+# ----------------------------------------------------------------------
+
+counts = st.integers(1, 10_000)
+
+
+@st.composite
+def profiles(draw):
+    n = draw(st.integers(1, 5))
+    c = [draw(counts) for _ in range(n + 1)]
+    d = [draw(st.integers(0, c[i])) for i in range(n)]
+    fan = [draw(st.integers(0, 50)) for _ in range(n)]
+    return ApplicationProfile(tuple(c), tuple(d), tuple(fan))
+
+
+@settings(max_examples=150, deadline=None)
+@given(profiles())
+def test_all_quantities_well_behaved(profile):
+    q = DerivedQuantities(profile)
+    n = profile.n
+    for i in range(n):
+        assert 0.0 <= q.p_a(i) <= 1.0
+    for i in range(1, n + 1):
+        assert 0.0 <= q.p_h(i) <= 1.0
+    for i in range(n):
+        for j in range(i + 1, n + 1):
+            assert 0.0 <= q.refby(i, j) <= profile.c_(j)
+            assert 0.0 <= q.ref(i, j) <= profile.c_(i)
+            assert q.path(i, j) >= 0.0
+            assert 0.0 <= q.p_lb(i, j) <= 1.0
+            assert 0.0 <= q.p_rb(i, j) <= 1.0
+            for k in (1, 10):
+                assert 0.0 <= q.refby_k(i, j, k) <= profile.c_(j)
+                assert 0.0 <= q.ref_k(i, j, k) <= profile.c_(i)

@@ -1,0 +1,117 @@
+"""Operation mixes (section 6.4): validation, costs, break-evens."""
+
+import pytest
+
+from repro.asr import Decomposition, Extension
+from repro.costmodel import (
+    ApplicationProfile,
+    MixCostModel,
+    OperationMix,
+    QuerySpec,
+    UpdateSpec,
+)
+from repro.errors import CostModelError
+
+FIG11 = ApplicationProfile(
+    c=(1000, 5000, 10000, 50000, 100000),
+    d=(900, 4000, 8000, 20000),
+    fan=(2, 2, 3, 4),
+    size=(500, 400, 300, 300, 100),
+)
+
+MIX = OperationMix(
+    queries=(
+        (0.5, QuerySpec(0, 4, "bw")),
+        (0.25, QuerySpec(0, 3, "bw")),
+        (0.25, QuerySpec(1, 2, "fw")),
+    ),
+    updates=((0.5, UpdateSpec(2)), (0.5, UpdateSpec(3))),
+)
+
+BI = Decomposition.binary(4)
+
+
+@pytest.fixture()
+def model():
+    return MixCostModel(FIG11)
+
+
+class TestValidation:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(CostModelError):
+            OperationMix(queries=((0.5, QuerySpec(0, 1, "fw")),))
+        with pytest.raises(CostModelError):
+            OperationMix(
+                queries=((1.0, QuerySpec(0, 1, "fw")),),
+                updates=((0.7, UpdateSpec(0)),),
+            )
+
+    def test_empty_updates_allowed(self):
+        OperationMix(queries=((1.0, QuerySpec(0, 1, "fw")),))
+
+    def test_p_up_bounds(self, model):
+        with pytest.raises(CostModelError):
+            model.mix_cost(Extension.FULL, BI, MIX, 1.5)
+        with pytest.raises(CostModelError):
+            model.nosupport_cost(MIX, -0.1)
+
+    def test_str_rendering(self):
+        text = str(MIX)
+        assert "Q0,4(bw)" in text and "ins_2" in text
+
+
+class TestCosts:
+    def test_linear_in_p_up(self, model):
+        low = model.mix_cost(Extension.FULL, BI, MIX, 0.0)
+        mid = model.mix_cost(Extension.FULL, BI, MIX, 0.5)
+        high = model.mix_cost(Extension.FULL, BI, MIX, 1.0)
+        assert mid == pytest.approx((low + high) / 2)
+
+    def test_endpoints(self, model):
+        assert model.mix_cost(Extension.FULL, BI, MIX, 0.0) == pytest.approx(
+            model.query_mix_cost(Extension.FULL, BI, MIX)
+        )
+        assert model.mix_cost(Extension.FULL, BI, MIX, 1.0) == pytest.approx(
+            model.update_mix_cost(Extension.FULL, BI, MIX)
+        )
+
+    def test_nosupport_update_is_object_write_only(self, model):
+        assert model.nosupport_cost(MIX, 1.0) == pytest.approx(3.0)
+
+    def test_normalized_baseline_is_one(self, model):
+        assert model.normalized_cost(Extension.FULL, BI, MIX, 0.5) == pytest.approx(
+            model.mix_cost(Extension.FULL, BI, MIX, 0.5)
+            / model.nosupport_cost(MIX, 0.5)
+        )
+
+    def test_query_dominated_mixes_favour_support(self, model):
+        for extension in (Extension.FULL, Extension.LEFT):
+            assert model.normalized_cost(extension, BI, MIX, 0.05) < 0.05
+
+
+class TestBreakEven:
+    def test_left_vs_full_crossover(self, model):
+        point = model.break_even(
+            (Extension.LEFT, BI), (Extension.FULL, BI), MIX
+        )
+        assert point is not None and 0.02 < point < 0.45
+        # Left wins below, loses above.
+        below = point / 2
+        above = min(1.0, point * 2)
+        assert model.mix_cost(Extension.LEFT, BI, MIX, below) <= model.mix_cost(
+            Extension.FULL, BI, MIX, below
+        )
+        assert model.mix_cost(Extension.LEFT, BI, MIX, above) >= model.mix_cost(
+            Extension.FULL, BI, MIX, above
+        )
+
+    def test_nosupport_vs_full_near_one(self, model):
+        point = model.break_even(None, (Extension.FULL, BI), MIX)
+        assert point is not None and point > 0.97
+
+    def test_dominated_pair_returns_none(self, model):
+        # Full dominates canonical for this mix across all of [0, 1].
+        point = model.break_even(
+            (Extension.FULL, BI), (Extension.CANONICAL, BI), MIX
+        )
+        assert point is None

@@ -1,0 +1,74 @@
+"""profile_from_database: measuring Figure 3 parameters from live worlds."""
+
+import pytest
+
+from repro.costmodel import profile_from_database
+from repro.workload import ChainGenerator, measure_profile
+from repro.costmodel import ApplicationProfile
+
+
+class TestCompanyWorld:
+    def test_counts(self, company_world):
+        db, path, _o = company_world
+        profile = profile_from_database(db, path)
+        assert profile.n == 3
+        assert profile.c[0] == len(db.extent("Division"))
+        assert profile.c[1] == len(db.extent("Product"))
+        assert profile.c[2] == len(db.extent("BasePart"))
+
+    def test_defined_counts(self, company_world):
+        db, path, _o = company_world
+        profile = profile_from_database(db, path)
+        assert profile.d[0] == 2  # Auto, Truck define Manufactures
+        assert profile.d[1] == 2  # 560 SEC and Sausage define Composition
+        assert profile.d[2] == 2  # both BaseParts have Names
+
+    def test_atomic_terminal_counts_values(self, company_world):
+        db, path, o = company_world
+        profile = profile_from_database(db, path)
+        assert profile.c[3] == 2  # "Door" and "Pepper"
+        db.set_attr(o["pepper"], "Name", "Door")
+        assert profile_from_database(db, path).c[3] == 1
+
+    def test_fan_and_shar(self, company_world):
+        db, path, _o = company_world
+        profile = profile_from_database(db, path)
+        # Manufactures: {sec} and {sec, trak} -> 3 refs / 2 owners.
+        assert profile.fan[0] == pytest.approx(1.5)
+        # sec referenced by both sets: shar = 3 refs / 2 targets.
+        assert profile.shar[0] == pytest.approx(1.5)
+
+    def test_sizes_from_mapping(self, company_world):
+        db, path, _o = company_world
+        profile = profile_from_database(
+            db, path, {"Division": 300, "Product": 200}, default_size=50
+        )
+        assert profile.size[0] == 300
+        assert profile.size[1] == 200
+        assert profile.size[2] == 50  # default
+
+
+class TestAgainstGeneratorMeasurement:
+    def test_matches_measure_profile(self):
+        base = ApplicationProfile(
+            c=(20, 40, 80), d=(18, 32), fan=(2, 2), size=(300, 200, 100)
+        )
+        generated = ChainGenerator(seed=13).generate(base)
+        via_generator = measure_profile(generated)
+        via_generic = profile_from_database(
+            generated.db,
+            generated.path,
+            {f"T{i}": int(base.size[i]) for i in range(3)},
+        )
+        assert via_generic.c == via_generator.c
+        assert via_generic.d == via_generator.d
+        assert via_generic.fan == pytest.approx(via_generator.fan)
+        assert via_generic.shar == pytest.approx(via_generator.shar)
+
+    def test_usable_by_cost_model(self, company_world):
+        from repro.costmodel import QueryCostModel
+
+        db, path, _o = company_world
+        profile = profile_from_database(db, path, default_size=120)
+        model = QueryCostModel(profile)
+        assert model.qnas(0, path.n, "bw") >= 1.0

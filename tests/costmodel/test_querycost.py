@@ -1,0 +1,132 @@
+"""Query cost model (Eqs. 31-35)."""
+
+import pytest
+
+from repro.asr import Decomposition, Extension
+from repro.costmodel import ApplicationProfile, QueryCostModel
+from repro.errors import CostModelError
+
+FIG6 = ApplicationProfile(
+    c=(100, 500, 1000, 5000, 10000),
+    d=(90, 400, 800, 2000),
+    fan=(2, 2, 3, 4),
+    size=(500, 400, 300, 300, 100),
+)
+
+
+@pytest.fixture()
+def model():
+    return QueryCostModel(FIG6)
+
+
+BI = Decomposition.binary(4)
+NODEC = Decomposition.none(4)
+
+
+class TestUnsupported:
+    def test_forward_starts_at_one_page(self, model):
+        assert model.qnas(0, 1, "fw") == 1.0
+
+    def test_backward_starts_at_extent_scan(self, model):
+        assert model.qnas(0, 1, "bw") == model.storage.op(0)
+
+    def test_monotone_in_range_length(self, model):
+        for kind in ("fw", "bw"):
+            values = [model.qnas(0, j, kind) for j in range(1, 5)]
+            assert all(a <= b for a, b in zip(values, values[1:])), kind
+
+    def test_empty_range_free(self, model):
+        assert model.qnas(2, 2, "fw") == 0.0
+
+    def test_validation(self, model):
+        with pytest.raises(CostModelError):
+            model.qnas(3, 1, "bw")
+        with pytest.raises(CostModelError):
+            model.qnas(0, 4, "sideways")
+
+    def test_backward_costlier_than_forward(self, model):
+        # Exhaustive extent search vs single-object chase.
+        assert model.qnas(0, 4, "bw") > model.qnas(0, 4, "fw")
+
+
+class TestSupported:
+    def test_nonnegative_everywhere(self, model):
+        for extension in Extension:
+            for dec in (BI, NODEC, Decomposition.of(0, 3, 4)):
+                for i, j in [(0, 4), (0, 3), (1, 4), (1, 2)]:
+                    for kind in ("fw", "bw"):
+                        assert model.qsup(extension, i, j, kind, dec) >= 0.0
+
+    def test_whole_path_nodec_single_descent(self, model):
+        # One partition, endpoint on the border: ht + (R)nlp.
+        for extension in Extension:
+            cost = model.qsup(extension, 0, 4, "bw", NODEC)
+            expected = model.storage.ht(extension, 0, 4) + model.storage.rnlp(
+                extension, 0, 4
+            )
+            assert cost == pytest.approx(expected)
+
+    def test_binary_needs_per_partition_work(self, model):
+        for extension in Extension:
+            assert model.qsup(extension, 0, 4, "bw", BI) > model.qsup(
+                extension, 0, 4, "bw", NODEC
+            )
+
+    def test_interior_endpoint_forces_scan(self, model):
+        # Q_{0,3} under no decomposition: j=3 strictly inside (0,4).
+        cost = model.qsup(Extension.FULL, 0, 3, "bw", NODEC)
+        assert cost >= model.storage.ap(Extension.FULL, 0, 4)
+
+    def test_wrong_span_rejected(self, model):
+        with pytest.raises(CostModelError):
+            model.qsup(Extension.FULL, 0, 4, "bw", Decomposition.of(0, 2))
+
+
+class TestDispatch:
+    """Eq. 35: extension applicability."""
+
+    def test_canonical_only_whole_path(self, model):
+        assert model.q(Extension.CANONICAL, 0, 4, "bw", BI) == model.qsup(
+            Extension.CANONICAL, 0, 4, "bw", BI
+        )
+        assert model.q(Extension.CANONICAL, 0, 3, "bw", BI) == model.qnas(0, 3, "bw")
+        assert model.q(Extension.CANONICAL, 1, 4, "bw", BI) == model.qnas(1, 4, "bw")
+
+    def test_left_prefixes_only(self, model):
+        assert model.q(Extension.LEFT, 0, 2, "fw", BI) == model.qsup(
+            Extension.LEFT, 0, 2, "fw", BI
+        )
+        assert model.q(Extension.LEFT, 1, 4, "fw", BI) == model.qnas(1, 4, "fw")
+
+    def test_right_suffixes_only(self, model):
+        assert model.q(Extension.RIGHT, 1, 4, "bw", BI) == model.qsup(
+            Extension.RIGHT, 1, 4, "bw", BI
+        )
+        assert model.q(Extension.RIGHT, 0, 3, "bw", BI) == model.qnas(0, 3, "bw")
+
+    def test_full_always_supported(self, model):
+        for i, j in [(0, 4), (1, 3), (2, 4), (0, 1)]:
+            assert model.q(Extension.FULL, i, j, "bw", BI) == model.qsup(
+                Extension.FULL, i, j, "bw", BI
+            )
+
+    def test_supported_beats_unsupported_backward(self, model):
+        """The headline result: orders of magnitude for whole-path bw."""
+        for extension in Extension:
+            assert model.q(extension, 0, 4, "bw", BI) < model.qnas(0, 4, "bw") / 10
+
+
+class TestObjectSizeIndependence:
+    def test_supported_flat_in_size(self):
+        """Figure 7: supported costs ignore object size."""
+        costs = []
+        for size in (100, 400, 800):
+            profile = FIG6.with_size((size,) * 5)
+            model = QueryCostModel(profile)
+            costs.append(model.qsup(Extension.FULL, 0, 4, "bw", BI))
+        assert costs[0] == costs[1] == costs[2]
+
+    def test_unsupported_grows_with_size(self):
+        small = QueryCostModel(FIG6.with_size((100,) * 5)).qnas(0, 4, "bw")
+        large = QueryCostModel(FIG6.with_size((800,) * 5)).qnas(0, 4, "bw")
+        assert large > 2 * small

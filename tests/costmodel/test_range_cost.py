@@ -1,0 +1,71 @@
+"""The value-range cost extension (qsup_range)."""
+
+import pytest
+
+from repro.asr import Decomposition, Extension
+from repro.costmodel import ApplicationProfile, QueryCostModel
+from repro.errors import CostModelError
+
+PROFILE = ApplicationProfile(
+    c=(100, 500, 1000, 5000, 10000),
+    d=(90, 400, 800, 2000),
+    fan=(2, 2, 3, 4),
+    size=(500, 400, 300, 300, 100),
+)
+
+BI = Decomposition.binary(4)
+NODEC = Decomposition.none(4)
+
+
+@pytest.fixture()
+def model():
+    return QueryCostModel(PROFILE)
+
+
+class TestQsupRange:
+    def test_validation(self, model):
+        with pytest.raises(CostModelError):
+            model.qsup_range(Extension.FULL, 0, 1.5, BI)
+        with pytest.raises(CostModelError):
+            model.qsup_range(Extension.FULL, 4, 0.1, BI)
+        with pytest.raises(CostModelError):
+            model.qsup_range(Extension.FULL, 0, 0.1, Decomposition.of(0, 2))
+
+    def test_monotone_in_selectivity(self, model):
+        for extension in Extension:
+            for dec in (BI, NODEC):
+                costs = [
+                    model.qsup_range(extension, 0, s, dec)
+                    for s in (0.01, 0.1, 0.3, 0.6, 1.0)
+                ]
+                assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:])), (
+                    extension,
+                    dec,
+                    costs,
+                )
+
+    def test_point_selectivity_close_to_point_lookup(self, model):
+        """Near-zero selectivity should approach the Eq. 34 point cost."""
+        for extension in Extension:
+            range_cost = model.qsup_range(extension, 0, 1e-6, NODEC)
+            point_cost = model.qsup(extension, 0, 4, "bw", NODEC)
+            assert range_cost <= point_cost * 3 + 3
+
+    def test_full_selectivity_bounded_by_scan(self, model):
+        """Selectivity 1 costs at most all data pages plus tree overhead."""
+        for extension in Extension:
+            cost = model.qsup_range(extension, 0, 1.0, NODEC)
+            pages = model.storage.ap(extension, 0, 4)
+            assert cost <= pages + model.storage.ht(extension, 0, 4) + 1
+
+    def test_selective_range_beats_unsupported(self, model):
+        for extension in Extension:
+            assert model.qsup_range(extension, 0, 0.05, NODEC) < model.qnas(
+                0, 4, "bw"
+            )
+
+    def test_partial_origin(self, model):
+        cost = model.qsup_range(Extension.FULL, 2, 0.2, BI)
+        assert cost > 0
+        # Starting further right touches fewer partitions.
+        assert cost <= model.qsup_range(Extension.FULL, 0, 0.2, BI) + 1e-9

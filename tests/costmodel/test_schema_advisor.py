@@ -1,0 +1,116 @@
+"""Schema-wide budgeted design selection."""
+
+import pytest
+
+from repro.costmodel import (
+    ApplicationProfile,
+    DesignAdvisor,
+    OperationMix,
+    QuerySpec,
+    UpdateSpec,
+)
+from repro.costmodel.schema_advisor import (
+    PathWorkload,
+    SchemaDesignAdvisor,
+)
+from repro.errors import CostModelError
+
+HOT_PROFILE = ApplicationProfile(
+    c=(1000, 5000, 10000, 50000, 100000),
+    d=(900, 4000, 8000, 20000),
+    fan=(2, 2, 3, 4),
+    size=(500, 400, 300, 300, 100),
+)
+
+COLD_PROFILE = ApplicationProfile(
+    c=(100, 500, 1000),
+    d=(90, 400),
+    fan=(2, 2),
+    size=(300, 200, 100),
+)
+
+HOT_MIX = OperationMix(
+    queries=((1.0, QuerySpec(0, 4, "bw")),),
+    updates=((1.0, UpdateSpec(3)),),
+)
+COLD_MIX = OperationMix(
+    queries=((1.0, QuerySpec(0, 2, "bw")),),
+    updates=((1.0, UpdateSpec(0)),),
+)
+
+
+def make_workloads(hot_weight=10.0, cold_weight=1.0):
+    return [
+        PathWorkload("orders", HOT_PROFILE, HOT_MIX, 0.1, hot_weight),
+        PathWorkload("audit", COLD_PROFILE, COLD_MIX, 0.1, cold_weight),
+    ]
+
+
+class TestValidation:
+    def test_needs_workloads(self):
+        with pytest.raises(CostModelError):
+            SchemaDesignAdvisor([])
+
+    def test_unique_names(self):
+        workload = make_workloads()[0]
+        with pytest.raises(CostModelError):
+            SchemaDesignAdvisor([workload, workload])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(CostModelError):
+            PathWorkload("x", COLD_PROFILE, COLD_MIX, 0.1, weight=-1)
+
+
+class TestUnbudgeted:
+    def test_matches_per_path_optimum(self):
+        advisor = SchemaDesignAdvisor(make_workloads())
+        design = advisor.plan(budget_bytes=None)
+        for workload in make_workloads():
+            individual = DesignAdvisor(workload.profile).best(
+                workload.mix, workload.p_up
+            )
+            chosen = design.choices[workload.name]
+            assert chosen.cost == pytest.approx(individual.cost, rel=1e-9)
+
+    def test_savings_factor(self):
+        design = SchemaDesignAdvisor(make_workloads()).plan()
+        assert design.savings_factor > 5
+        assert design.weighted_cost < design.baseline_cost
+
+
+class TestBudgeted:
+    def test_zero_budget_keeps_baselines(self):
+        design = SchemaDesignAdvisor(make_workloads()).plan(budget_bytes=0)
+        for choice in design.choices.values():
+            assert choice.extension is None
+        assert design.total_bytes == 0
+        assert design.weighted_cost == pytest.approx(design.baseline_cost)
+
+    def test_tight_budget_prefers_heavy_path(self):
+        """With room for only one index, the weighted-hot path gets it."""
+        advisor = SchemaDesignAdvisor(make_workloads(hot_weight=50, cold_weight=0.1))
+        unbudgeted = advisor.plan()
+        hot_bytes = unbudgeted.choices["orders"].storage_bytes
+        design = advisor.plan(budget_bytes=hot_bytes * 1.05)
+        assert design.choices["orders"].extension is not None
+        # The hot path's design consumed (almost) the entire budget.
+        assert design.total_bytes <= hot_bytes * 1.05
+
+    def test_budget_respected(self):
+        budget = 64 * 1024
+        design = SchemaDesignAdvisor(make_workloads()).plan(budget_bytes=budget)
+        assert design.total_bytes <= budget
+
+    def test_monotone_in_budget(self):
+        advisor = SchemaDesignAdvisor(make_workloads())
+        costs = [
+            advisor.plan(budget_bytes=budget).weighted_cost
+            for budget in (0, 32 * 1024, 256 * 1024, 4 * 1024 * 1024, None)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:])), costs
+
+    def test_describe(self):
+        design = SchemaDesignAdvisor(make_workloads()).plan(budget_bytes=512 * 1024)
+        text = design.describe()
+        assert "schema design" in text
+        assert "orders" in text and "audit" in text

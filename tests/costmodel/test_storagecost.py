@@ -1,0 +1,136 @@
+"""Storage costs and tree-shape estimates (Eqs. 13-28)."""
+
+import math
+
+import pytest
+
+from repro.asr import Decomposition, Extension
+from repro.costmodel import ApplicationProfile, StorageModel, SystemParameters
+from repro.errors import CostModelError
+
+FIG4 = ApplicationProfile(
+    c=(1000, 5000, 10000, 50000, 100000),
+    d=(900, 4000, 8000, 20000),
+    fan=(2, 2, 3, 4),
+    size=(500, 400, 300, 300, 100),
+)
+
+
+@pytest.fixture()
+def storage():
+    return StorageModel(FIG4)
+
+
+class TestTupleGeometry:
+    def test_ats(self, storage):
+        assert storage.ats(0, 4) == 40
+        assert storage.ats(3, 4) == 16
+
+    def test_atpp(self, storage):
+        assert storage.atpp(0, 4) == 4056 // 40
+
+    def test_as_bytes_consistent(self, storage):
+        for extension in Extension:
+            count = storage.count(extension, 0, 4)
+            assert storage.as_bytes(extension, 0, 4) == count * 40
+
+    def test_ap_is_ceiling(self, storage):
+        for extension in Extension:
+            count = storage.count(extension, 0, 4)
+            assert storage.ap(extension, 0, 4) == math.ceil(
+                count / storage.atpp(0, 4)
+            )
+
+
+class TestAggregates:
+    def test_relation_bytes_additive(self, storage):
+        dec = Decomposition.of(0, 2, 4)
+        total = storage.relation_bytes(Extension.FULL, dec)
+        assert total == pytest.approx(
+            storage.as_bytes(Extension.FULL, 0, 2)
+            + storage.as_bytes(Extension.FULL, 2, 4)
+        )
+
+    def test_wrong_span_rejected(self, storage):
+        with pytest.raises(CostModelError):
+            storage.relation_bytes(Extension.FULL, Decomposition.of(0, 2))
+
+    def test_figure4_shape(self, storage):
+        """Canonical/left drastically smaller; binary halves storage."""
+        binary, nodec = Decomposition.binary(4), Decomposition.none(4)
+        for extension in (Extension.CANONICAL, Extension.LEFT):
+            assert storage.relation_bytes(extension, nodec) < storage.relation_bytes(
+                Extension.FULL, nodec
+            ) / 4
+        for extension in Extension:
+            ratio = storage.relation_bytes(extension, nodec) / storage.relation_bytes(
+                extension, binary
+            )
+            assert ratio > 1.4
+
+
+class TestTreeShape:
+    def test_ht_small_relation(self):
+        tiny = ApplicationProfile(c=(4, 4), d=(4,), fan=(1,), size=(100, 100))
+        storage = StorageModel(tiny)
+        assert storage.ht(Extension.CANONICAL, 0, 1) <= 1
+
+    def test_ht_grows_with_pages(self, storage):
+        pages = storage.ap(Extension.FULL, 0, 4)
+        height = storage.ht(Extension.FULL, 0, 4)
+        fanout = storage.system.btree_fanout
+        assert fanout ** height >= pages
+
+    def test_pg_matches_printed_two_level_case(self, storage):
+        for extension in Extension:
+            for i, j in [(0, 4), (0, 2), (2, 4)]:
+                height = storage.ht(extension, i, j)
+                pg = storage.pg(extension, i, j)
+                if height == 2:
+                    assert pg == 1 + math.ceil(
+                        storage.ap(extension, i, j) / storage.system.btree_fanout
+                    )
+                elif height == 1:
+                    assert pg == 1
+                elif height == 0:
+                    assert pg == 0
+
+    def test_empty_relation_shape(self):
+        empty = ApplicationProfile(c=(10, 10), d=(0,), fan=(1,), size=(100, 100))
+        storage = StorageModel(empty)
+        assert storage.ap(Extension.CANONICAL, 0, 1) == 0
+        assert storage.ht(Extension.CANONICAL, 0, 1) == 0
+        assert storage.pg(Extension.CANONICAL, 0, 1) == 0
+        assert storage.nlp(Extension.CANONICAL, 0, 1) == 0
+
+
+class TestLeafPagesPerKey:
+    def test_all_positive_for_populated_relations(self, storage):
+        for extension in Extension:
+            for i, j in [(0, 4), (0, 1), (3, 4), (1, 3)]:
+                assert storage.nlp(extension, i, j) >= 1
+                assert storage.rnlp(extension, i, j) >= 1
+
+    def test_nlp_small_relative_to_pages(self, storage):
+        # Per-key leaf pages cannot exceed the partition's total pages.
+        for extension in Extension:
+            assert storage.nlp(extension, 0, 4) <= storage.ap(extension, 0, 4)
+            assert storage.rnlp(extension, 0, 4) <= storage.ap(extension, 0, 4)
+
+
+class TestObjectPages:
+    def test_opp_and_op(self, storage):
+        assert storage.opp(0) == 4056 // 500
+        assert storage.op(0) == math.ceil(1000 / (4056 // 500))
+
+    def test_huge_objects_one_per_page(self):
+        profile = ApplicationProfile(
+            c=(10, 10), d=(5,), fan=(1,), size=(9000, 100)
+        )
+        storage = StorageModel(profile)
+        assert storage.opp(0) == 1
+        assert storage.op(0) == 10
+
+    def test_custom_system_parameters(self):
+        storage = StorageModel(FIG4, SystemParameters(page_size=1024))
+        assert storage.atpp(0, 4) == 1024 // 40

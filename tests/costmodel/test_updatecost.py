@@ -1,0 +1,145 @@
+"""Update cost model (section 6): search, cluster counts, totals."""
+
+import pytest
+
+from repro.asr import Decomposition, Extension
+from repro.costmodel import ApplicationProfile, UpdateCostModel
+from repro.errors import CostModelError
+
+FIG11 = ApplicationProfile(
+    c=(1000, 5000, 10000, 50000, 100000),
+    d=(900, 4000, 8000, 20000),
+    fan=(2, 2, 3, 4),
+    size=(500, 400, 300, 300, 100),
+)
+
+BI = Decomposition.binary(4)
+NODEC = Decomposition.none(4)
+
+
+@pytest.fixture()
+def model():
+    return UpdateCostModel(FIG11)
+
+
+class TestSearch:
+    def test_full_needs_no_data_search(self, model):
+        """Full extension: everything needed is already in the ASR."""
+        for i in range(4):
+            search = model.search(Extension.FULL, i, BI)
+            sup_fw = model.querycost.qsup(Extension.FULL, i, i + 1, "fw", BI)
+            sup_bw = model.querycost.qsup(Extension.FULL, i, i + 1, "bw", BI)
+            assert search == min(sup_fw, sup_bw)
+
+    def test_canonical_searches_both_directions(self, model):
+        """Canonical pays data searches on both sides (for interior i)."""
+        assert model.search(Extension.CANONICAL, 2, BI) > model.search(
+            Extension.FULL, 2, BI
+        )
+
+    def test_left_forward_search_only(self, model):
+        # ins_3 at the right end: the left extension's forward search from
+        # t_4 is trivial (i + 1 = n), so it should be close to full's cost.
+        left = model.search(Extension.LEFT, 3, BI)
+        full = model.search(Extension.FULL, 3, BI)
+        assert left <= full * 2 + 10
+
+    def test_right_pays_extent_scans(self, model):
+        """Right extension's backward search scans t_0..t_i extents."""
+        right = model.search(Extension.RIGHT, 3, BI)
+        scan = sum(model.storage.op(l) for l in range(4))
+        assert right <= scan + 100
+        assert right > model.search(Extension.FULL, 3, BI)
+
+    def test_index_guard(self, model):
+        with pytest.raises(CostModelError):
+            model.search(Extension.FULL, 4, BI)
+        with pytest.raises(CostModelError):
+            model.search(Extension.FULL, -1, BI)
+
+
+class TestClusterCounts:
+    def test_full_zero_outside_covering_partition(self, model):
+        # Full extension: only the partition covering (i, i+1) is touched.
+        for a, b in BI.partitions:
+            for i in range(4):
+                qfw = model.qfw(Extension.FULL, i, a, b)
+                qbw = model.qbw(Extension.FULL, i, a, b)
+                if a <= i < b:
+                    assert qfw > 0 and qbw > 0
+                else:
+                    assert qfw == 0 and qbw == 0
+
+    def test_left_zero_for_partitions_left_of_update(self, model):
+        assert model.qfw(Extension.LEFT, 3, 0, 1) == 0
+        assert model.qbw(Extension.LEFT, 3, 0, 1) == 0
+
+    def test_right_zero_for_partitions_right_of_update(self, model):
+        assert model.qfw(Extension.RIGHT, 0, 3, 4) == 0
+        assert model.qbw(Extension.RIGHT, 0, 3, 4) == 0
+
+    def test_all_nonnegative(self, model):
+        for extension in Extension:
+            for i in range(4):
+                for a, b in list(BI.partitions) + [(0, 4), (0, 3), (2, 4)]:
+                    assert model.qfw(extension, i, a, b) >= 0.0
+                    assert model.qbw(extension, i, a, b) >= 0.0
+
+
+class TestAup:
+    def test_nonnegative(self, model):
+        for extension in Extension:
+            for i in range(4):
+                for dec in (BI, NODEC, Decomposition.of(0, 3, 4)):
+                    assert model.aup(extension, i, dec) >= 0.0
+
+    def test_full_touches_single_partition_under_binary(self, model):
+        # Two trees, each: root + leaf read/write ≥ 3 accesses, ≤ ~10.
+        cost = model.aup(Extension.FULL, 3, BI)
+        assert 4.0 <= cost <= 20.0
+
+    def test_span_guard(self, model):
+        with pytest.raises(CostModelError):
+            model.aup(Extension.FULL, 1, Decomposition.of(0, 2))
+
+
+class TestTotals:
+    def test_total_composition(self, model):
+        for extension in Extension:
+            total = model.total(extension, 2, BI)
+            assert total == pytest.approx(
+                model.object_update_cost
+                + model.search(extension, 2, BI)
+                + model.aup(extension, 2, BI)
+            )
+
+    def test_nosupport_total(self, model):
+        assert model.nosupport_total() == 3.0
+
+    def test_figure11_ordering(self, model):
+        """ins_3: left << right; canonical expensive; full cheap."""
+        left = model.total(Extension.LEFT, 3, BI)
+        right = model.total(Extension.RIGHT, 3, BI)
+        can = model.total(Extension.CANONICAL, 3, BI)
+        full = model.total(Extension.FULL, 3, BI)
+        assert left < right / 20
+        assert full < can / 10
+
+    def test_figure11_ins0_reversal(self, model):
+        assert model.total(Extension.RIGHT, 0, BI) < model.total(
+            Extension.LEFT, 0, BI
+        )
+
+    def test_figure13_size_sensitivity(self):
+        """Canonical/right grow with object size; full flat (ins_1)."""
+        small = UpdateCostModel(FIG11.with_size((100,) * 5))
+        large = UpdateCostModel(FIG11.with_size((800,) * 5))
+        assert large.total(Extension.CANONICAL, 1, BI) > small.total(
+            Extension.CANONICAL, 1, BI
+        )
+        assert large.total(Extension.RIGHT, 1, BI) > small.total(
+            Extension.RIGHT, 1, BI
+        )
+        assert large.total(Extension.FULL, 1, BI) == small.total(
+            Extension.FULL, 1, BI
+        )

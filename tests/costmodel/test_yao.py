@@ -1,0 +1,68 @@
+"""Yao's block-access formula: exact values, limits, monotonicity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import yao
+
+
+class TestExactValues:
+    def test_degenerate(self):
+        assert yao(0, 10, 100) == 0.0
+        assert yao(5, 0, 100) == 0.0
+        assert yao(5, 10, 0) == 0.0
+
+    def test_single_page(self):
+        assert yao(1, 1, 100) == 1.0
+        assert yao(50, 1, 100) == 1.0
+
+    def test_fetch_everything_touches_everything(self):
+        assert yao(100, 10, 100) == 10.0
+
+    def test_k_capped_at_n(self):
+        assert yao(1000, 10, 100) == 10.0
+
+    def test_one_record(self):
+        # One record out of n on m pages: exactly one page.
+        assert yao(1, 10, 100) == 1.0
+
+    def test_known_value(self):
+        # 10 of 100 records on 10 pages (10 per page):
+        # E[pages] = 10 * (1 - C(90,10)/C(100,10)) ≈ 6.7 → ceil 7.
+        expected = 10 * (1 - math.comb(90, 10) / math.comb(100, 10))
+        assert yao(10, 10, 100) == math.ceil(expected)
+
+    def test_more_than_complement_forces_all_pages(self):
+        # k > n - n/m: some factor hits zero, every page touched.
+        assert yao(95, 10, 100) == 10.0
+
+
+class TestShape:
+    def test_monotone_in_k(self):
+        values = [yao(k, 50, 1000) for k in range(0, 1000, 37)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_pages_and_k(self):
+        for k in (1, 7, 33, 150):
+            value = yao(k, 50, 1000)
+            assert 1.0 <= value <= 50.0
+            assert value <= k  # can't touch more pages than records fetched
+
+    def test_fractional_arguments_accepted(self):
+        assert yao(2.5, 10.0, 100.0) >= yao(2, 10, 100) - 1.0
+
+
+@settings(max_examples=200)
+@given(
+    st.floats(0, 1e6, allow_nan=False),
+    st.floats(0, 1e4, allow_nan=False),
+    st.floats(0, 1e6, allow_nan=False),
+)
+def test_always_bounded(k, m, n):
+    value = yao(k, m, n)
+    assert 0.0 <= value <= math.ceil(m) + 1e-9
+    if k >= 1 and m >= 1 and n >= 1:
+        assert value >= 1.0

@@ -1,0 +1,132 @@
+"""GOM behavior: methods, inheritance, overriding, late binding."""
+
+import pytest
+
+from repro.errors import SchemaError, TypingError
+from repro.gom import NULL, ObjectBase, Schema
+from repro.gom.behavior import MethodRegistry, Receiver
+
+
+@pytest.fixture()
+def world():
+    schema = Schema()
+    schema.define_tuple("TOOL", {"Function": "STRING"})
+    schema.define_tuple("ROBOT", {"Name": "STRING", "Tool": "TOOL"})
+    schema.define_tuple("WELDER", {"Amps": "INTEGER"}, supertypes=["ROBOT"])
+    schema.validate()
+    db = ObjectBase(schema)
+    registry = MethodRegistry(schema)
+    return schema, db, registry
+
+
+class TestDefinition:
+    def test_define_and_invoke(self, world):
+        _schema, db, registry = world
+        registry.define("ROBOT", "describe", lambda self: f"robot {self['Name']}")
+        robot = db.new("ROBOT", Name="R2D2")
+        assert registry.invoke(db, robot, "describe") == "robot R2D2"
+
+    def test_duplicate_definition_rejected(self, world):
+        _schema, _db, registry = world
+        registry.define("ROBOT", "describe", lambda self: "x")
+        with pytest.raises(SchemaError, match="already defined"):
+            registry.define("ROBOT", "describe", lambda self: "y")
+
+    def test_non_callable_rejected(self, world):
+        _schema, _db, registry = world
+        with pytest.raises(SchemaError):
+            registry.define("ROBOT", "describe", "not callable")
+
+    def test_non_tuple_type_rejected(self, world):
+        schema, _db, registry = world
+        with pytest.raises(SchemaError):
+            registry.define("STRING", "describe", lambda self: "")
+
+    def test_unknown_method(self, world):
+        _schema, db, registry = world
+        robot = db.new("ROBOT", Name="X")
+        with pytest.raises(SchemaError, match="no method"):
+            registry.invoke(db, robot, "fly")
+
+    def test_invoke_on_non_object(self, world):
+        _schema, db, registry = world
+        with pytest.raises(TypingError):
+            registry.invoke(db, NULL, "describe")
+        with pytest.raises(TypingError):
+            registry.invoke(db, "a string", "describe")
+
+
+class TestDispatch:
+    def test_inheritance(self, world):
+        _schema, db, registry = world
+        registry.define("ROBOT", "describe", lambda self: f"robot {self['Name']}")
+        welder = db.new("WELDER", Name="W1", Amps=200)
+        assert registry.invoke(db, welder, "describe") == "robot W1"
+
+    def test_override_by_subtype_late_binding(self, world):
+        _schema, db, registry = world
+        registry.define("ROBOT", "describe", lambda self: f"robot {self['Name']}")
+        registry.define(
+            "WELDER", "describe", lambda self: f"welder {self['Name']}@{self['Amps']}A"
+        )
+        robot = db.new("ROBOT", Name="R")
+        welder = db.new("WELDER", Name="W", Amps=150)
+        assert registry.invoke(db, robot, "describe") == "robot R"
+        assert registry.invoke(db, welder, "describe") == "welder W@150A"
+
+    def test_explicit_override(self, world):
+        _schema, db, registry = world
+        registry.define("ROBOT", "describe", lambda self: "old")
+        registry.override("WELDER", "describe", lambda self: "new")
+        welder = db.new("WELDER", Name="W")
+        assert registry.invoke(db, welder, "describe") == "new"
+
+    def test_override_requires_visible_definition(self, world):
+        _schema, _db, registry = world
+        with pytest.raises(SchemaError, match="no definition visible"):
+            registry.override("WELDER", "fly", lambda self: "")
+
+    def test_methods_of(self, world):
+        _schema, _db, registry = world
+        registry.define("ROBOT", "describe", lambda self: "")
+        registry.define("WELDER", "weld", lambda self: "")
+        visible = registry.methods_of("WELDER")
+        assert set(visible) == {"describe", "weld"}
+        assert set(registry.methods_of("ROBOT")) == {"describe"}
+
+
+class TestReceiver:
+    def test_navigation_and_send(self, world):
+        _schema, db, registry = world
+        registry.define("TOOL", "label", lambda self: f"tool:{self['Function']}")
+        registry.define(
+            "ROBOT",
+            "summary",
+            lambda self: f"{self['Name']} with {self.follow('Tool').send('label')}",
+        )
+        tool = db.new("TOOL", Function="welding")
+        robot = db.new("ROBOT", Name="R2D2", Tool=tool)
+        assert registry.invoke(db, robot, "summary") == "R2D2 with tool:welding"
+
+    def test_receiver_introspection(self, world):
+        _schema, db, registry = world
+        robot = db.new("ROBOT", Name="R")
+        receiver = Receiver(db, robot, registry)
+        assert receiver.type_name == "ROBOT"
+        assert receiver["Name"] == "R"
+        assert "ROBOT" in repr(receiver)
+
+    def test_follow_atomic_returns_value(self, world):
+        _schema, db, registry = world
+        robot = db.new("ROBOT", Name="R")
+        receiver = Receiver(db, robot, registry)
+        assert receiver.follow("Name") == "R"
+
+    def test_methods_with_arguments(self, world):
+        _schema, db, registry = world
+        registry.define(
+            "ROBOT", "rename", lambda self, new: self.db.set_attr(self.oid, "Name", new)
+        )
+        robot = db.new("ROBOT", Name="old")
+        registry.invoke(db, robot, "rename", "new")
+        assert db.attr(robot, "Name") == "new"

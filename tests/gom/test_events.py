@@ -1,0 +1,92 @@
+"""Event dataclasses and the ordering guarantees of compound operations."""
+
+import pytest
+
+from repro.gom import (
+    NULL,
+    AttributeSet,
+    ObjectBase,
+    ObjectCreated,
+    ObjectDeleted,
+    Schema,
+    SetInserted,
+    SetRemoved,
+)
+
+
+@pytest.fixture()
+def world():
+    schema = Schema()
+    schema.define_tuple("Part", {"Name": "STRING"})
+    schema.define_set("PartSET", "Part")
+    schema.define_tuple("Prod", {"Parts": "PartSET"})
+    schema.validate()
+    return ObjectBase(schema)
+
+
+class TestEventObjects:
+    def test_events_are_frozen(self, world):
+        event = ObjectCreated(next(iter([])) if False else None, "Part")  # type: ignore[arg-type]
+        with pytest.raises(Exception):
+            event.type_name = "Other"  # type: ignore[misc]
+
+    def test_attribute_set_equality(self, world):
+        part = world.new("Part")
+        a = AttributeSet(part, "Part", "Name", NULL, "x")
+        b = AttributeSet(part, "Part", "Name", NULL, "x")
+        assert a == b
+
+
+class TestOrderingGuarantees:
+    def test_new_emits_created_before_attribute_sets(self, world):
+        events = []
+        world.subscribe(events.append)
+        world.new("Part", Name="Door")
+        assert isinstance(events[0], ObjectCreated)
+        assert isinstance(events[1], AttributeSet)
+        # Events fire after the mutation: the attribute is already set.
+        assert events[1].new_value == "Door"
+
+    def test_new_set_emits_created_then_inserts(self, world):
+        part = world.new("Part")
+        events = []
+        world.subscribe(events.append)
+        world.new_set("PartSET", [part])
+        assert isinstance(events[0], ObjectCreated)
+        assert isinstance(events[1], SetInserted)
+
+    def test_delete_cascade_order(self, world):
+        """Incoming references are detached *before* ObjectDeleted fires."""
+        part = world.new("Part")
+        collection = world.new_set("PartSET", [part])
+        prod = world.new("Prod", Parts=collection)
+        events = []
+        world.subscribe(events.append)
+        world.delete(collection)
+        kinds = [type(event) for event in events]
+        assert kinds[-1] is ObjectDeleted
+        detach = next(e for e in events if isinstance(e, AttributeSet))
+        assert detach.oid == prod and detach.new_value is NULL
+        # At ObjectDeleted time nothing references the victim any more.
+        deleted = events[-1]
+        assert deleted.oid == collection
+        assert world.referrers(collection) == set()
+
+    def test_deleted_event_carries_old_value(self, world):
+        part = world.new("Part", Name="Door")
+        events = []
+        world.subscribe(events.append)
+        world.delete(part)
+        deleted = events[-1]
+        assert isinstance(deleted, ObjectDeleted)
+        assert deleted.old_value["Name"] == "Door"
+
+    def test_member_delete_emits_set_removed(self, world):
+        part = world.new("Part")
+        collection = world.new_set("PartSET", [part])
+        events = []
+        world.subscribe(events.append)
+        world.delete(part)
+        assert any(
+            isinstance(e, SetRemoved) and e.set_oid == collection for e in events
+        )

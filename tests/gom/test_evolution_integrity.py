@@ -1,0 +1,137 @@
+"""Schema evolution (add_attribute) and the integrity checker."""
+
+import pytest
+
+from repro.asr import ASRManager, Decomposition, Extension
+from repro.errors import SchemaError
+from repro.gom import NULL, ObjectBase, PathExpression, Schema
+from repro.gom.objects import OID
+
+
+@pytest.fixture()
+def world():
+    schema = Schema()
+    schema.define_tuple("Maker", {"Name": "STRING"})
+    schema.define_tuple("Part", {"Name": "STRING"})
+    schema.define_tuple("Special", {"Grade": "INTEGER"}, supertypes=["Part"])
+    schema.validate()
+    db = ObjectBase(schema)
+    return schema, db
+
+
+class TestAddAttribute:
+    def test_existing_instances_read_null(self, world):
+        schema, db = world
+        part = db.new("Part", Name="Door")
+        schema.add_attribute("Part", "Price", "DECIMAL")
+        assert db.attr(part, "Price") is NULL
+        db.set_attr(part, "Price", 9.5)
+        assert db.attr(part, "Price") == 9.5
+
+    def test_new_instances_get_slot(self, world):
+        schema, db = world
+        schema.add_attribute("Part", "Price", "DECIMAL")
+        part = db.new("Part", Name="Gate", Price=2.0)
+        assert db.attr(part, "Price") == 2.0
+
+    def test_subtypes_inherit_new_attribute(self, world):
+        schema, db = world
+        special = db.new("Special", Name="Gear", Grade=1)
+        schema.add_attribute("Part", "Price", "DECIMAL")
+        assert db.attr(special, "Price") is NULL
+        db.set_attr(special, "Price", 1.0)
+
+    def test_object_valued_extension_enables_new_paths(self, world):
+        schema, db = world
+        maker = db.new("Maker", Name="Acme")
+        part = db.new("Part", Name="Door")
+        schema.add_attribute("Part", "MadeBy", "Maker")
+        db.set_attr(part, "MadeBy", maker)
+        path = PathExpression.parse(schema, "Part.MadeBy.Name")
+        manager = ASRManager(db)
+        asr = manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        assert (part, maker, "Acme") in asr.extension_relation
+        manager.check_consistency()
+
+    def test_duplicate_rejected(self, world):
+        schema, _db = world
+        with pytest.raises(SchemaError, match="already has"):
+            schema.add_attribute("Part", "Name", "STRING")
+
+    def test_inherited_duplicate_rejected(self, world):
+        schema, _db = world
+        with pytest.raises(SchemaError, match="already has"):
+            schema.add_attribute("Special", "Name", "STRING")
+
+    def test_subtype_conflict_rejected(self, world):
+        schema, _db = world
+        with pytest.raises(SchemaError, match="already declares"):
+            schema.add_attribute("Part", "Grade", "STRING")
+
+    def test_unknown_attr_type_rejected(self, world):
+        schema, _db = world
+        with pytest.raises(SchemaError, match="unknown attribute type"):
+            schema.add_attribute("Part", "X", "Ghost")
+
+    def test_typing_still_enforced(self, world):
+        from repro.errors import TypingError
+
+        schema, db = world
+        part = db.new("Part", Name="Door")
+        schema.add_attribute("Part", "Price", "DECIMAL")
+        with pytest.raises(TypingError):
+            db.set_attr(part, "Price", "free")
+
+
+class TestVerifyIntegrity:
+    def test_clean_world(self, company_world):
+        db, _path, _o = company_world
+        assert db.verify_integrity() == []
+
+    def test_clean_after_update_stream(self, small_chain):
+        import random
+
+        db = small_chain.db
+        rng = random.Random(71)
+        for _ in range(60):
+            owner = rng.choice(small_chain.layers[0])
+            if owner not in db:
+                continue
+            value = db.attr(owner, "A")
+            member = rng.choice(small_chain.layers[1])
+            if value and member in db and rng.random() < 0.5:
+                db.set_insert(value, member)
+            else:
+                victim = rng.choice(small_chain.layers[1])
+                if victim in db:
+                    db.delete(victim)
+        assert db.verify_integrity() == []
+
+    def test_detects_dangling_reference(self, world):
+        _schema, db = world
+        maker = db.new("Maker", Name="Acme")
+        _schema.add_attribute("Part", "MadeBy", "Maker")
+        part = db.new("Part", Name="Door", MadeBy=maker)
+        # Corrupt: remove the maker behind the object base's back.
+        del db._objects[maker]
+        db._extents["Maker"].discard(maker)
+        problems = db.verify_integrity()
+        assert any("dangles" in problem for problem in problems)
+
+    def test_detects_referrer_drift(self, world):
+        _schema, db = world
+        _schema.add_attribute("Part", "MadeBy", "Maker")
+        maker = db.new("Maker", Name="Acme")
+        db.new("Part", Name="Door", MadeBy=maker)
+        db._referrers[maker].add(OID(999_999))
+        db._objects[OID(999_999)] = db._objects[maker]  # fake holder entry
+        del db._objects[OID(999_999)]
+        problems = db.verify_integrity()
+        assert any("referrer index drift" in problem for problem in problems)
+
+    def test_detects_extent_corruption(self, world):
+        _schema, db = world
+        part = db.new("Part", Name="Door")
+        db._extents["Part"].discard(part)
+        problems = db.verify_integrity()
+        assert any("missing from extent" in problem for problem in problems)

@@ -1,0 +1,108 @@
+"""Unit tests for object-graph traversal along path expressions."""
+
+from repro.gom import NULL
+from repro.gom.traversal import (
+    backward_rows,
+    forward_rows,
+    origins_reaching,
+    reachable_terminals,
+)
+
+
+class TestForwardRows:
+    def test_complete_path(self, company_world):
+        db, path, o = company_world
+        rows = forward_rows(db, path, 0, o["auto"])
+        assert rows == [
+            (o["auto"], o["prods_auto"], o["sec"], o["parts_sec"], o["door"], "Door")
+        ]
+
+    def test_branching_set(self, company_world):
+        db, path, o = company_world
+        rows = forward_rows(db, path, 0, o["truck"])
+        assert len(rows) == 2  # via sec (complete) and via trak (stub)
+        assert (
+            o["truck"], o["prods_truck"], o["sec"], o["parts_sec"], o["door"], "Door"
+        ) in rows
+        assert (o["truck"], o["prods_truck"], o["trak"], NULL, NULL, NULL) in rows
+
+    def test_undefined_attribute_stub(self, company_world):
+        db, path, o = company_world
+        rows = forward_rows(db, path, 0, o["space"])
+        assert rows == [(o["space"], NULL, NULL, NULL, NULL, NULL)]
+
+    def test_empty_set_rule(self, company_world):
+        db, path, o = company_world
+        empty = db.new_set("ProdSET")
+        lonely = db.new("Division", Name="Lonely", Manufactures=empty)
+        rows = forward_rows(db, path, 0, lonely)
+        assert rows == [(lonely, empty, NULL, NULL, NULL, NULL)]
+
+    def test_mid_path_start(self, company_world):
+        db, path, o = company_world
+        rows = forward_rows(db, path, 1, o["sausage"])
+        assert rows == [(o["sausage"], o["parts_sausage"], o["pepper"], "Pepper")]
+
+    def test_terminal_start(self, company_world):
+        db, path, o = company_world
+        assert forward_rows(db, path, 3, "Door") == [("Door",)]
+
+    def test_null_start_yields_nothing(self, company_world):
+        db, path, _o = company_world
+        assert forward_rows(db, path, 0, NULL) == []
+
+
+class TestBackwardRows:
+    def test_complete_backward(self, company_world):
+        db, path, o = company_world
+        rows = backward_rows(db, path, 3, "Door")
+        assert (
+            o["auto"], o["prods_auto"], o["sec"], o["parts_sec"], o["door"], "Door"
+        ) in rows
+        assert (
+            o["truck"], o["prods_truck"], o["sec"], o["parts_sec"], o["door"], "Door"
+        ) in rows
+        assert len(rows) == 2
+
+    def test_unanchored_backward(self, company_world):
+        db, path, o = company_world
+        rows = backward_rows(db, path, 3, "Pepper")
+        assert rows == [
+            (NULL, NULL, o["sausage"], o["parts_sausage"], o["pepper"], "Pepper")
+        ]
+
+    def test_backward_from_mid_object(self, company_world):
+        db, path, o = company_world
+        rows = backward_rows(db, path, 1, o["trak"])
+        assert rows == [(o["truck"], o["prods_truck"], o["trak"])]
+
+    def test_shared_subobject_fanout(self, company_world):
+        db, path, o = company_world
+        rows = backward_rows(db, path, 1, o["sec"])
+        assert len(rows) == 2  # referenced from both divisions' sets
+
+
+class TestQueriesSemantics:
+    def test_reachable_terminals(self, company_world):
+        db, path, o = company_world
+        assert reachable_terminals(db, path, o["truck"]) == {"Door"}
+        assert reachable_terminals(db, path, o["space"]) == set()
+        assert reachable_terminals(db, path, o["truck"], 0, 1) == {o["sec"], o["trak"]}
+
+    def test_origins_reaching(self, company_world):
+        db, path, o = company_world
+        assert origins_reaching(db, path, "Door") == {o["auto"], o["truck"]}
+        # Sausage reaches "Pepper" but is not a Division: no t_0 origin.
+        assert origins_reaching(db, path, "Pepper") == set()
+
+    def test_origins_with_candidates(self, company_world):
+        db, path, o = company_world
+        assert origins_reaching(db, path, "Door", candidates=[o["auto"]]) == {o["auto"]}
+
+    def test_partial_range_origins(self, company_world):
+        db, path, o = company_world
+        assert origins_reaching(db, path, o["door"], 1, 2) == {o["sec"]}
+
+    def test_robot_world_query1(self, robot_world):
+        db, path, o = robot_world
+        assert origins_reaching(db, path, "Utopia") == {o["r2d2"], o["x4d5"], o["robi"]}

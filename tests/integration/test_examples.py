@@ -1,0 +1,72 @@
+"""Every example script runs to completion and prints what it promises."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    out = io.StringIO()
+    with redirect_stdout(out):
+        spec.loader.exec_module(module)
+        if hasattr(module, "main"):
+            module.main()
+        else:
+            module.sharing_demo()
+            module.adaptive_demo()
+    return out.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        text = run_example("quickstart")
+        assert "Query 1 ->" in text
+        assert "R2D2" in text
+        assert "index kept consistent" in text
+
+    def test_company_divisions(self):
+        text = run_example("company_divisions")
+        assert "E_can" in text
+        assert "Pepper" in text
+        assert "Query 2" in text and "Query 3" in text
+        assert "('Auto',)" in text
+
+    def test_physical_design_advisor(self):
+        text = run_example("physical_design_advisor")
+        assert "design ranking" in text
+        assert "break-even" in text
+        assert "storage budget" in text
+
+    def test_index_maintenance(self):
+        text = run_example("index_maintenance")
+        assert "all extensions consistent" in text
+        assert "page accesses" in text
+
+    def test_self_tuning(self):
+        text = run_example("self_tuning")
+        assert "stored once" in text
+        assert "switched to" in text or "kept current" in text
+
+    def test_cost_model_tour(self):
+        text = run_example("cost_model_tour")
+        assert "Eq. 1" in text
+        assert "Yao" in text
+        assert "update costs" in text
+
+    @pytest.mark.slow
+    def test_paper_figures(self):
+        text = run_example("paper_figures")
+        assert "Figure 4" in text
+        assert "Figure 17" in text
+        assert "break-even" in text

@@ -1,0 +1,78 @@
+"""Fast shape checks of every figure's headline claim.
+
+The full series live in ``benchmarks/``; these tests keep the paper's
+qualitative claims under ordinary ``pytest tests/`` coverage with
+smaller sweeps.
+"""
+
+from repro.bench import figures
+
+
+class TestStorageFigures:
+    def test_fig4(self):
+        data = figures.fig04_sizes()
+        assert data["can/bi"] < data["full/bi"] / 4
+        assert data["left/nodec"] < data["right/nodec"]
+        assert data["can/nodec"] > data["can/bi"]
+
+    def test_fig5_convergence(self):
+        ds, series = figures.fig05_varying_d(ds=(2500, 10_000))
+        first = [series[name][0] for name in series]
+        last = [series[name][1] for name in series]
+        assert max(last) / min(last) < max(first) / min(first)
+
+
+class TestQueryFigures:
+    def test_fig6(self):
+        data = figures.fig06_backward_query()
+        assert data["can/nodec"] <= data["can/bi"] < data["nosupport"]
+
+    def test_fig7(self):
+        sizes, series = figures.fig07_object_size(sizes=(100, 800))
+        assert series["full"][0] == series["full"][1]
+        assert series["nosupport"][1] > series["nosupport"][0]
+
+    def test_fig8(self):
+        ds, series = figures.fig08_partial_query(ds=(10, 10_000))
+        assert series["can (any dec)"] == series["nosupport"]
+        assert series["full/nodec"][1] > series["nosupport"][1]
+        assert series["full/bi"][1] < series["nosupport"][1]
+
+    def test_fig9(self):
+        fans, series = figures.fig09_fanout(fans=(10, 100))
+        assert series["can"][1] <= series["full"][1]
+        assert series["left"][1] <= series["right"][1]
+
+
+class TestUpdateFigures:
+    def test_fig11(self):
+        data = figures.fig11_update_costs()
+        assert data["left/bi"] < data["right/bi"]
+        assert data["full/bi"] < data["can/bi"]
+
+    def test_fig12(self):
+        data = figures.fig12_update_costs()
+        ratio = max(data["left/bi"], data["full/bi"]) / min(
+            data["left/bi"], data["full/bi"]
+        )
+        assert ratio < 2.5
+
+    def test_fig13(self):
+        sizes, series = figures.fig13_update_sizes(sizes=(100, 800))
+        assert series["can"][1] > series["can"][0]
+        assert series["full"][1] == series["full"][0]
+
+
+class TestMixFigures:
+    def test_fig14_break_evens(self):
+        points = figures.fig14_break_evens()
+        assert 0.02 < points["left_vs_full"] < 0.45
+        assert points["nosupport_vs_full"] > 0.97
+
+    def test_fig16(self):
+        p_ups, series = figures.fig16_left_vs_full(p_ups=(0.1, 0.9))
+        assert series["full/bi"][1] < series["left/bi"][1]
+
+    def test_fig17_break_even(self):
+        point = figures.fig17_break_even()
+        assert point is not None and 0.001 < point < 0.05

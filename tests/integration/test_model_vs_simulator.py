@@ -1,0 +1,111 @@
+"""Cross-validation: analytical model vs the executable storage simulator."""
+
+import pytest
+
+from repro.asr import ASRManager, Decomposition, Extension, build_extension
+from repro.costmodel import (
+    ApplicationProfile,
+    QueryCostModel,
+    StorageModel,
+    partition_cardinality,
+)
+from repro.query import BackwardQuery, ForwardQuery, QueryEvaluator
+from repro.workload import ChainGenerator, measure_profile
+
+PROFILE = ApplicationProfile(
+    c=(50, 100, 200, 400),
+    d=(45, 85, 170),
+    fan=(2, 2, 2),
+    size=(500, 400, 300, 100),
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    generated = ChainGenerator(seed=41).generate(PROFILE)
+    measured = measure_profile(generated)
+    return generated, measured
+
+
+class TestCardinalities:
+    def test_every_extension_within_band(self, world):
+        generated, measured = world
+        for extension in Extension:
+            actual = len(build_extension(generated.db, generated.path, extension))
+            estimate = partition_cardinality(measured, extension, 0, measured.n)
+            assert actual > 0
+            assert abs(estimate - actual) / actual < 0.4, (extension, actual, estimate)
+
+    def test_partition_cardinalities_within_band(self, world):
+        generated, measured = world
+        full = build_extension(generated.db, generated.path, Extension.FULL)
+        path = generated.path
+        for i, j in [(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)]:
+            actual = len(full.slice(path.column_of(i), path.column_of(j)))
+            estimate = partition_cardinality(measured, Extension.FULL, i, j)
+            assert abs(estimate - actual) / max(actual, 1) < 0.6, (i, j)
+
+
+class TestStorageSizes:
+    def test_page_counts_close(self, world):
+        generated, measured = world
+        storage = StorageModel(measured)
+        manager = ASRManager(generated.db)
+        # The analytical model drops collection-OID columns (m = n), so
+        # compare against an ASR over the same column count by checking
+        # tuple counts rather than raw bytes.
+        for extension in Extension:
+            asr = manager.create(generated.path, extension)
+            estimate = storage.count(extension, 0, measured.n)
+            assert abs(estimate - asr.tuple_count) / asr.tuple_count < 0.4
+
+
+class TestQueryCosts:
+    def test_backward_scan_pages(self, world):
+        generated, measured = world
+        evaluator = QueryEvaluator(generated.db, generated.store)
+        model = QueryCostModel(measured)
+        targets = generated.layers[measured.n][:5]
+        measured_pages = []
+        for target in targets:
+            query = BackwardQuery(generated.path, 0, measured.n, target=target)
+            measured_pages.append(evaluator.evaluate_unsupported(query).page_reads)
+        average = sum(measured_pages) / len(measured_pages)
+        predicted = model.qnas(0, measured.n, "bw")
+        assert 0.5 <= predicted / average <= 2.0
+
+    def test_forward_traverse_pages(self, world):
+        generated, measured = world
+        evaluator = QueryEvaluator(generated.db, generated.store)
+        model = QueryCostModel(measured)
+        predicted = model.qnas(0, measured.n, "fw")
+        pages = []
+        for start in generated.layers[0][:15]:
+            query = ForwardQuery(generated.path, 0, measured.n, start=start)
+            result = evaluator.evaluate_unsupported(query)
+            if result.cells:
+                pages.append(result.page_reads)
+        average = sum(pages) / len(pages)
+        assert 0.4 <= predicted / average <= 2.5
+
+    def test_supported_query_order_of_magnitude(self, world):
+        generated, measured = world
+        manager = ASRManager(generated.db)
+        asr = manager.create(
+            generated.path, Extension.FULL, Decomposition.binary(generated.path.m)
+        )
+        evaluator = QueryEvaluator(generated.db, generated.store)
+        model = QueryCostModel(measured)
+        target = generated.layers[measured.n][0]
+        query = BackwardQuery(generated.path, 0, measured.n, target=target)
+        supported = evaluator.evaluate_supported(query, asr)
+        predicted = model.q(
+            Extension.FULL, 0, measured.n, "bw", Decomposition.binary(measured.n)
+        )
+        # Both tiny relative to the unsupported scan.
+        unsupported = evaluator.evaluate_unsupported(query)
+        assert supported.page_reads < unsupported.page_reads / 3
+        assert predicted < model.qnas(0, measured.n, "bw") / 3
+        # And within a small constant factor of each other.
+        assert supported.page_reads <= 4 * predicted + 4
+        assert predicted <= 4 * supported.page_reads + 4

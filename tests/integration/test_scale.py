@@ -1,0 +1,84 @@
+"""Scale sanity: the stack handles thousands of objects briskly."""
+
+import time
+
+import pytest
+
+from repro.asr import ASRManager, Decomposition, Extension
+from repro.costmodel import ApplicationProfile, partition_cardinality
+from repro.query import BackwardQuery, QueryEvaluator
+from repro.workload import ChainGenerator, measure_profile
+
+SCALE_PROFILE = ApplicationProfile(
+    c=(300, 900, 2700, 8100),
+    d=(270, 800, 2500),
+    fan=(2, 2, 2),
+    size=(400, 300, 200, 100),
+)
+
+
+@pytest.mark.slow
+def test_ten_thousand_object_world():
+    started = time.monotonic()
+    generated = ChainGenerator(seed=89).generate(SCALE_PROFILE)
+    assert len(generated.db) > 12_000  # objects + collection instances
+    manager = ASRManager(generated.db)
+    asr = manager.create(
+        generated.path, Extension.FULL, Decomposition.binary(generated.path.m)
+    )
+    assert asr.tuple_count > 2_000
+    evaluator = QueryEvaluator(generated.db, generated.store)
+    target = generated.layers[3][0]
+    query = BackwardQuery(generated.path, 0, 3, target=target)
+    supported = evaluator.evaluate_supported(query, asr)
+    unsupported = evaluator.evaluate_unsupported(query)
+    assert supported.cells == unsupported.cells
+    assert supported.page_reads < unsupported.page_reads / 10
+    # Cardinality model still within band at this scale.
+    measured = measure_profile(generated)
+    estimate = partition_cardinality(measured, Extension.FULL, 0, 3)
+    assert abs(estimate - asr.tuple_count) / asr.tuple_count < 0.35
+    # Incremental maintenance stays responsive.
+    from repro.gom import NULL
+
+    collection = next(
+        value
+        for oid in generated.layers[2]
+        if (value := generated.db.attr(oid, "A")) is not NULL
+    )
+    before = time.monotonic()
+    generated.db.set_insert(collection, generated.layers[3][1])
+    assert time.monotonic() - before < 2.0
+    assert time.monotonic() - started < 60.0
+
+
+@pytest.mark.parametrize("seed", [5, 6])
+@pytest.mark.parametrize(
+    "shape",
+    [
+        ApplicationProfile(
+            c=(40, 120, 360), d=(36, 110), fan=(3, 3), size=(300, 200, 100)
+        ),
+        ApplicationProfile(
+            c=(100, 100, 100), d=(60, 60), fan=(1, 2), size=(300, 200, 100)
+        ),
+    ],
+)
+def test_model_tracks_simulator_across_shapes(seed, shape):
+    """Multi-seed, multi-shape model-vs-simulator agreement."""
+    generated = ChainGenerator(seed=seed).generate(shape)
+    measured = measure_profile(generated)
+    from repro.costmodel import QueryCostModel
+
+    evaluator = QueryEvaluator(generated.db, generated.store)
+    model = QueryCostModel(measured)
+    target = generated.layers[measured.n][0]
+    query = BackwardQuery(generated.path, 0, measured.n, target=target)
+    measured_pages = evaluator.evaluate_unsupported(query).page_reads
+    predicted = model.qnas(0, measured.n, "bw")
+    assert 0.45 <= predicted / max(measured_pages, 1) <= 2.2, (
+        seed,
+        shape.c,
+        measured_pages,
+        predicted,
+    )

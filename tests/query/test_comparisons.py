@@ -1,0 +1,112 @@
+"""Comparison predicates in the surface language and their index fast path."""
+
+import random
+
+import pytest
+
+from repro.asr import ASRManager, Decomposition, Extension
+from repro.errors import ParseError
+from repro.gom import ObjectBase, PathExpression, Schema
+from repro.query import Planner, QueryEvaluator, SelectExecutor, parse_select
+
+
+@pytest.fixture()
+def catalog():
+    schema = Schema()
+    schema.define_tuple("BasePart", {"Name": "STRING", "Price": "DECIMAL"})
+    schema.define_set("BasePartSET", "BasePart")
+    schema.define_tuple("Product", {"Name": "STRING", "Composition": "BasePartSET"})
+    schema.define_set("ProdSET", "Product")
+    schema.validate()
+    db = ObjectBase(schema)
+    rng = random.Random(3)
+    parts = [db.new("BasePart", Name=f"P{i:02d}", Price=float(i * 5)) for i in range(20)]
+    products = [
+        db.new(
+            "Product",
+            Name=f"Pr{i}",
+            Composition=db.new_set("BasePartSET", rng.sample(parts, 3)),
+        )
+        for i in range(8)
+    ]
+    db.set_var("Catalog", db.new_set("ProdSET", products), "ProdSET")
+    path = PathExpression.parse(schema, "Product.Composition.Price")
+    manager = ASRManager(db)
+    manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+    fast = SelectExecutor(db, Planner(manager), QueryEvaluator(db))
+    slow = SelectExecutor(db)
+    return db, fast, slow
+
+
+class TestParserComparisons:
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">="])
+    def test_operators_parse(self, op):
+        statement = parse_select(
+            f"select p from p in Catalog where p.Price {op} 20"
+        )
+        assert statement.predicates[0].op == op
+
+    def test_invalid_operator(self):
+        with pytest.raises(ParseError):
+            parse_select("select p from p in Catalog where p.Price != 20")
+
+
+class TestComparisonSemantics:
+    QUERIES = [
+        "select p.Name from p in Catalog where p.Composition.Price < 20",
+        "select p.Name from p in Catalog where p.Composition.Price <= 20",
+        "select p.Name from p in Catalog where p.Composition.Price > 80",
+        "select p.Name from p in Catalog where p.Composition.Price >= 80",
+        "select p.Name from p in Catalog where 20 > p.Composition.Price",
+        "select p.Name from p in Catalog where 80 <= p.Composition.Price",
+        'select p.Name from p in Catalog where p.Name >= "Pr5"',
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_fast_matches_naive(self, catalog, query):
+        _db, fast, slow = catalog
+        assert sorted(fast.run(query).rows) == sorted(slow.run(query).rows)
+
+    def test_indexable_forms_use_asr(self, catalog):
+        _db, fast, _slow = catalog
+        report = fast.run(
+            "select p.Name from p in Catalog where p.Composition.Price < 20"
+        )
+        assert report.strategy.startswith("asr-backward")
+        report = fast.run(
+            "select p.Name from p in Catalog where p.Composition.Price >= 80"
+        )
+        assert report.strategy.startswith("asr-backward")
+
+    def test_non_indexable_forms_fall_back(self, catalog):
+        _db, fast, _slow = catalog
+        # '>' and '<=' have inclusive/exclusive bounds the half-open range
+        # scan cannot express exactly: they run as nested-loop filters.
+        report = fast.run(
+            "select p.Name from p in Catalog where p.Composition.Price > 80"
+        )
+        assert report.strategy == "nested-loop traversal"
+
+    def test_existential_semantics(self, catalog):
+        """A product matches when ANY composed part satisfies the bound."""
+        db, fast, slow = catalog
+        rows = slow.run(
+            "select p.Name from p in Catalog where p.Composition.Price < 10"
+        ).rows
+        # Every reported product really contains a part cheaper than 10.
+        for (name,) in rows:
+            (product,) = [
+                oid
+                for oid in db.extent("Product")
+                if db.attr(oid, "Name") == name
+            ]
+            members = db.members(db.attr(product, "Composition"))
+            assert any(db.attr(part, "Price") < 10 for part in members)
+
+    def test_combined_with_equality(self, catalog):
+        _db, fast, slow = catalog
+        query = (
+            "select p.Name from p in Catalog "
+            'where p.Composition.Price < 50 and p.Name = "Pr0"'
+        )
+        assert sorted(fast.run(query).rows) == sorted(slow.run(query).rows)

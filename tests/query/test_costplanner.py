@@ -1,0 +1,85 @@
+"""Cost-based planning: model-driven plan choice including fallback."""
+
+import pytest
+
+from repro.asr import ASRManager, Decomposition, Extension
+from repro.costmodel import ApplicationProfile
+from repro.query import BackwardQuery, ForwardQuery, QueryEvaluator
+from repro.query.costplanner import CostBasedPlanner
+from repro.workload import ChainGenerator
+
+PROFILE = ApplicationProfile(
+    c=(20, 60, 180, 540),
+    d=(18, 54, 160),
+    fan=(3, 3, 3),
+    size=(400, 300, 200, 100),
+)
+
+SIZES = {"T0": 400, "T1": 300, "T2": 200, "T3": 100}
+
+
+@pytest.fixture()
+def world():
+    generated = ChainGenerator(seed=53).generate(PROFILE)
+    manager = ASRManager(generated.db)
+    planner = CostBasedPlanner(manager, SIZES)
+    evaluator = QueryEvaluator(generated.db, generated.store)
+    return generated, manager, planner, evaluator
+
+
+class TestCostBasedChoice:
+    def test_whole_path_backward_uses_asr(self, world):
+        generated, manager, planner, evaluator = world
+        path = generated.path
+        manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        query = BackwardQuery(path, 0, path.n, target=generated.layers[-1][0])
+        plan = planner.plan(query)
+        assert plan.supported
+        result = planner.execute(query, evaluator)
+        assert result.cells == evaluator.evaluate_unsupported(query).cells
+
+    def test_figure8_fallback(self, world):
+        """A partial query against a huge non-decomposed relation loses to
+        the cheap traversal — the planner must pick the fallback."""
+        generated, manager, planner, evaluator = world
+        path = generated.path
+        manager.create(path, Extension.FULL, Decomposition.none(path.m))
+        # Forward from a single object over one step: traversal costs ~2
+        # pages; the supported plan must scan the whole undecomposed
+        # relation (the query endpoint is interior).
+        query = ForwardQuery(path, 0, 1, start=generated.layers[0][0])
+        assert planner.unsupported_cost(query) < planner.supported_cost(
+            query, manager.asrs[0]
+        )
+        plan = planner.plan(query)
+        assert not plan.supported
+        result = planner.execute(query, evaluator)
+        assert result.strategy == "unsupported"
+
+    def test_prefers_cheaper_decomposition(self, world):
+        generated, manager, planner, _evaluator = world
+        path = generated.path
+        manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        nodec = manager.create(path, Extension.FULL, Decomposition.none(path.m))
+        query = BackwardQuery(path, 0, path.n, target=generated.layers[-1][0])
+        plan = planner.plan(query)
+        assert plan.asr is nodec  # one descent beats one per partition
+
+    def test_profile_cache_and_invalidate(self, world):
+        generated, _manager, planner, _evaluator = world
+        path = generated.path
+        first = planner.profile_for(path)
+        assert planner.profile_for(path) is first  # cached
+        generated.db.delete(generated.layers[3][0])
+        planner.invalidate(path)
+        second = planner.profile_for(path)
+        assert second.c[3] == first.c[3] - 1
+
+    def test_costs_positive_and_finite(self, world):
+        generated, manager, planner, _evaluator = world
+        path = generated.path
+        asr = manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        for i, j in [(0, 3), (1, 3), (0, 2)]:
+            query = BackwardQuery(path, i, j, target=generated.layers[j][0])
+            assert planner.unsupported_cost(query) > 0
+            assert planner.supported_cost(query, asr) > 0

@@ -1,0 +1,138 @@
+"""Select-statement execution: the paper's Queries 1-3 and variations."""
+
+import pytest
+
+from repro.asr import ASRManager, Decomposition, Extension
+from repro.errors import QueryError
+from repro.query import Planner, QueryEvaluator, SelectExecutor
+
+
+@pytest.fixture()
+def company_executor(company_world):
+    db, path, objects = company_world
+    manager = ASRManager(db)
+    manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+    executor = SelectExecutor(db, Planner(manager), QueryEvaluator(db))
+    return db, objects, executor
+
+
+class TestPaperQueries:
+    def test_query1(self, robot_world):
+        db, path, _objects = robot_world
+        executor = SelectExecutor(db)
+        report = executor.run(
+            'select r.Name from r in OurRobots '
+            'where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"'
+        )
+        assert sorted(report.rows) == [("R2D2",), ("Robi",), ("X4D5",)]
+
+    def test_query2(self, company_executor):
+        _db, _objects, executor = company_executor
+        report = executor.run(
+            'select d.Name from d in Mercedes, b in d.Manufactures.Composition '
+            'where b.Name = "Door"'
+        )
+        assert sorted(report.rows) == [("Auto",), ("Truck",)]
+
+    def test_query3(self, company_executor):
+        _db, _objects, executor = company_executor
+        report = executor.run(
+            'select d.Manufactures.Composition.Name from d in Mercedes '
+            'where d.Name = "Auto"'
+        )
+        assert report.rows == [("Door",)]
+
+
+class TestExecutionFeatures:
+    def test_extent_range(self, company_executor):
+        _db, _objects, executor = company_executor
+        report = executor.run('select p.Name from p in extent(Product)')
+        assert sorted(report.rows) == [("560 SEC",), ("MB Trak",), ("Sausage",)]
+
+    def test_in_predicate(self, company_executor):
+        _db, _objects, executor = company_executor
+        report = executor.run(
+            'select d.Name from d in Mercedes '
+            'where "Door" in d.Manufactures.Composition.Name'
+        )
+        assert sorted(report.rows) == [("Auto",), ("Truck",)]
+
+    def test_and_conjunction(self, company_executor):
+        _db, _objects, executor = company_executor
+        report = executor.run(
+            'select d.Name from d in Mercedes '
+            'where "Door" in d.Manufactures.Composition.Name and d.Name = "Auto"'
+        )
+        assert report.rows == [("Auto",)]
+
+    def test_select_object_itself(self, company_executor):
+        _db, objects, executor = company_executor
+        report = executor.run('select d from d in Mercedes where d.Name = "Space"')
+        assert report.rows == [(objects["space"],)]
+
+    def test_numeric_predicate(self, company_executor):
+        _db, _objects, executor = company_executor
+        report = executor.run(
+            'select p.Name from p in extent(BasePart) where p.Price = 0.12'
+        )
+        assert report.rows == [("Pepper",)]
+
+    def test_empty_result(self, company_executor):
+        _db, _objects, executor = company_executor
+        report = executor.run(
+            'select d.Name from d in Mercedes where d.Name = "Ghost"'
+        )
+        assert report.rows == []
+
+    def test_unknown_attribute_raises(self, company_executor):
+        _db, _objects, executor = company_executor
+        with pytest.raises(QueryError):
+            executor.run('select d.Ghost from d in Mercedes')
+
+    def test_variable_bound_to_single_object(self, company_world):
+        db, _path, objects = company_world
+        db.set_var("AutoDiv", objects["auto"], "Division")
+        executor = SelectExecutor(db)
+        report = executor.run("select d.Name from d in AutoDiv")
+        assert report.rows == [("Auto",)]
+
+
+class TestASRFastPath:
+    def test_fast_path_used_and_correct(self, company_world):
+        db, path, _objects = company_world
+        manager = ASRManager(db)
+        manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        with_asr = SelectExecutor(db, Planner(manager), QueryEvaluator(db))
+        without_asr = SelectExecutor(db)
+        query = (
+            'select d.Name from d in Mercedes '
+            'where d.Manufactures.Composition.Name = "Door"'
+        )
+        fast = with_asr.run(query)
+        slow = without_asr.run(query)
+        assert sorted(fast.rows) == sorted(slow.rows)
+        assert fast.strategy.startswith("asr-backward")
+        assert slow.strategy == "nested-loop traversal"
+
+    def test_fast_path_respects_other_predicates(self, company_world):
+        db, path, _objects = company_world
+        manager = ASRManager(db)
+        manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        executor = SelectExecutor(db, Planner(manager), QueryEvaluator(db))
+        report = executor.run(
+            'select d.Name from d in Mercedes '
+            'where d.Manufactures.Composition.Name = "Door" and d.Name = "Truck"'
+        )
+        assert report.rows == [("Truck",)]
+
+    def test_fast_path_stays_correct_after_updates(self, company_world):
+        db, path, objects = company_world
+        manager = ASRManager(db)
+        manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        executor = SelectExecutor(db, Planner(manager), QueryEvaluator(db))
+        db.set_remove(objects["parts_sec"], objects["door"])
+        report = executor.run(
+            'select d.Name from d in Mercedes '
+            'where d.Manufactures.Composition.Name = "Door"'
+        )
+        assert report.rows == []

@@ -1,0 +1,112 @@
+"""The SQL-like surface grammar."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.parser import DottedPath, Literal, parse_select
+
+
+class TestHappyPath:
+    def test_query1_shape(self):
+        statement = parse_select(
+            'select r.Name from r in OurRobots '
+            'where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"'
+        )
+        assert statement.targets == (DottedPath("r", ("Name",)),)
+        assert statement.ranges[0].variable == "r"
+        assert statement.ranges[0].source == DottedPath("OurRobots")
+        (predicate,) = statement.predicates
+        assert predicate.op == "="
+        assert predicate.right == Literal("Utopia")
+
+    def test_query2_dependent_range(self):
+        statement = parse_select(
+            'select d.Name from d in Mercedes, b in d.Manufactures.Composition '
+            'where b.Name = "Door"'
+        )
+        assert len(statement.ranges) == 2
+        assert statement.ranges[1].source == DottedPath(
+            "d", ("Manufactures", "Composition")
+        )
+
+    def test_extent_source(self):
+        statement = parse_select("select p from p in extent(Product)")
+        assert statement.ranges[0].is_extent
+        assert statement.ranges[0].source.variable == "Product"
+
+    def test_in_predicate(self):
+        statement = parse_select(
+            'select d from d in Mercedes where "Door" in d.Manufactures.Composition.Name'
+        )
+        (predicate,) = statement.predicates
+        assert predicate.op == "in"
+        assert predicate.left == Literal("Door")
+
+    def test_and_conjunction(self):
+        statement = parse_select(
+            'select d from d in Mercedes where d.Name = "Auto" and d.Name = "Auto"'
+        )
+        assert len(statement.predicates) == 2
+
+    def test_numeric_literals(self):
+        statement = parse_select(
+            "select p from p in extent(BasePart) where p.Price = 1205.50"
+        )
+        assert statement.predicates[0].right == Literal(1205.50)
+        statement = parse_select(
+            "select p from p in extent(BasePart) where p.Price = 12"
+        )
+        assert statement.predicates[0].right == Literal(12)
+
+    def test_multiple_targets(self):
+        statement = parse_select("select a.X, a.Y from a in extent(T)")
+        assert len(statement.targets) == 2
+
+    def test_keywords_case_insensitive(self):
+        statement = parse_select("SELECT a FROM a IN extent(T) WHERE a.X = 1")
+        assert statement.predicates[0].op == "="
+
+    def test_round_trip_str(self):
+        text = 'select d.Name from d in Mercedes where d.Name = "Auto"'
+        assert str(parse_select(text)).replace("\n", " ") == text
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "select",
+            "select from x in Y",
+            "select a where a.X = 1",
+            "select a from a",
+            "select a from a in",
+            "select a from a in extent(",
+            'select a from a in B where a.X ~ 1',
+            "select a from a in B extra",
+            "select a from a in B where a.X =",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_select(bad)
+
+    def test_unbound_target(self):
+        with pytest.raises(ParseError, match="unbound"):
+            parse_select("select z from a in B")
+
+    def test_unbound_predicate_variable(self):
+        with pytest.raises(ParseError, match="unbound"):
+            parse_select("select a from a in B where z.X = 1")
+
+    def test_unbound_dependent_range(self):
+        with pytest.raises(ParseError, match="unbound"):
+            parse_select("select a from a in z.Items")
+
+    def test_duplicate_range_variable(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_select("select a from a in B, a in C")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_select("select a from a in B where a.X = #")

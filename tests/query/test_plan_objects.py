@@ -1,0 +1,73 @@
+"""Plan objects, planner estimates, and describe() surfaces."""
+
+import pytest
+
+from repro.asr import ASRManager, Decomposition, Extension
+from repro.query import BackwardQuery, ForwardQuery, Planner
+from repro.query.planner import Plan
+
+
+@pytest.fixture()
+def setup(small_chain):
+    manager = ASRManager(small_chain.db)
+    return small_chain, manager, Planner(manager)
+
+
+class TestPlanDescribe:
+    def test_unsupported_plan(self, setup):
+        generated, _manager, planner = setup
+        query = BackwardQuery(
+            generated.path, 0, generated.path.n, target=generated.layers[-1][0]
+        )
+        plan = planner.plan(query)
+        assert plan.asr is None
+        assert plan.estimated_pages == float("inf")
+        assert "unsupported" in plan.describe()
+
+    def test_supported_plan_mentions_design(self, setup):
+        generated, manager, planner = setup
+        manager.create(
+            generated.path, Extension.FULL, Decomposition.binary(generated.path.m)
+        )
+        query = BackwardQuery(
+            generated.path, 0, generated.path.n, target=generated.layers[-1][0]
+        )
+        plan = planner.plan(query)
+        assert plan.supported
+        text = plan.describe()
+        assert "full" in text and "pages" in text
+
+
+class TestEstimates:
+    def test_scan_heavier_than_border_lookup(self, setup):
+        generated, manager, planner = setup
+        path = generated.path
+        nodec = manager.create(path, Extension.FULL, Decomposition.none(path.m))
+        # Forward from the anchor: border lookup, tiny estimate.
+        whole = ForwardQuery(path, 0, path.n, start=generated.layers[0][0])
+        border_cost = planner.estimate_supported_pages(whole, nodec)
+        # Forward from a mid-path object: the endpoint is interior, so the
+        # single partition must be scanned entirely.
+        partial = ForwardQuery(path, 1, path.n, start=generated.layers[1][0])
+        scan_cost = planner.estimate_supported_pages(partial, nodec)
+        assert scan_cost == nodec.partitions[0].page_count
+        assert border_cost == nodec.partitions[0].forward_tree.interior_height + 2
+
+    def test_estimate_counts_only_touched_partitions(self, setup):
+        generated, manager, planner = setup
+        path = generated.path
+        binary = manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        narrow = ForwardQuery(path, 0, 1, start=generated.layers[0][0])
+        wide = ForwardQuery(path, 0, path.n, start=generated.layers[0][0])
+        assert planner.estimate_supported_pages(
+            narrow, binary
+        ) < planner.estimate_supported_pages(wide, binary)
+
+
+class TestPlanDataclass:
+    def test_fields(self, setup):
+        generated, _manager, _planner = setup
+        query = ForwardQuery(generated.path, 0, 1, start=generated.layers[0][0])
+        plan = Plan(query, None, 12.5)
+        assert not plan.supported
+        assert plan.estimated_pages == 12.5

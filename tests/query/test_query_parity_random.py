@@ -1,0 +1,51 @@
+"""Property test: supported ≡ unsupported answers on random object graphs.
+
+Uses the same randomized 3-type chain worlds as the extension oracle
+tests (arbitrary edges, empty sets, shared sub-objects, dangling
+prefixes/suffixes) and checks every admissible (extension,
+decomposition, query range, query kind) combination against the
+traversal semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asr import ASRManager, Decomposition, Extension
+from repro.gom.traversal import origins_reaching, reachable_terminals
+from repro.query import BackwardQuery, ForwardQuery, QueryEvaluator
+from tests.asr.test_extensions import build_random_world
+
+indices = st.integers(0, 3)
+edges = st.frozensets(st.tuples(indices, indices), max_size=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges, edges, st.frozensets(indices, max_size=2))
+def test_query_parity_on_random_worlds(edge01, edge12, empty_sets):
+    db, path = build_random_world(edge01, edge12, empty_sets, False)
+    manager = ASRManager(db)
+    evaluator = QueryEvaluator(db)
+    asrs = [
+        manager.create(path, extension, dec)
+        for extension in Extension
+        for dec in (Decomposition.binary(path.m), Decomposition.none(path.m))
+    ]
+    t0 = sorted(db.extent("T0", False), key=lambda o: o.value)
+    t2 = sorted(db.extent("T2", False), key=lambda o: o.value)
+    cases = []
+    for i, j in [(0, 1), (0, 2), (1, 2)]:
+        layers = {0: t0, 1: sorted(db.extent("T1", False), key=lambda o: o.value), 2: t2}
+        for start in layers[i][:2]:
+            cases.append(ForwardQuery(path, i, j, start=start))
+        for target in layers[j][:2]:
+            cases.append(BackwardQuery(path, i, j, target=target))
+    for query in cases:
+        if isinstance(query, ForwardQuery):
+            oracle = reachable_terminals(db, path, query.start, query.i, query.j)
+        else:
+            oracle = origins_reaching(db, path, query.target, query.i, query.j)
+        assert evaluator.evaluate_unsupported(query).cells == oracle, query
+        for asr in asrs:
+            if asr.supports_query(query.i, query.j):
+                answer = evaluator.evaluate_supported(query, asr).cells
+                assert answer == oracle, (query, asr.extension, asr.decomposition)

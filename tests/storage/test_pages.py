@@ -1,0 +1,71 @@
+"""Page-geometry arithmetic (Figure 3, Eqs. 13-18)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pages import (
+    DEFAULT_OID_SIZE,
+    DEFAULT_PAGE_SIZE,
+    DEFAULT_PP_SIZE,
+    btree_fanout,
+    objects_per_page,
+    pages_needed,
+    tuple_size,
+    tuples_per_page,
+)
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        assert DEFAULT_PAGE_SIZE == 4056
+        assert DEFAULT_OID_SIZE == 8
+        assert DEFAULT_PP_SIZE == 4
+
+    def test_paper_fanout(self):
+        # ⌊4056 / (4 + 8)⌋ = 338
+        assert btree_fanout() == 338
+
+    def test_fanout_too_small(self):
+        with pytest.raises(StorageError):
+            btree_fanout(page_size=10, pp_size=8, oid_size=8)
+
+
+class TestTupleGeometry:
+    def test_tuple_size(self):
+        assert tuple_size(0, 4) == 40  # 5 OIDs x 8 bytes
+        assert tuple_size(3, 4) == 16
+
+    def test_invalid_range(self):
+        with pytest.raises(StorageError):
+            tuple_size(3, 2)
+
+    def test_tuples_per_page(self):
+        assert tuples_per_page(0, 1) == 4056 // 16
+        assert tuples_per_page(0, 4) == 4056 // 40
+
+    def test_tuple_larger_than_page(self):
+        with pytest.raises(StorageError):
+            tuples_per_page(0, 1000)
+
+
+class TestObjectGeometry:
+    def test_objects_per_page(self):
+        assert objects_per_page(100) == 40
+        assert objects_per_page(4056) == 1
+
+    def test_oversized_object_clamped_to_one(self):
+        assert objects_per_page(10_000) == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(StorageError):
+            objects_per_page(0)
+
+    def test_pages_needed(self):
+        assert pages_needed(0, 10) == 0
+        assert pages_needed(1, 10) == 1
+        assert pages_needed(10, 10) == 1
+        assert pages_needed(11, 10) == 2
+        with pytest.raises(StorageError):
+            pages_needed(-1, 10)
+        with pytest.raises(StorageError):
+            pages_needed(1, 0)

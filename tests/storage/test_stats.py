@@ -1,0 +1,135 @@
+"""Page-access accounting: counters, buffers, deltas."""
+
+import pytest
+
+from repro.storage.stats import AccessStats, BufferScope, NullBuffer
+
+
+class TestAccessStats:
+    def test_counts_and_categories(self):
+        stats = AccessStats()
+        stats.read(2, "object")
+        stats.write(1, "btree_leaf")
+        assert stats.page_reads == 2
+        assert stats.page_writes == 1
+        assert stats.total == 3
+        assert stats.by_category == {"object": 2, "btree_leaf:write": 1}
+
+    def test_reset(self):
+        stats = AccessStats()
+        stats.read()
+        stats.reset()
+        assert stats.total == 0 and stats.by_category == {}
+
+    def test_snapshot_and_delta(self):
+        stats = AccessStats()
+        stats.read(3, "object")
+        before = stats.snapshot()
+        stats.read(2, "object")
+        stats.write(1, "object")
+        delta = stats.delta_since(before)
+        assert delta.page_reads == 2
+        assert delta.page_writes == 1
+        assert delta.by_category == {"object": 2, "object:write": 1}
+
+    def test_snapshot_is_independent(self):
+        stats = AccessStats()
+        snap = stats.snapshot()
+        stats.read()
+        assert snap.page_reads == 0
+
+
+class TestBufferScope:
+    def test_distinct_pages_charged_once(self):
+        stats = AccessStats()
+        with BufferScope(stats) as buffer:
+            assert buffer.touch("p1") is True
+            assert buffer.touch("p1") is False
+            assert buffer.touch("p2") is True
+        assert stats.page_reads == 2
+        assert buffer.distinct_pages == 2
+
+    def test_writes_charged_once(self):
+        stats = AccessStats()
+        buffer = BufferScope(stats)
+        assert buffer.touch_write("p1") is True
+        assert buffer.touch_write("p1") is False
+        assert stats.page_writes == 1
+
+    def test_scopes_are_independent(self):
+        stats = AccessStats()
+        with BufferScope(stats) as b1:
+            b1.touch("p1")
+        with BufferScope(stats) as b2:
+            b2.touch("p1")
+        assert stats.page_reads == 2  # new scope, new charge
+
+    def test_evict_all(self):
+        stats = AccessStats()
+        buffer = BufferScope(stats)
+        buffer.touch("p1")
+        buffer.evict_all()
+        buffer.touch("p1")
+        assert stats.page_reads == 2
+
+
+class TestNullBuffer:
+    def test_every_touch_charged(self):
+        stats = AccessStats()
+        buffer = NullBuffer(stats)
+        buffer.touch("p1")
+        buffer.touch("p1")
+        buffer.touch_write("p1")
+        assert stats.page_reads == 2
+        assert stats.page_writes == 1
+
+
+class TestBoundedBufferScope:
+    def test_within_capacity_behaves_like_plain_buffer(self):
+        from repro.storage.stats import BoundedBufferScope
+
+        stats = AccessStats()
+        buffer = BoundedBufferScope(stats, capacity=10)
+        assert buffer.touch("p1") is True
+        assert buffer.touch("p1") is False
+        assert stats.page_reads == 1
+
+    def test_eviction_recharges(self):
+        from repro.storage.stats import BoundedBufferScope
+
+        stats = AccessStats()
+        buffer = BoundedBufferScope(stats, capacity=2)
+        buffer.touch("p1")
+        buffer.touch("p2")
+        buffer.touch("p3")  # evicts p1 (LRU)
+        assert buffer.touch("p1") is True  # recharged
+        assert stats.page_reads == 4
+
+    def test_lru_recency_refresh(self):
+        from repro.storage.stats import BoundedBufferScope
+
+        stats = AccessStats()
+        buffer = BoundedBufferScope(stats, capacity=2)
+        buffer.touch("p1")
+        buffer.touch("p2")
+        buffer.touch("p1")  # refresh p1; p2 becomes LRU
+        buffer.touch("p3")  # evicts p2
+        assert buffer.touch("p1") is False
+        assert buffer.touch("p2") is True
+
+    def test_capacity_validation(self):
+        from repro.storage.stats import BoundedBufferScope
+
+        with pytest.raises(ValueError):
+            BoundedBufferScope(AccessStats(), capacity=0)
+
+    def test_distinct_pages_bounded(self):
+        from repro.storage.stats import BoundedBufferScope
+
+        stats = AccessStats()
+        buffer = BoundedBufferScope(stats, capacity=3)
+        for page in range(10):
+            buffer.touch(page)
+        assert buffer.distinct_pages == 3
+        buffer.evict_all()
+        assert buffer.distinct_pages == 0

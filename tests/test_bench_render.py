@@ -1,0 +1,45 @@
+"""Rendering helpers used by the benchmark harness."""
+
+from repro.bench.render import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "pages"], [["can", 12], ["full", 3.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "12" in lines[2]
+        assert "3.5" in lines[3]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_integral_floats_rendered_as_ints(self):
+        text = format_table(["x"], [[3.0]])
+        assert "3" in text and "3.0" not in text
+
+    def test_small_floats_keep_precision(self):
+        text = format_table(["x"], [[0.00417]])
+        assert "0.00417" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_columns_per_series(self):
+        text = format_series(
+            "P_up", [0.1, 0.9], {"left": [1.0, 2.0], "full": [3.0, 4.0]}
+        )
+        header = text.splitlines()[0]
+        assert "P_up" in header and "left" in header and "full" in header
+        assert len(text.splitlines()) == 4
+
+    def test_values_aligned_to_x(self):
+        text = format_series("x", [10, 20], {"y": [100, 200]})
+        rows = text.splitlines()[2:]
+        assert "10" in rows[0] and "100" in rows[0]
+        assert "20" in rows[1] and "200" in rows[1]

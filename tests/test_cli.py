@@ -1,0 +1,156 @@
+"""The command-line interface (``python -m repro``)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestDemo:
+    def test_demo_answers_query1(self):
+        code, text = run_cli("demo")
+        assert code == 0
+        assert "R2D2" in text
+        assert "asr-backward" in text
+
+
+class TestValidate:
+    def test_validate_prints_comparison(self):
+        code, text = run_cli("validate", "--seed", "3")
+        assert code == 0
+        assert "measured unsupported" in text
+        assert "results identical: True" in text
+
+    def test_scale(self):
+        code, text = run_cli("validate", "--seed", "3", "--scale", "0.5")
+        assert code == 0
+        assert "scale 0.5" in text
+
+
+class TestFigures:
+    def test_single_figure(self):
+        code, text = run_cli("figures", "--only", "fig04")
+        assert code == 0
+        assert "Figure 4" in text
+        assert "can/bi" in text
+
+    def test_unknown_figure(self):
+        code, text = run_cli("figures", "--only", "fig99")
+        assert code == 2
+        assert "unknown figure" in text
+
+    @pytest.mark.parametrize("fig", ["fig06", "fig11"])
+    def test_other_figures(self, fig):
+        code, text = run_cli("figures", "--only", fig)
+        assert code == 0
+
+
+class TestAdvise:
+    def write_profile(self, tmp_path, payload):
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_advise_with_custom_mix(self, tmp_path):
+        profile = self.write_profile(
+            tmp_path,
+            {
+                "c": [100, 500, 1000],
+                "d": [90, 400],
+                "fan": [2, 3],
+                "size": [300, 200, 100],
+                "queries": [[1.0, 0, 2, "bw"]],
+                "updates": [[1.0, 1]],
+            },
+        )
+        code, text = run_cli("advise", "--profile", str(profile), "--pup", "0.3")
+        assert code == 0
+        assert "feasible designs" in text
+        assert "pages/op" in text
+
+    def test_advise_default_mix(self, tmp_path):
+        profile = self.write_profile(
+            tmp_path,
+            {
+                "c": [1000, 5000, 10000, 50000, 100000],
+                "d": [900, 4000, 8000, 20000],
+                "fan": [2, 2, 3, 4],
+                "size": [500, 400, 300, 300, 100],
+            },
+        )
+        code, text = run_cli("advise", "--profile", str(profile))
+        assert code == 0
+        assert "Q0,4(bw)" in text  # the built-in Figure 14 mix
+
+    def test_budget_prunes(self, tmp_path):
+        profile = self.write_profile(
+            tmp_path,
+            {
+                "c": [1000, 5000, 10000, 50000, 100000],
+                "d": [900, 4000, 8000, 20000],
+                "fan": [2, 2, 3, 4],
+                "size": [500, 400, 300, 300, 100],
+            },
+        )
+        code_all, text_all = run_cli("advise", "--profile", str(profile))
+        code_tight, text_tight = run_cli(
+            "advise", "--profile", str(profile), "--budget-kib", "300"
+        )
+        assert code_all == code_tight == 0
+        count_all = int(text_all.split(" feasible")[0].split()[-1])
+        count_tight = int(text_tight.split(" feasible")[0].split()[-1])
+        assert count_tight < count_all
+
+    def test_missing_file(self, tmp_path):
+        code, text = run_cli("advise", "--profile", str(tmp_path / "ghost.json"))
+        assert code == 1
+        assert "error" in text
+
+    def test_invalid_profile(self, tmp_path):
+        profile = self.write_profile(
+            tmp_path, {"c": [10, 10], "d": [99], "fan": [1]}
+        )
+        code, text = run_cli("advise", "--profile", str(profile))
+        assert code == 1
+        assert "error" in text
+
+
+class TestExportAndProfile:
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "company.json"
+        code, text = run_cli("export-demo", "--out", str(target))
+        assert code == 0
+        assert "13 objects" in text
+        assert target.exists()
+        code, text = run_cli(
+            "profile",
+            "--db",
+            str(target),
+            "--path",
+            "Division.Manufactures.Composition.Name",
+        )
+        assert code == 0
+        assert "c    = (3, 3, 2, 2)" in text
+        assert "ASR configuration" in text
+
+    def test_profile_missing_db(self, tmp_path):
+        code, text = run_cli(
+            "profile", "--db", str(tmp_path / "ghost.json"), "--path", "X.Y"
+        )
+        assert code == 1
+        assert "error" in text
+
+    def test_profile_bad_path(self, tmp_path):
+        target = tmp_path / "company.json"
+        run_cli("export-demo", "--out", str(target))
+        code, text = run_cli("profile", "--db", str(target), "--path", "Ghost.X")
+        assert code == 1
+        assert "error" in text

@@ -1,0 +1,110 @@
+"""The synthetic chain generator and profile measurement."""
+
+import pytest
+
+from repro.costmodel import ApplicationProfile
+from repro.errors import CostModelError
+from repro.gom import NULL
+from repro.workload import ChainGenerator, measure_profile
+
+PROFILE = ApplicationProfile(
+    c=(20, 40, 80),
+    d=(18, 32),
+    fan=(2, 3),
+    size=(400, 300, 200),
+)
+
+
+@pytest.fixture()
+def generated():
+    return ChainGenerator(seed=5).generate(PROFILE)
+
+
+class TestGeneration:
+    def test_counts_match(self, generated):
+        for i, count in enumerate(PROFILE.c):
+            assert len(generated.db.extent(f"T{i}", False)) == count
+        assert [len(layer) for layer in generated.layers] == [20, 40, 80]
+
+    def test_defined_counts_match(self, generated):
+        db = generated.db
+        for i, expected in enumerate(PROFILE.d):
+            defined = [
+                oid
+                for oid in db.extent(f"T{i}", False)
+                if db.attr(oid, "A") is not NULL
+            ]
+            assert len(defined) == expected
+
+    def test_set_valued_when_fan_gt_one(self, generated):
+        assert generated.path.k == 2  # both steps are set occurrences
+        assert generated.path.m == 4
+
+    def test_single_valued_when_fan_one(self):
+        profile = ApplicationProfile(c=(10, 10), d=(8,), fan=(1,))
+        generated = ChainGenerator(seed=1).generate(profile)
+        assert generated.path.is_linear
+
+    def test_deterministic_by_seed(self):
+        a = ChainGenerator(seed=9).generate(PROFILE)
+        b = ChainGenerator(seed=9).generate(PROFILE)
+        rows_a = {
+            (oid.value, str(a.db.attr(oid, "A")))
+            for oid in a.db.extent("T0", False)
+        }
+        rows_b = {
+            (oid.value, str(b.db.attr(oid, "A")))
+            for oid in b.db.extent("T0", False)
+        }
+        assert rows_a == rows_b
+
+    def test_different_seeds_differ(self):
+        def signature(generated):
+            db = generated.db
+            rows = []
+            for oid in generated.layers[0]:
+                value = db.attr(oid, "A")
+                members = (
+                    frozenset(m.value for m in db.members(value))
+                    if value is not NULL
+                    else frozenset()
+                )
+                rows.append((oid.value, members))
+            return rows
+
+        a = ChainGenerator(seed=1).generate(PROFILE)
+        b = ChainGenerator(seed=2).generate(PROFILE)
+        assert signature(a) != signature(b)
+
+    def test_store_attached_with_sizes(self, generated):
+        assert generated.store.object_size("T0") == 400
+        assert generated.store.pages_of_type("T0") > 0
+
+    def test_non_integer_counts_rejected(self):
+        profile = ApplicationProfile(c=(10.5, 10), d=(5,), fan=(1,))
+        with pytest.raises(CostModelError):
+            ChainGenerator().generate(profile)
+
+
+class TestMeasurement:
+    def test_measured_counts_exact(self, generated):
+        measured = measure_profile(generated)
+        assert measured.c == (20, 40, 80)
+        assert measured.d == (18, 32)
+
+    def test_measured_fan_close_to_requested(self, generated):
+        measured = measure_profile(generated)
+        # Sets deduplicate targets, so measured fan can fall slightly short.
+        assert measured.fan[0] == pytest.approx(2, abs=0.3)
+        assert measured.fan[1] == pytest.approx(3, abs=0.4)
+
+    def test_measured_shar_at_least_one(self, generated):
+        measured = measure_profile(generated)
+        for value in measured.shar:
+            assert value >= 1.0
+
+    def test_sizes_carried_over(self, generated):
+        assert measure_profile(generated).size == (400, 300, 200)
+
+    def test_size_override(self, generated):
+        assert measure_profile(generated, size=(1, 2, 3)).size == (1, 2, 3)

@@ -1,0 +1,91 @@
+"""The transcribed paper profiles and mixes."""
+
+import pytest
+
+from repro.costmodel import OperationMix
+from repro.workload import profiles as paper
+
+
+class TestProfileTables:
+    def test_fig4_matches_paper_table(self):
+        profile = paper.FIG4_PROFILE
+        assert profile.c == (1000, 5000, 10000, 50000, 100000)
+        assert profile.d == (900, 4000, 8000, 20000)
+        assert profile.fan == (2, 2, 3, 4)
+        assert profile.n == 4
+
+    def test_fig5_sweep(self):
+        profile = paper.fig5_profile(2500)
+        assert profile.d == (2500,) * 4
+        assert profile.c == (10_000,) * 5
+
+    def test_fig6_d2_correction(self):
+        # The paper prints d_2 = 8000 with c_2 = 1000: corrected to 800.
+        profile = paper.FIG6_PROFILE
+        assert profile.d[2] == 800
+        assert profile.d[2] <= profile.c[2]
+        assert profile.size == (500, 400, 300, 300, 100)
+
+    def test_fig7_size_sweep(self):
+        assert paper.fig7_profile(250).size == (250,) * 5
+
+    def test_fig8_base(self):
+        assert paper.fig8_profile(10).d == (10,) * 4
+        assert paper.FIG8_BASE.size == (120,) * 5
+
+    def test_fig9_fan_sweep(self):
+        profile = paper.fig9_profile(50)
+        assert profile.fan == (50,) * 4
+        assert profile.c == (400_000,) * 5
+        assert profile.d == (10, 100, 1000, 100_000)
+
+    def test_fig11_and_12_differ_only_in_fan(self):
+        assert paper.FIG11_PROFILE.c == paper.FIG12_PROFILE.c
+        assert paper.FIG11_PROFILE.d == paper.FIG12_PROFILE.d
+        assert paper.FIG12_PROFILE.fan == (2, 1, 1, 4)
+
+    def test_fig13_size_sweep(self):
+        assert paper.fig13_profile(600).size == (600,) * 5
+
+    def test_fig16_n5(self):
+        assert paper.FIG16_PROFILE.n == 5
+        assert paper.FIG16_PROFILE.fan == (2, 2, 3, 4, 10)
+
+    def test_fig17_n5_with_dropped_d5(self):
+        profile = paper.FIG17_PROFILE
+        assert profile.n == 5
+        assert len(profile.d) == 5
+        assert profile.d == (100_000, 10_000, 30_000, 10_000, 100)
+
+    def test_all_profiles_valid(self):
+        # Construction already validates; touch every derived quantity.
+        for profile in (
+            paper.FIG4_PROFILE,
+            paper.FIG6_PROFILE,
+            paper.FIG11_PROFILE,
+            paper.FIG12_PROFILE,
+            paper.FIG16_PROFILE,
+            paper.FIG17_PROFILE,
+        ):
+            for i in range(1, profile.n + 1):
+                assert profile.e_(i) >= 0
+
+
+class TestMixes:
+    @pytest.mark.parametrize(
+        "mix", [paper.FIG14_MIX, paper.FIG16_MIX, paper.FIG17_MIX]
+    )
+    def test_mixes_are_valid(self, mix):
+        assert isinstance(mix, OperationMix)
+        assert sum(w for w, _ in mix.queries) == pytest.approx(1.0)
+        assert sum(w for w, _ in mix.updates) == pytest.approx(1.0)
+
+    def test_fig14_mix_shape(self):
+        specs = [str(spec) for _w, spec in paper.FIG14_MIX.queries]
+        assert specs == ["Q0,4(bw)", "Q0,3(bw)", "Q1,2(fw)"]
+        updates = [str(spec) for _w, spec in paper.FIG14_MIX.updates]
+        assert updates == ["ins_2", "ins_3"]
+
+    def test_fig17_mix_all_backward(self):
+        assert all(spec.kind == "bw" for _w, spec in paper.FIG17_MIX.queries)
+        assert all(spec.j == 5 for _w, spec in paper.FIG17_MIX.queries)
