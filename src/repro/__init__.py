@@ -24,6 +24,7 @@ from repro.errors import (
     StorageError,
     TypingError,
 )
+from repro.context import ExecutionContext, Span
 from repro.gom import (
     NULL,
     ObjectBase,
@@ -78,6 +79,9 @@ __all__ = [
     "QueryError",
     "ParseError",
     "CostModelError",
+    # execution context
+    "ExecutionContext",
+    "Span",
     # object model
     "NULL",
     "OID",

@@ -22,6 +22,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.asr.decomposition import Decomposition
 from repro.asr.extensions import Extension, build_extension
 from repro.asr.relation import Relation
+from repro.context import resolve_buffer
 from repro.errors import RelationError, StorageError
 from repro.gom.database import ObjectBase
 from repro.gom.objects import OID, Cell
@@ -171,16 +172,18 @@ class StoredPartition:
             backward_entries, self.tuples_per_page, self._fanout
         )
 
-    def add_projection(self, row: tuple[Cell, ...], buffer=None) -> None:
+    def add_projection(self, row: tuple[Cell, ...], context=None, *, buffer=None) -> None:
         """Reference one witness of ``row``; insert trees on 0→1."""
+        buffer = resolve_buffer(context, buffer)
         row = tuple(row)
         self._counts[row] += 1
         if self._counts[row] == 1:
             self.forward_tree.insert((cell_key(row[0]), row_key(row)), row, buffer)
             self.backward_tree.insert((cell_key(row[-1]), row_key(row)), row, buffer)
 
-    def remove_projection(self, row: tuple[Cell, ...], buffer=None) -> None:
+    def remove_projection(self, row: tuple[Cell, ...], context=None, *, buffer=None) -> None:
         """Drop one witness of ``row``; delete from trees on 1→0."""
+        buffer = resolve_buffer(context, buffer)
         row = tuple(row)
         count = self._counts.get(row, 0)
         if count == 0:
@@ -196,16 +199,16 @@ class StoredPartition:
     # charged access paths
     # ------------------------------------------------------------------
 
-    def lookup_forward(self, cell: Cell, buffer=None) -> list[tuple[Cell, ...]]:
+    def lookup_forward(self, cell: Cell, context=None, *, buffer=None) -> list[tuple[Cell, ...]]:
         """All rows whose first column equals ``cell`` (forward clustering)."""
-        return self._prefix_scan(self.forward_tree, cell, buffer)
+        return self._prefix_scan(self.forward_tree, cell, resolve_buffer(context, buffer))
 
-    def lookup_backward(self, cell: Cell, buffer=None) -> list[tuple[Cell, ...]]:
+    def lookup_backward(self, cell: Cell, context=None, *, buffer=None) -> list[tuple[Cell, ...]]:
         """All rows whose last column equals ``cell`` (backward clustering)."""
-        return self._prefix_scan(self.backward_tree, cell, buffer)
+        return self._prefix_scan(self.backward_tree, cell, resolve_buffer(context, buffer))
 
     def lookup_backward_range(
-        self, lo: Cell, hi: Cell, buffer=None
+        self, lo: Cell, hi: Cell, context=None, *, buffer=None
     ) -> list[tuple[Cell, ...]]:
         """Rows whose last column lies in ``[lo, hi)`` (value clustering).
 
@@ -216,7 +219,9 @@ class StoredPartition:
         """
         results = []
         for _key, value in self.backward_tree.range(
-            lo=(cell_key(lo), ()), hi=(cell_key(hi), ()), buffer=buffer
+            lo=(cell_key(lo), ()),
+            hi=(cell_key(hi), ()),
+            context=resolve_buffer(context, buffer),
         ):
             results.append(value)
         return results
@@ -225,15 +230,16 @@ class StoredPartition:
     def _prefix_scan(tree: BPlusTree, cell: Cell, buffer) -> list[tuple[Cell, ...]]:
         prefix = cell_key(cell)
         results = []
-        for key, value in tree.range(lo=(prefix, ()), buffer=buffer):
+        for key, value in tree.range(lo=(prefix, ()), context=buffer):
             if key[0] != prefix:
                 break
             results.append(value)
         return results
 
-    def scan(self, buffer=None) -> list[tuple[Cell, ...]]:
+    def scan(self, context=None, *, buffer=None) -> list[tuple[Cell, ...]]:
         """Read every row, charging all data pages (exhaustive inspection)."""
-        return [value for _, value in self.forward_tree.range(buffer=buffer)]
+        buffer = resolve_buffer(context, buffer)
+        return [value for _, value in self.forward_tree.range(context=buffer)]
 
 
 class AccessSupportRelation:
@@ -304,9 +310,12 @@ class AccessSupportRelation:
         self,
         added: Iterable[tuple[Cell, ...]],
         removed: Iterable[tuple[Cell, ...]],
+        context=None,
+        *,
         buffer=None,
     ) -> None:
         """Apply extension-level row deltas to the logical relation and trees."""
+        buffer = resolve_buffer(context, buffer)
         for row in removed:
             row = tuple(row)
             if row not in self.extension_relation:

@@ -66,6 +66,26 @@ class DirtyRegion:
 EMPTY_REGION = DirtyRegion(frozenset())
 
 
+def merge_regions(*regions: DirtyRegion) -> DirtyRegion:
+    """Coalesce dirty regions: the union of anchors and dead OIDs.
+
+    This is what makes batched maintenance cheap *and* exact: every row
+    changed by any of the underlying events passes through at least one
+    anchor of (or contains a dead OID of) the merged region, so one
+    :func:`neighbourhood_delta` against the final object graph replaces
+    one delta per event — overlapping neighbourhoods are recomputed and
+    their tree pages touched once instead of once per event.
+    """
+    anchors: frozenset[tuple[int, Cell]] = frozenset()
+    dead: frozenset[OID] = frozenset()
+    for region in regions:
+        anchors |= region.anchors
+        dead |= region.dead
+    if not anchors and not dead:
+        return EMPTY_REGION
+    return DirtyRegion(anchors, dead)
+
+
 def analyze_event(db: ObjectBase, path: PathExpression, event: Event) -> DirtyRegion:
     """The dirty region of ``event`` w.r.t. ``path`` (empty if unaffected)."""
     if isinstance(event, ObjectCreated):

@@ -7,9 +7,28 @@ run-time embodiment of section 6: after any sequence of updates, each
 managed ASR equals what a from-scratch rebuild would produce (verified by
 :meth:`check_consistency` and the property-based test suite).
 
-Maintenance can be charged to a page-access buffer to *measure* update
-costs on the storage simulator, mirroring the analytical update-cost
-model of :mod:`repro.costmodel.updatecost`.
+Maintenance can be charged to an :class:`~repro.context.ExecutionContext`
+(or a bare buffer scope) to *measure* update costs on the storage
+simulator, mirroring the analytical update-cost model of
+:mod:`repro.costmodel.updatecost`.
+
+Two maintenance regimes exist:
+
+* **eager** (the default): every primitive event is analyzed and its
+  neighbourhood delta applied immediately — one tree round-trip per
+  event per ASR, the regime section 6 prices;
+* **batched** (:meth:`batch` / :meth:`flush`): events only *accumulate*
+  their dirty regions in a per-ASR queue; the regions are coalesced
+  (set-union of anchors and dead OIDs) and, at the flush boundary, one
+  ``neighbourhood_delta`` per ASR is computed against the final object
+  graph and applied under a single buffer scope.  Overlapping events
+  therefore charge their shared pages once, and intermediate states
+  that a later event undoes never touch the trees at all.
+
+A manager holds its event subscription until :meth:`close` is called
+(or its ``with`` block exits); a closed manager no longer maintains its
+ASRs.  When the manager is constructed with an ``ExecutionContext``,
+pending batches are flushed automatically when that context closes.
 """
 
 from __future__ import annotations
@@ -20,7 +39,13 @@ from typing import Iterator
 from repro.asr.asr import AccessSupportRelation
 from repro.asr.decomposition import Decomposition
 from repro.asr.extensions import Extension
-from repro.asr.maintenance import analyze_event, neighbourhood_delta
+from repro.asr.maintenance import (
+    DirtyRegion,
+    analyze_event,
+    merge_regions,
+    neighbourhood_delta,
+)
+from repro.context import ExecutionContext
 from repro.errors import ObjectBaseError
 from repro.gom.database import ObjectBase
 from repro.gom.events import Event
@@ -28,15 +53,35 @@ from repro.gom.paths import PathExpression
 
 
 class ASRManager:
-    """Owns access support relations over one object base."""
+    """Owns access support relations over one object base.
 
-    def __init__(self, db: ObjectBase) -> None:
+    Parameters
+    ----------
+    db:
+        The object base whose change events drive maintenance.
+    context:
+        Optional :class:`~repro.context.ExecutionContext` charged for
+        tree maintenance.  Setting the legacy ``manager.buffer``
+        attribute to a raw buffer scope remains supported and takes
+        precedence while set.
+    """
+
+    def __init__(self, db: ObjectBase, context: ExecutionContext | None = None) -> None:
         self.db = db
         self.asrs: list[AccessSupportRelation] = []
         self._suspended = 0
-        #: Optional page-access buffer charged for tree maintenance.
+        #: Optional page-access buffer charged for tree maintenance
+        #: (legacy spelling; prefer passing an ExecutionContext).
         self.buffer = None
+        self.context = context
+        self._batch_depth = 0
+        #: Coalesced pending dirty regions, one per batched ASR
+        #: (keyed by identity — ASRs are not hashable by value).
+        self._pending: dict[int, tuple[AccessSupportRelation, DirtyRegion]] = {}
+        self._closed = False
         db.subscribe(self._on_event)
+        if context is not None:
+            context.add_exit_hook(self.flush)
 
     # ------------------------------------------------------------------
     # registration
@@ -62,6 +107,7 @@ class ASRManager:
             self.asrs.remove(asr)
         except ValueError:
             raise ObjectBaseError("ASR is not registered with this manager") from None
+        self._pending.pop(id(asr), None)
 
     def find(
         self, path: PathExpression, extension: Extension | None = None
@@ -74,12 +120,52 @@ class ASRManager:
         ]
 
     # ------------------------------------------------------------------
+    # lifetime
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush pending work and stop maintaining: unsubscribe from the db.
+
+        Idempotent.  A closed manager keeps its ASR list for inspection
+        but no longer reacts to object-base events.
+        """
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        try:
+            self.db.unsubscribe(self._on_event)
+        except ValueError:  # pragma: no cover - subscription already gone
+            pass
+
+    def __enter__(self) -> "ASRManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        return None
+
+    # ------------------------------------------------------------------
     # event handling
     # ------------------------------------------------------------------
 
+    def _charge_target(self):
+        """Where maintenance page accesses go (legacy buffer wins)."""
+        if self.buffer is not None:
+            return self.buffer
+        return self.context
+
     def _on_event(self, event: Event) -> None:
-        if self._suspended:
+        if self._closed or self._suspended:
             return
+        if self._batch_depth:
+            self._enqueue(event)
+            return
+        target = self._charge_target()
         for asr in self.asrs:
             region = analyze_event(self.db, asr.path, event)
             if not region:
@@ -88,7 +174,86 @@ class ASRManager:
                 self.db, asr.path, asr.extension, asr.extension_relation, region
             )
             if added or removed:
-                asr.apply_delta(added, removed, self.buffer)
+                asr.apply_delta(added, removed, target)
+
+    def _enqueue(self, event: Event) -> None:
+        """Accumulate the event's dirty regions without touching trees.
+
+        The region must be computed *now* (it reads event-time graph
+        state, e.g. the members of a collection being detached), but the
+        expensive neighbourhood recomputation and all tree mutations are
+        deferred to :meth:`flush`.
+        """
+        for asr in self.asrs:
+            region = analyze_event(self.db, asr.path, event)
+            if not region:
+                continue
+            key = id(asr)
+            if key in self._pending:
+                _, pending = self._pending[key]
+                self._pending[key] = (asr, merge_regions(pending, region))
+            else:
+                self._pending[key] = (asr, region)
+
+    @contextmanager
+    def batch(self) -> Iterator["ASRManager"]:
+        """Defer maintenance inside the block; flush once on exit.
+
+        Unlike :meth:`suspended`, this does **not** fall back to full
+        rebuilds: the coalesced dirty regions are maintained exactly,
+        just with one tree round-trip per ASR instead of one per event::
+
+            with manager.batch():
+                db.set_insert(parts, bolt)
+                db.set_insert(parts, nut)
+            # <- one coalesced neighbourhood delta applied here
+
+        Nesting is allowed; only the outermost exit flushes.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if not self._batch_depth:
+                self.flush()
+
+    def flush(self, context=None) -> int:
+        """Apply all pending coalesced deltas under a single buffer scope.
+
+        Returns the number of extension rows that changed (added plus
+        removed, over all ASRs).  Page accesses are charged to
+        ``context`` when given, else to the manager's context / legacy
+        buffer.  No-op when nothing is pending.
+        """
+        if not self._pending:
+            return 0
+        pending, self._pending = self._pending, {}
+        target = context if context is not None else self._charge_target()
+        changed = 0
+        if isinstance(target, ExecutionContext):
+            with target.operation("asr.flush") as scope:
+                changed = self._apply_pending(pending, scope)
+        else:
+            # A raw buffer scope (or None) is already a single scope.
+            changed = self._apply_pending(pending, target)
+        return changed
+
+    def _apply_pending(self, pending, scope) -> int:
+        changed = 0
+        for asr, region in pending.values():
+            added, removed = neighbourhood_delta(
+                self.db, asr.path, asr.extension, asr.extension_relation, region
+            )
+            if added or removed:
+                asr.apply_delta(added, removed, scope)
+                changed += len(added) + len(removed)
+        return changed
+
+    @property
+    def pending_regions(self) -> int:
+        """How many ASRs have un-flushed dirty regions queued."""
+        return len(self._pending)
 
     @contextmanager
     def suspended(self) -> Iterator[None]:

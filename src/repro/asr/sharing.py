@@ -166,8 +166,17 @@ class SharedASRBundle:
         path_b: PathExpression,
         extension: Extension = Extension.FULL,
         segment: SharedSegment | None = None,
+        manager=None,
     ) -> "SharedASRBundle":
-        """Materialize both ASRs with the common partition stored once."""
+        """Materialize both ASRs with the common partition stored once.
+
+        When a :class:`~repro.asr.manager.ASRManager` is passed via
+        ``manager``, both ASRs are registered with it immediately, so
+        they participate in its (eager or batched) maintenance — the
+        shared partition's witness counts then aggregate deltas from
+        both sharers under whatever
+        :class:`~repro.context.ExecutionContext` the manager charges.
+        """
         from collections import Counter
 
         from repro.asr.asr import AccessSupportRelation
@@ -211,7 +220,11 @@ class SharedASRBundle:
         partition_b.backward_tree = partition_a.backward_tree
         partition_a.shared = True
         partition_b.shared = True
-        return cls(asr_a, asr_b, segment, partition_a, partition_b)
+        bundle = cls(asr_a, asr_b, segment, partition_a, partition_b)
+        if manager is not None:
+            manager.register(asr_a)
+            manager.register(asr_b)
+        return bundle
 
     # ------------------------------------------------------------------
 

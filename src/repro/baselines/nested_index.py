@@ -21,6 +21,7 @@ from typing import Iterable
 
 from repro.asr.asr import cell_key
 from repro.asr.extensions import Extension, build_extension
+from repro.context import resolve_buffer
 from repro.errors import PathError
 from repro.gom.database import ObjectBase
 from repro.gom.objects import OID, Cell
@@ -96,9 +97,12 @@ class NestedAttributeIndex:
         self,
         added: Iterable[tuple[Cell, ...]],
         removed: Iterable[tuple[Cell, ...]],
+        context=None,
+        *,
         buffer=None,
     ) -> None:
         """Apply canonical-extension row deltas to the pair store."""
+        buffer = resolve_buffer(context, buffer)
         for row in removed:
             row = tuple(row)
             if row not in self.extension_relation:
@@ -131,21 +135,23 @@ class NestedAttributeIndex:
         """Only the whole-path backward lookup is answerable."""
         return i == 0 and j == self.path.n
 
-    def lookup(self, value: Cell, buffer=None) -> set[OID]:
+    def lookup(self, value: Cell, context=None, *, buffer=None) -> set[OID]:
         """Anchors whose path reaches ``value`` — one index probe."""
+        buffer = resolve_buffer(context, buffer)
         prefix = cell_key(value)
         anchors: set[OID] = set()
-        for key, (_value, anchor) in self.tree.range(lo=(prefix, ()), buffer=buffer):
+        for key, (_value, anchor) in self.tree.range(lo=(prefix, ()), context=buffer):
             if key[0] != prefix:
                 break
             anchors.add(anchor)
         return anchors
 
-    def lookup_range(self, lo: Cell, hi: Cell, buffer=None) -> set[OID]:
+    def lookup_range(self, lo: Cell, hi: Cell, context=None, *, buffer=None) -> set[OID]:
         """Anchors reaching any value in ``[lo, hi)`` (value clustering)."""
+        buffer = resolve_buffer(context, buffer)
         anchors: set[OID] = set()
         for _key, (_value, anchor) in self.tree.range(
-            lo=(cell_key(lo), ()), hi=(cell_key(hi), ()), buffer=buffer
+            lo=(cell_key(lo), ()), hi=(cell_key(hi), ()), context=buffer
         ):
             anchors.add(anchor)
         return anchors

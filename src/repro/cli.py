@@ -19,9 +19,12 @@ Commands
           "updates": [[1.0, 3]]
         }
 
-``validate [--seed S] [--scale X]``
+``validate [--seed S] [--scale X] [--trace trace.json]``
     Generate a chain object base, run queries on the page-counting
-    simulator, and print measured vs model page counts.
+    simulator, and print measured vs model page counts.  With
+    ``--trace`` the whole run executes under one
+    :class:`~repro.context.ExecutionContext` and its trace (per-span
+    page accesses, operation counters) is written as JSON.
 
 ``demo``
     The robot quickstart (paper Query 1) end to end.
@@ -43,6 +46,7 @@ import sys
 from pathlib import Path
 
 from repro.asr import ASRManager, Decomposition, Extension
+from repro.context import ExecutionContext
 from repro.costmodel import (
     ApplicationProfile,
     DesignAdvisor,
@@ -85,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--seed", type=int, default=7)
     validate.add_argument(
         "--scale", type=float, default=1.0, help="multiplier on the base world size"
+    )
+    validate.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="write the ExecutionContext trace (spans, counters) as JSON",
     )
 
     commands.add_parser("demo", help="run the robot quickstart")
@@ -217,11 +227,12 @@ def _cmd_validate(args, out) -> int:
     )
     generated = ChainGenerator(seed=args.seed).generate(scaled)
     measured = measure_profile(generated)
-    manager = ASRManager(generated.db)
+    context = ExecutionContext() if args.trace is not None else None
+    manager = ASRManager(generated.db, context=context)
     asr = manager.create(
         generated.path, Extension.FULL, Decomposition.binary(generated.path.m)
     )
-    evaluator = QueryEvaluator(generated.db, generated.store)
+    evaluator = QueryEvaluator(generated.db, generated.store, context=context)
     model = QueryCostModel(measured)
     target = generated.layers[measured.n][0]
     query = BackwardQuery(generated.path, 0, measured.n, target=target)
@@ -246,6 +257,15 @@ def _cmd_validate(args, out) -> int:
     print(
         "results identical:", supported.cells == unsupported.cells, file=out
     )
+    if context is not None:
+        context.close()
+        args.trace.write_text(context.to_json())
+        print(
+            f"trace: {len(context.spans)} span(s), "
+            f"{context.stats.page_reads} reads / {context.stats.page_writes} "
+            f"writes -> {args.trace}",
+            file=out,
+        )
     return 0
 
 
@@ -282,6 +302,7 @@ def _cmd_demo(args, out) -> int:
         'where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"'
     )
     print(f"Query 1 -> {sorted(report.rows)}  [{report.strategy}]", file=out)
+    print(f"page accesses: {report.describe_pages()}", file=out)
     return 0
 
 

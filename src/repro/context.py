@@ -1,0 +1,260 @@
+"""Execution contexts: one object owning accounting, buffering, tracing.
+
+Historically every charged operation in this library threaded a bare
+``buffer=None`` parameter from the public API down to the B+ tree nodes.
+That worked for single measurements but left three concerns scattered
+across ~60 call sites: *which* :class:`~repro.storage.stats.AccessStats`
+gets charged, *what buffer policy* governs distinct-page counting (the
+paper's Yao-style per-operation buffer, a bounded LRU pool, or no
+caching at all), and *how* one measurement is delimited (snapshot /
+delta pairs copy-pasted per caller).
+
+:class:`ExecutionContext` consolidates all three:
+
+* it owns the :class:`~repro.storage.stats.AccessStats` counters;
+* it instantiates buffer scopes according to a declared policy
+  (``unbounded`` — the analytical model's assumption, ``bounded`` — a
+  finite LRU pool persisting across operations, ``null`` — every touch
+  charged);
+* it records **operation spans**: named, optionally nested measurement
+  intervals with their page-access deltas, exportable as a dict / JSON
+  (the CLI's ``--trace`` flag writes exactly this).
+
+Every storage / ASR / query entry point now accepts either an
+``ExecutionContext`` or (deprecated, but fully supported) a raw buffer
+scope through the same parameter; :func:`resolve_buffer` performs the
+normalization once at the API boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.storage.stats import (
+    AccessStats,
+    BoundedBufferScope,
+    BufferScope,
+    NullBuffer,
+    resolve_buffer,
+)
+
+__all__ = ["ExecutionContext", "Span", "resolve_buffer", "POLICIES"]
+
+#: Recognized buffer policies (see :class:`ExecutionContext`).
+POLICIES = ("unbounded", "bounded", "null")
+
+
+@dataclass
+class Span:
+    """One traced operation: a named interval with its access delta."""
+
+    name: str
+    index: int
+    depth: int
+    page_reads: int = 0
+    page_writes: int = 0
+    by_category: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_pages(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "index": self.index,
+            "depth": self.depth,
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "total_pages": self.total_pages,
+            "by_category": dict(self.by_category),
+        }
+
+
+class ExecutionContext:
+    """Owns accounting, buffer policy, and tracing for one execution.
+
+    Parameters
+    ----------
+    policy:
+        ``"unbounded"`` (default): each operation gets a fresh
+        :class:`BufferScope` — the per-operation distinct-page counting
+        the analytical model assumes (section 5.6).
+        ``"bounded"``: one :class:`BoundedBufferScope` of ``capacity``
+        pages shared by *all* operations of the context — a real,
+        finite buffer pool whose residency survives operation
+        boundaries.
+        ``"null"``: a :class:`NullBuffer` — every touch is charged.
+    capacity:
+        LRU capacity in pages; required for (and only meaningful under)
+        the ``bounded`` policy.
+    stats:
+        An existing :class:`AccessStats` to charge; a fresh one by
+        default.
+
+    Use as a context manager to get an explicit lifetime boundary::
+
+        with ExecutionContext() as ctx:
+            evaluator = QueryEvaluator(db, store, context=ctx)
+            ...
+        print(ctx.to_json())
+
+    Exit hooks (:meth:`add_exit_hook`) run at that boundary — the
+    :class:`~repro.asr.manager.ASRManager` uses this to flush batched
+    maintenance when its context closes.
+    """
+
+    def __init__(
+        self,
+        policy: str = "unbounded",
+        capacity: int | None = None,
+        stats: AccessStats | None = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown buffer policy {policy!r}; known: {POLICIES}")
+        if policy == "bounded" and (capacity is None or capacity < 1):
+            raise ValueError("bounded policy requires a positive page capacity")
+        if policy != "bounded" and capacity is not None:
+            raise ValueError(f"capacity is only meaningful under 'bounded', not {policy!r}")
+        self.policy = policy
+        self.capacity = capacity
+        self.stats = stats if stats is not None else AccessStats()
+        #: Completed operation spans, in completion order.
+        self.spans: list[Span] = []
+        #: ``operation name -> times entered`` counters.
+        self.op_counts: dict[str, int] = {}
+        self._span_stack: list[Span] = []
+        self._buffer_stack: list[BufferScope | NullBuffer] = []
+        self._ambient: BufferScope | NullBuffer | None = None
+        self._exit_hooks: list[Callable[[], None]] = []
+        self._next_index = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # buffer management
+    # ------------------------------------------------------------------
+
+    def new_scope(self) -> BufferScope | NullBuffer:
+        """A fresh buffer scope under this context's policy."""
+        if self.policy == "bounded":
+            # The bounded pool is a *shared* resource: residency must
+            # survive operation boundaries, so there is only one.
+            return self._ambient_scope()
+        if self.policy == "null":
+            return NullBuffer(self.stats)
+        return BufferScope(self.stats)
+
+    def _ambient_scope(self) -> BufferScope | NullBuffer:
+        if self._ambient is None:
+            if self.policy == "bounded":
+                assert self.capacity is not None
+                self._ambient = BoundedBufferScope(self.stats, self.capacity)
+            elif self.policy == "null":
+                self._ambient = NullBuffer(self.stats)
+            else:
+                self._ambient = BufferScope(self.stats)
+        return self._ambient
+
+    @property
+    def current_buffer(self) -> BufferScope | NullBuffer:
+        """The buffer accesses are charged to right now.
+
+        Inside an :meth:`operation` span this is the span's scope;
+        outside, a context-lifetime ambient scope (created lazily) so
+        that charging through a bare context is always well defined.
+        """
+        if self._buffer_stack:
+            return self._buffer_stack[-1]
+        return self._ambient_scope()
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def operation(self, name: str) -> Iterator[BufferScope | NullBuffer]:
+        """Delimit one traced operation; yields its buffer scope.
+
+        The span's page-access delta is recorded on exit.  Operations
+        nest: a child span's accesses are also part of its parent's
+        delta (the deltas are measured on the shared stats).
+        """
+        span = Span(name, self._next_index, depth=len(self._span_stack))
+        self._next_index += 1
+        self.op_counts[name] = self.op_counts.get(name, 0) + 1
+        before = self.stats.snapshot()
+        buffer = self.new_scope()
+        self._span_stack.append(span)
+        self._buffer_stack.append(buffer)
+        try:
+            yield buffer
+        finally:
+            self._buffer_stack.pop()
+            self._span_stack.pop()
+            delta = self.stats.delta_since(before)
+            span.page_reads = delta.page_reads
+            span.page_writes = delta.page_writes
+            span.by_category = dict(delta.by_category)
+            self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # lifetime
+    # ------------------------------------------------------------------
+
+    def add_exit_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` when the context closes (LIFO order)."""
+        self._exit_hooks.append(hook)
+
+    def close(self) -> None:
+        """Run exit hooks; further closes are no-ops."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._exit_hooks:
+            self._exit_hooks.pop()()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        return None
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The full trace: policy, headline counters, and all spans."""
+        return {
+            "policy": self.policy,
+            "capacity": self.capacity,
+            "page_reads": self.stats.page_reads,
+            "page_writes": self.stats.page_writes,
+            "total_pages": self.stats.total,
+            "by_category": dict(self.stats.by_category),
+            "op_counts": dict(self.op_counts),
+            "spans": [span.as_dict() for span in self.spans],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionContext(policy={self.policy!r}, "
+            f"reads={self.stats.page_reads}, writes={self.stats.page_writes}, "
+            f"spans={len(self.spans)})"
+        )
+
+
+# The API-boundary normalization shim lives in repro.storage.stats (so the
+# storage layer can use it without importing upward); re-exported here as
+# the canonical import site for higher layers.

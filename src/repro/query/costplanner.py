@@ -109,6 +109,14 @@ class CostBasedPlanner(Planner):
 
     def execute(self, query: Query, evaluator: QueryEvaluator) -> EvaluationResult:
         plan = self.plan(query)
+        context = evaluator.context
+        if context is not None:
+            # Count plan decisions in the context's trace: which arm the
+            # cost model chose is as interesting as what it cost.
+            chosen = "unsupported" if plan.asr is None else "supported"
+            context.op_counts[f"plan.{chosen}"] = (
+                context.op_counts.get(f"plan.{chosen}", 0) + 1
+            )
         if plan.asr is None:
             return evaluator.evaluate_unsupported(query)
         return evaluator.evaluate_supported(query, plan.asr)

@@ -22,9 +22,11 @@ their page-access profiles differ.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.asr.asr import AccessSupportRelation
+from repro.context import ExecutionContext
 from repro.errors import QueryError
 from repro.gom.database import ObjectBase
 from repro.gom.objects import OID, Cell
@@ -60,15 +62,33 @@ class QueryEvaluator:
         Optional clustered object store; when given, unsupported
         evaluation charges object-page accesses to it.  Without a store,
         results are still exact but page counts are zero.
+    context:
+        Optional :class:`~repro.context.ExecutionContext`.  When given,
+        the evaluator charges the context's stats, draws per-query
+        buffer scopes from the context's policy, and records one traced
+        operation span per evaluated query.
     """
 
-    def __init__(self, db: ObjectBase, store: ClusteredObjectStore | None = None):
+    def __init__(
+        self,
+        db: ObjectBase,
+        store: ClusteredObjectStore | None = None,
+        context: ExecutionContext | None = None,
+    ):
         self.db = db
         self.store = store
-        self.stats = AccessStats()
+        self.context = context
+        self.stats = context.stats if context is not None else AccessStats()
 
-    def _new_buffer(self) -> BufferScope:
-        return BufferScope(self.stats)
+    @contextmanager
+    def _measured(self, name: str):
+        """One per-query buffer scope, traced when a context is attached."""
+        if self.context is not None:
+            with self.context.operation(name) as buffer:
+                yield buffer
+        else:
+            with BufferScope(self.stats) as buffer:
+                yield buffer
 
     # ------------------------------------------------------------------
     # public API
@@ -84,7 +104,7 @@ class QueryEvaluator:
 
     def evaluate_unsupported(self, query: Query) -> EvaluationResult:
         before = self.stats.snapshot()
-        with self._new_buffer() as buffer:
+        with self._measured(f"query.unsupported.{query.kind}") as buffer:
             if isinstance(query, ForwardQuery):
                 cells = self._forward_traverse(query, buffer)
             elif isinstance(query, ValueRangeQuery):
@@ -113,7 +133,7 @@ class QueryEvaluator:
                 f"Q{query.i},{query.j} (Eq. 35)"
             )
         before = self.stats.snapshot()
-        with self._new_buffer() as buffer:
+        with self._measured(f"query.supported.{query.kind}") as buffer:
             if isinstance(query, ForwardQuery):
                 cells = self._supported_forward(query, asr, buffer)
             elif isinstance(query, ValueRangeQuery):

@@ -47,11 +47,29 @@ _RANK_BOUNDS = {
 
 @dataclass
 class ExecutionReport:
-    """Result rows plus how they were obtained."""
+    """Result rows plus how they were obtained.
+
+    ``page_reads`` and ``page_writes`` are the page accesses charged by
+    any ASR-supported predicate evaluation; ``total_pages`` is their sum
+    (the paper's cost measure).  Plain nested-loop binding reads the
+    logical object graph only and charges nothing.
+    """
 
     rows: list[tuple[Cell, ...]]
     strategy: str = "nested-loop traversal"
     page_reads: int = 0
+    page_writes: int = 0
+
+    @property
+    def total_pages(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def describe_pages(self) -> str:
+        """Human-readable access summary (used by the CLI)."""
+        return (
+            f"{self.page_reads} page reads, {self.page_writes} page writes, "
+            f"{self.total_pages} total"
+        )
 
     def __iter__(self):
         return iter(self.rows)
@@ -68,10 +86,13 @@ class SelectExecutor:
         db: ObjectBase,
         planner: Planner | None = None,
         evaluator: QueryEvaluator | None = None,
+        context=None,
     ) -> None:
         self.db = db
         self.planner = planner
-        self.evaluator = evaluator or QueryEvaluator(db)
+        if evaluator is None:
+            evaluator = QueryEvaluator(db, context=context)
+        self.evaluator = evaluator
 
     # ------------------------------------------------------------------
     # public API
@@ -80,7 +101,7 @@ class SelectExecutor:
     def run(self, statement: SelectStatement | str) -> ExecutionReport:
         if isinstance(statement, str):
             statement = parse_select(statement)
-        bindings_list, strategy, pages = self._bind_and_filter(statement)
+        bindings_list, strategy, reads, writes = self._bind_and_filter(statement)
         rows: list[tuple[Cell, ...]] = []
         seen: set[tuple[Cell, ...]] = set()
         for bindings in bindings_list:
@@ -94,7 +115,7 @@ class SelectExecutor:
                 if combo not in seen:
                     seen.add(combo)
                     rows.append(combo)
-        return ExecutionReport(rows, strategy, pages)
+        return ExecutionReport(rows, strategy, reads, writes)
 
     # ------------------------------------------------------------------
     # binding
@@ -102,9 +123,9 @@ class SelectExecutor:
 
     def _bind_and_filter(
         self, statement: SelectStatement
-    ) -> tuple[list[dict[str, Cell]], str, int]:
+    ) -> tuple[list[dict[str, Cell]], str, int, int]:
         strategy = "nested-loop traversal"
-        pages = 0
+        reads = writes = 0
         first = statement.ranges[0]
         candidates = set(self._range_members(first, {}))
         asr_filtered: set[str] = set()
@@ -127,7 +148,8 @@ class SelectExecutor:
                     continue
                 result = self.evaluator.evaluate_supported(query, plan.asr)
                 candidates &= result.cells
-                pages += result.total_pages
+                reads += result.page_reads
+                writes += result.page_writes
                 strategy = f"asr-backward via {plan.asr.extension.value}"
                 asr_filtered.add(str(predicate))
         bindings_list: list[dict[str, Cell]] = []
@@ -135,7 +157,7 @@ class SelectExecutor:
             self._extend_bindings(
                 statement, 1, {first.variable: candidate}, bindings_list, asr_filtered
             )
-        return bindings_list, strategy, pages
+        return bindings_list, strategy, reads, writes
 
     def _extend_bindings(
         self,

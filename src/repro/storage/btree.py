@@ -12,11 +12,13 @@ tie-break)``; this keeps the tree itself in the textbook unique-key
 regime with full delete rebalancing (borrow from siblings, merge,
 root collapse).
 
-Every node is one page.  Read operations accept a *buffer* (see
-:mod:`repro.storage.stats`) and charge one page read per distinct node
+Every node is one page.  Read operations accept a ``context`` — an
+:class:`~repro.context.ExecutionContext` or a raw buffer scope (see
+:mod:`repro.storage.stats`) — and charge one page read per distinct node
 touched; mutating operations charge page writes for each node they dirty.
-Passing ``buffer=None`` performs the operation without accounting (the
-logical layer uses that).
+Passing ``context=None`` performs the operation without accounting (the
+logical layer uses that).  The historical ``buffer=`` keyword is still
+accepted with a deprecation warning.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from math import ceil
 from typing import Any, Iterator, Sequence
 
 from repro.errors import StorageError
+from repro.storage.stats import resolve_buffer
 
 _INTERIOR_CATEGORY = "btree_interior"
 _LEAF_CATEGORY = "btree_leaf"
@@ -143,8 +146,9 @@ class BPlusTree:
             node = node.children[bisect_right(node.keys, key)]
         return node
 
-    def search(self, key: Any, buffer=None) -> Any:
+    def search(self, key: Any, context=None, *, buffer=None) -> Any:
         """The value stored under ``key``, or the ``MISSING`` sentinel."""
+        buffer = resolve_buffer(context, buffer)
         leaf = self._descend(key, buffer)
         _touch(buffer, leaf, _LEAF_CATEGORY)
         index = bisect_left(leaf.keys, key)
@@ -156,6 +160,8 @@ class BPlusTree:
         self,
         lo: Any = None,
         hi: Any = None,
+        context=None,
+        *,
         buffer=None,
     ) -> Iterator[tuple[Any, Any]]:
         """Yield ``(key, value)`` for ``lo <= key < hi`` in key order.
@@ -163,6 +169,10 @@ class BPlusTree:
         ``None`` bounds are open.  Pages are charged as the scan touches
         them (interior pages on the initial descent, every leaf visited).
         """
+        buffer = resolve_buffer(context, buffer)
+        return self._range(lo, hi, buffer)
+
+    def _range(self, lo: Any, hi: Any, buffer) -> Iterator[tuple[Any, Any]]:
         if lo is None:
             leaf: _Leaf | None = self._leftmost_leaf(buffer)
             index = 0
@@ -190,8 +200,9 @@ class BPlusTree:
     # insertion
     # ------------------------------------------------------------------
 
-    def insert(self, key: Any, value: Any, buffer=None) -> None:
+    def insert(self, key: Any, value: Any, context=None, *, buffer=None) -> None:
         """Insert a new entry; raises :class:`StorageError` on duplicate key."""
+        buffer = resolve_buffer(context, buffer)
         split = self._insert(self._root, key, value, buffer)
         if split is not None:
             separator, right = split
@@ -255,8 +266,9 @@ class BPlusTree:
     # deletion
     # ------------------------------------------------------------------
 
-    def delete(self, key: Any, buffer=None) -> bool:
+    def delete(self, key: Any, context=None, *, buffer=None) -> bool:
         """Remove ``key``; returns False when it was not present."""
+        buffer = resolve_buffer(context, buffer)
         removed = self._delete(self._root, key, buffer)
         if removed:
             self._size -= 1

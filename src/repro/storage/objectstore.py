@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.errors import StorageError
+from repro.storage.stats import resolve_buffer
 from repro.gom.database import ObjectBase
 from repro.gom.events import Event, ObjectCreated, ObjectDeleted
 from repro.gom.objects import OID
@@ -115,24 +116,30 @@ class ClusteredObjectStore:
     # charged accesses
     # ------------------------------------------------------------------
 
-    def access(self, oid: OID, type_name: str, buffer) -> None:
+    def access(self, oid: OID, type_name: str, context=None, *, buffer=None) -> None:
         """Charge the page read for dereferencing ``oid``."""
+        buffer = resolve_buffer(context, buffer)
         if buffer is not None:
             buffer.touch(("obj",) + self.page_of(oid, type_name), "object")
 
-    def write(self, oid: OID, type_name: str, buffer) -> None:
+    def write(self, oid: OID, type_name: str, context=None, *, buffer=None) -> None:
         """Charge the page write for updating ``oid`` in place."""
+        buffer = resolve_buffer(context, buffer)
         if buffer is not None:
             buffer.touch_write(("obj",) + self.page_of(oid, type_name), "object")
 
-    def scan_type(self, type_name: str, buffer) -> None:
+    def scan_type(self, type_name: str, context=None, *, buffer=None) -> None:
         """Charge a full extent scan of ``type_name`` (``op_i`` page reads)."""
+        buffer = resolve_buffer(context, buffer)
         if buffer is None:
             return
         for page in range(self.pages_of_type(type_name)):
             buffer.touch(("obj", type_name, page), "object")
 
-    def access_all(self, oids: Iterable[OID], type_name: str, buffer) -> None:
+    def access_all(
+        self, oids: Iterable[OID], type_name: str, context=None, *, buffer=None
+    ) -> None:
         """Charge reads for a set of same-typed objects (distinct pages once)."""
+        buffer = resolve_buffer(context, buffer)
         for oid in oids:
             self.access(oid, type_name, buffer)

@@ -10,6 +10,7 @@ estimates (section 5.6).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Hashable
 
@@ -77,7 +78,11 @@ class BufferScope:
     Use as a context manager around one logical operation::
 
         with BufferScope(stats) as buffer:
-            evaluator.run(query, buffer=buffer)
+            tree.search(key, buffer)
+
+    (Most callers get their scopes from an
+    :class:`~repro.context.ExecutionContext` instead of instantiating
+    one directly.)
     """
 
     def __init__(self, stats: AccessStats) -> None:
@@ -117,6 +122,43 @@ class BufferScope:
         self._dirty.clear()
 
 
+def resolve_buffer(context=None, buffer=None):
+    """Normalize ``(context=, buffer=)`` parameters to a raw buffer scope.
+
+    Every charged entry point accepts its accounting sink through a
+    ``context`` parameter that may be
+
+    * ``None`` — no accounting (returns ``None``);
+    * an :class:`~repro.context.ExecutionContext` — charge its current
+      buffer (recognized by its ``current_buffer`` attribute, so this
+      module needs no import of the higher layer);
+    * a raw buffer scope (anything with ``touch``/``touch_write``) —
+      charge it directly, which is how pre-context code passed buffers
+      positionally and remains supported.
+
+    The keyword-only ``buffer=`` spelling is deprecated but honoured.
+    """
+    if buffer is not None:
+        warnings.warn(
+            "the 'buffer=' parameter is deprecated; pass an ExecutionContext "
+            "(or a buffer scope) via 'context=' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if context is None:
+            context = buffer
+    if context is None:
+        return None
+    current = getattr(context, "current_buffer", None)
+    if current is not None:
+        return current
+    if hasattr(context, "touch"):
+        return context
+    raise TypeError(
+        f"expected an ExecutionContext or buffer scope, got {type(context).__name__}"
+    )
+
+
 class NullBuffer:
     """A buffer that charges every touch (no caching) to its stats."""
 
@@ -140,7 +182,13 @@ class BoundedBufferScope(BufferScope):
     set (Yao's distinct-page counting).  This variant bounds residency at
     ``capacity`` pages: re-touching an evicted page is charged again,
     which is what a real, smaller buffer pool would do.  Used by the
-    buffer-sensitivity ablation benchmark.
+    buffer-sensitivity ablation benchmark and the ``bounded`` policy of
+    :class:`~repro.context.ExecutionContext`.
+
+    Writes participate in residency and recency exactly like reads: a
+    written page occupies a frame, dirtying it refreshes its recency,
+    and a page written again after eviction is charged a second write
+    (the first write-back already happened at eviction time).
     """
 
     def __init__(self, stats: AccessStats, capacity: int) -> None:
@@ -148,18 +196,35 @@ class BoundedBufferScope(BufferScope):
         if capacity < 1:
             raise ValueError("buffer capacity must be at least one page")
         self.capacity = capacity
-        self._lru: dict[Hashable, None] = {}
+        # page id -> dirty flag; insertion order is recency order.
+        self._lru: dict[Hashable, bool] = {}
+
+    def _evict_excess(self) -> None:
+        while len(self._lru) > self.capacity:
+            evicted = next(iter(self._lru))
+            del self._lru[evicted]
 
     def touch(self, page_id: Hashable, category: str = "page") -> bool:
         if page_id in self._lru:
-            self._lru.pop(page_id)
-            self._lru[page_id] = None  # refresh recency
+            dirty = self._lru.pop(page_id)
+            self._lru[page_id] = dirty  # refresh recency
             return False
         self.stats.read(1, category)
-        self._lru[page_id] = None
-        if len(self._lru) > self.capacity:
-            evicted = next(iter(self._lru))
-            del self._lru[evicted]
+        self._lru[page_id] = False
+        self._evict_excess()
+        return True
+
+    def touch_write(self, page_id: Hashable, category: str = "page") -> bool:
+        if page_id in self._lru:
+            dirty = self._lru.pop(page_id)
+            self._lru[page_id] = True  # refresh recency, mark dirty
+            if dirty:
+                return False
+            self.stats.write(1, category)
+            return True
+        self.stats.write(1, category)
+        self._lru[page_id] = True
+        self._evict_excess()
         return True
 
     @property

@@ -1,8 +1,9 @@
-"""ASRManager: registration, event routing, suspension."""
+"""ASRManager: registration, event routing, suspension, lifecycle, batching."""
 
 import pytest
 
 from repro.asr import ASRManager, Decomposition, Extension
+from repro.context import ExecutionContext
 from repro.errors import ObjectBaseError
 
 
@@ -61,6 +62,123 @@ class TestEventRouting:
         rows_before = set(asr.extension_relation.rows)
         db.new("Unrelated", X="hi")
         assert set(asr.extension_relation.rows) == rows_before
+
+
+class TestLifecycle:
+    def test_closed_manager_no_longer_maintains(self, company_world):
+        db, path, o = company_world
+        manager = ASRManager(db)
+        asr = manager.create(path, Extension.FULL)
+        manager.close()
+        assert manager.closed
+        rows_before = set(asr.extension_relation.rows)
+        db.set_insert(o["parts_sec"], o["pepper"])
+        # The subscription is gone: the ASR goes stale instead of following.
+        assert set(asr.extension_relation.rows) == rows_before
+
+    def test_close_is_idempotent(self, company_world):
+        db, path, _o = company_world
+        manager = ASRManager(db)
+        manager.create(path, Extension.LEFT)
+        manager.close()
+        manager.close()
+        assert manager.closed
+
+    def test_context_manager_form(self, company_world):
+        db, path, o = company_world
+        with ASRManager(db) as manager:
+            asr = manager.create(path, Extension.FULL)
+            db.set_insert(o["parts_sec"], o["pepper"])
+            manager.check_consistency()
+        assert manager.closed
+        rows_after_close = set(asr.extension_relation.rows)
+        db.set_remove(o["parts_sec"], o["pepper"])
+        assert set(asr.extension_relation.rows) == rows_after_close
+
+    def test_close_flushes_pending_batch(self, company_world):
+        db, path, o = company_world
+        manager = ASRManager(db)
+        manager.create(path, Extension.FULL)
+        with manager.batch():
+            db.set_insert(o["parts_sec"], o["pepper"])
+            # Close mid-batch: pending work is applied, not dropped.
+            manager.close()
+        manager.check_consistency()
+
+
+class TestBatching:
+    def test_batch_defers_until_flush(self, company_world):
+        db, path, o = company_world
+        manager = ASRManager(db)
+        asr = manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        rows_before = set(asr.extension_relation.rows)
+        with manager.batch():
+            db.set_insert(o["parts_sec"], o["pepper"])
+            assert manager.pending_regions == 1
+            assert set(asr.extension_relation.rows) == rows_before
+        assert manager.pending_regions == 0
+        manager.check_consistency()
+
+    def test_nested_batches_flush_once_at_outermost(self, company_world):
+        db, path, o = company_world
+        manager = ASRManager(db)
+        asr = manager.create(path, Extension.FULL)
+        rows_before = set(asr.extension_relation.rows)
+        with manager.batch():
+            with manager.batch():
+                db.set_insert(o["parts_sec"], o["pepper"])
+            # Inner exit must not flush.
+            assert set(asr.extension_relation.rows) == rows_before
+            db.set_attr(o["trak"], "Composition", o["parts_sausage"])
+        manager.check_consistency()
+
+    def test_coalesced_events_apply_exactly(self, company_world):
+        db, path, o = company_world
+        manager = ASRManager(db)
+        manager.create(path, Extension.CANONICAL, Decomposition.none(path.m))
+        with manager.batch():
+            # Overlapping events on one collection, including an
+            # insert-then-remove that must leave no trace.
+            db.set_insert(o["parts_sec"], o["pepper"])
+            db.set_remove(o["parts_sec"], o["pepper"])
+            db.set_insert(o["parts_sausage"], o["door"])
+        manager.check_consistency()
+
+    def test_explicit_flush_returns_rows_changed(self, company_world):
+        db, path, o = company_world
+        manager = ASRManager(db)
+        manager.create(path, Extension.FULL)
+        manager._batch_depth += 1  # hold the batch open manually
+        db.set_insert(o["parts_sec"], o["pepper"])
+        manager._batch_depth -= 1
+        assert manager.flush() > 0
+        assert manager.flush() == 0  # nothing left
+        manager.check_consistency()
+
+    def test_context_exit_flushes(self, company_world):
+        db, path, o = company_world
+        with ExecutionContext() as context:
+            manager = ASRManager(db, context=context)
+            asr = manager.create(path, Extension.FULL)
+            rows_before = set(asr.extension_relation.rows)
+            manager._batch_depth += 1
+            db.set_insert(o["parts_sec"], o["pepper"])
+            manager._batch_depth -= 1
+            assert set(asr.extension_relation.rows) == rows_before
+        # Context close ran the manager's flush hook.
+        manager.check_consistency()
+        assert "asr.flush" in context.op_counts
+
+    def test_batched_maintenance_charges_context(self, company_world):
+        db, path, o = company_world
+        context = ExecutionContext()
+        manager = ASRManager(db, context=context)
+        manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        with manager.batch():
+            db.set_insert(o["parts_sec"], o["pepper"])
+        assert context.stats.total > 0
+        spans = [span.name for span in context.spans]
+        assert "asr.flush" in spans
 
 
 class TestSuspension:

@@ -136,3 +136,41 @@ class TestASRFastPath:
             'where d.Manufactures.Composition.Name = "Door"'
         )
         assert report.rows == []
+
+
+class TestExecutionReportPages:
+    def test_report_totals_and_description(self):
+        from repro.query.executor import ExecutionReport
+
+        report = ExecutionReport([("x",)], "asr-backward", page_reads=3, page_writes=2)
+        assert report.total_pages == 5
+        assert report.describe_pages() == "3 page reads, 2 page writes, 5 total"
+
+    def test_fast_path_reports_page_accesses(self, company_world):
+        db, path, _objects = company_world
+        manager = ASRManager(db)
+        manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        executor = SelectExecutor(db, Planner(manager), QueryEvaluator(db))
+        report = executor.run(
+            'select d.Name from d in Mercedes '
+            'where d.Manufactures.Composition.Name = "Door"'
+        )
+        assert report.strategy.startswith("asr-backward")
+        assert report.page_reads > 0
+        assert report.page_writes == 0  # a read-only query writes nothing
+        assert report.total_pages == report.page_reads + report.page_writes
+
+    def test_executor_threads_context(self, company_world):
+        from repro.context import ExecutionContext
+
+        db, path, _objects = company_world
+        manager = ASRManager(db)
+        manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        context = ExecutionContext()
+        executor = SelectExecutor(db, Planner(manager), context=context)
+        report = executor.run(
+            'select d.Name from d in Mercedes '
+            'where d.Manufactures.Composition.Name = "Door"'
+        )
+        assert report.page_reads == context.stats.page_reads
+        assert any(span.name.startswith("query.supported") for span in context.spans)

@@ -133,3 +133,47 @@ class TestBoundedBufferScope:
         assert buffer.distinct_pages == 3
         buffer.evict_all()
         assert buffer.distinct_pages == 0
+
+    def test_write_enters_residency(self):
+        from repro.storage.stats import BoundedBufferScope
+
+        stats = AccessStats()
+        buffer = BoundedBufferScope(stats, capacity=2)
+        assert buffer.touch_write("p1") is True
+        assert buffer.touch_write("p1") is False  # dirty and resident
+        assert buffer.touch("p1") is False  # a write makes the page resident
+        assert stats.page_writes == 1
+        assert stats.page_reads == 0
+
+    def test_write_refreshes_lru_recency(self):
+        from repro.storage.stats import BoundedBufferScope
+
+        stats = AccessStats()
+        buffer = BoundedBufferScope(stats, capacity=2)
+        buffer.touch("p1")
+        buffer.touch("p2")
+        buffer.touch_write("p1")  # write refreshes p1; p2 becomes LRU
+        buffer.touch("p3")  # evicts p2, not p1
+        assert buffer.touch("p1") is False
+        assert buffer.touch("p2") is True
+
+    def test_evicted_dirty_page_recharges_on_rewrite(self):
+        from repro.storage.stats import BoundedBufferScope
+
+        stats = AccessStats()
+        buffer = BoundedBufferScope(stats, capacity=2)
+        buffer.touch_write("p1")
+        buffer.touch("p2")
+        buffer.touch("p3")  # evicts p1
+        assert buffer.touch_write("p1") is True  # write charged again
+        assert stats.page_writes == 2
+
+    def test_read_after_write_keeps_dirty_flag(self):
+        from repro.storage.stats import BoundedBufferScope
+
+        stats = AccessStats()
+        buffer = BoundedBufferScope(stats, capacity=4)
+        buffer.touch_write("p1")
+        buffer.touch("p1")  # read must not launder the dirty state
+        assert buffer.touch_write("p1") is False  # still dirty: no new charge
+        assert stats.page_writes == 1

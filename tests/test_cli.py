@@ -154,3 +154,25 @@ class TestExportAndProfile:
         code, text = run_cli("profile", "--db", str(target), "--path", "Ghost.X")
         assert code == 1
         assert "error" in text
+
+
+class TestTracing:
+    def test_demo_prints_page_accesses(self):
+        code, text = run_cli("demo")
+        assert code == 0
+        assert "page accesses:" in text
+        assert "total" in text
+
+    def test_validate_writes_trace(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, text = run_cli(
+            "validate", "--seed", "3", "--scale", "0.5", "--trace", str(trace)
+        )
+        assert code == 0
+        assert "trace:" in text
+        data = json.loads(trace.read_text())
+        assert data["policy"] == "unbounded"
+        assert data["total_pages"] == data["page_reads"] + data["page_writes"]
+        names = [span["name"] for span in data["spans"]]
+        assert "query.unsupported.bw" in names
+        assert "query.supported.bw" in names

@@ -1,0 +1,172 @@
+"""ExecutionContext: policies, spans, hooks, export, and the buffer shim."""
+
+import json
+
+import pytest
+
+from repro.context import POLICIES, ExecutionContext, resolve_buffer
+from repro.storage.btree import BPlusTree
+from repro.storage.stats import (
+    AccessStats,
+    BoundedBufferScope,
+    BufferScope,
+    NullBuffer,
+)
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(policy="magic")
+
+    def test_bounded_requires_capacity(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(policy="bounded")
+        with pytest.raises(ValueError):
+            ExecutionContext(policy="bounded", capacity=0)
+
+    def test_capacity_only_for_bounded(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(policy="unbounded", capacity=8)
+
+    def test_all_policies_constructible(self):
+        for policy in POLICIES:
+            capacity = 4 if policy == "bounded" else None
+            context = ExecutionContext(policy=policy, capacity=capacity)
+            assert context.policy == policy
+
+    def test_unbounded_scopes_are_fresh_per_operation(self):
+        context = ExecutionContext()
+        with context.operation("a") as buffer:
+            buffer.touch("p1")
+        with context.operation("b") as buffer:
+            buffer.touch("p1")  # new scope: charged again
+        assert context.stats.page_reads == 2
+
+    def test_bounded_pool_survives_operations(self):
+        context = ExecutionContext(policy="bounded", capacity=8)
+        with context.operation("a") as buffer:
+            assert isinstance(buffer, BoundedBufferScope)
+            buffer.touch("p1")
+        with context.operation("b") as buffer:
+            buffer.touch("p1")  # still resident in the shared pool
+        assert context.stats.page_reads == 1
+
+    def test_null_policy_charges_every_touch(self):
+        context = ExecutionContext(policy="null")
+        with context.operation("a") as buffer:
+            assert isinstance(buffer, NullBuffer)
+            buffer.touch("p1")
+            buffer.touch("p1")
+        assert context.stats.page_reads == 2
+
+
+class TestSpans:
+    def test_operation_records_delta(self):
+        context = ExecutionContext()
+        with context.operation("load") as buffer:
+            buffer.touch("p1", "object")
+            buffer.touch_write("p2", "object")
+        (span,) = context.spans
+        assert span.name == "load"
+        assert (span.page_reads, span.page_writes, span.total_pages) == (1, 1, 2)
+        assert span.by_category == {"object": 1, "object:write": 1}
+        assert context.op_counts == {"load": 1}
+
+    def test_nested_spans_share_parent_delta(self):
+        context = ExecutionContext()
+        with context.operation("outer") as outer:
+            outer.touch("p1")
+            with context.operation("inner") as inner:
+                inner.touch("p2")
+        inner_span, outer_span = context.spans  # completion order
+        assert inner_span.name == "inner" and inner_span.depth == 1
+        assert inner_span.page_reads == 1
+        assert outer_span.name == "outer" and outer_span.depth == 0
+        assert outer_span.page_reads == 2  # child accesses included
+
+    def test_current_buffer_tracks_operation(self):
+        context = ExecutionContext()
+        ambient = context.current_buffer
+        with context.operation("op") as buffer:
+            assert context.current_buffer is buffer
+            assert buffer is not ambient
+        assert context.current_buffer is ambient
+
+
+class TestLifetime:
+    def test_exit_hooks_run_lifo_once(self):
+        order = []
+        context = ExecutionContext()
+        context.add_exit_hook(lambda: order.append("first"))
+        context.add_exit_hook(lambda: order.append("second"))
+        context.close()
+        context.close()
+        assert order == ["second", "first"]
+        assert context.closed
+
+    def test_with_block_closes(self):
+        ran = []
+        with ExecutionContext() as context:
+            context.add_exit_hook(lambda: ran.append(True))
+        assert ran == [True]
+
+
+class TestExport:
+    def test_to_dict_round_trips_through_json(self):
+        context = ExecutionContext()
+        with context.operation("q") as buffer:
+            buffer.touch("p1", "btree_leaf")
+        data = json.loads(context.to_json())
+        assert data["policy"] == "unbounded"
+        assert data["page_reads"] == 1
+        assert data["total_pages"] == 1
+        assert data["op_counts"] == {"q": 1}
+        assert data["spans"][0]["name"] == "q"
+        assert data["spans"][0]["by_category"] == {"btree_leaf": 1}
+
+
+class TestResolveBuffer:
+    def test_none_passes_through(self):
+        assert resolve_buffer() is None
+
+    def test_raw_scope_passes_through(self):
+        scope = BufferScope(AccessStats())
+        assert resolve_buffer(scope) is scope
+
+    def test_context_yields_current_buffer(self):
+        context = ExecutionContext()
+        with context.operation("op") as buffer:
+            assert resolve_buffer(context) is buffer
+
+    def test_buffer_kwarg_is_deprecated(self):
+        scope = BufferScope(AccessStats())
+        with pytest.warns(DeprecationWarning):
+            assert resolve_buffer(buffer=scope) is scope
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            resolve_buffer(object())
+
+
+class TestThreadingThroughStorage:
+    def test_btree_charges_context(self):
+        context = ExecutionContext()
+        tree = BPlusTree(4, 4)
+        with context.operation("build"):
+            for key in range(20):
+                tree.insert(key, key, context)
+        with context.operation("probe"):
+            assert tree.search(7, context) == 7
+        build, probe = context.spans
+        assert build.page_writes > 0
+        assert probe.page_reads > 0
+        assert context.stats.total == build.total_pages + probe.total_pages
+
+    def test_bare_context_uses_ambient_scope(self):
+        context = ExecutionContext()
+        tree = BPlusTree(4, 4)
+        tree.insert(1, "one", context)
+        assert tree.search(1, context) == "one"
+        assert context.stats.total > 0
+        assert context.spans == []  # no operation was opened
