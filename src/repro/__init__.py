@@ -14,17 +14,21 @@ quickstart and DESIGN.md for the architecture.
 from repro.errors import (
     CostModelError,
     DecompositionError,
+    InjectedFault,
     ObjectBaseError,
     ParseError,
     PathError,
     QueryError,
+    RecoveryError,
     RelationError,
     ReproError,
     SchemaError,
+    SimulatedCrash,
     StorageError,
     TypingError,
 )
 from repro.context import ExecutionContext, Span
+from repro.faults import FaultInjector
 from repro.gom import (
     NULL,
     ObjectBase,
@@ -35,6 +39,7 @@ from repro.gom import (
 from repro.asr import (
     AccessSupportRelation,
     ASRManager,
+    ASRState,
     Decomposition,
     Extension,
     Relation,
@@ -79,9 +84,13 @@ __all__ = [
     "QueryError",
     "ParseError",
     "CostModelError",
-    # execution context
+    "InjectedFault",
+    "SimulatedCrash",
+    "RecoveryError",
+    # execution context / fault injection
     "ExecutionContext",
     "Span",
+    "FaultInjector",
     # object model
     "NULL",
     "OID",
@@ -96,6 +105,7 @@ __all__ = [
     "Decomposition",
     "AccessSupportRelation",
     "ASRManager",
+    "ASRState",
     # queries
     "ForwardQuery",
     "BackwardQuery",

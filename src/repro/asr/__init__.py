@@ -13,6 +13,8 @@ The subpackage provides:
 * :mod:`repro.asr.asr` — the stored form: partitions in two redundant
   B+ trees (section 5.2);
 * :mod:`repro.asr.maintenance` — incremental updates (section 6);
+* :mod:`repro.asr.journal` — crash-consistency states and write-ahead
+  intent journals;
 * :mod:`repro.asr.manager` — keeps a family of ASRs consistent with an
   object base by subscribing to its change events;
 * :mod:`repro.asr.sharing` — shared partitions between overlapping path
@@ -24,6 +26,7 @@ from repro.asr.auxiliary import auxiliary_relations
 from repro.asr.extensions import Extension, build_extension
 from repro.asr.decomposition import Decomposition
 from repro.asr.asr import AccessSupportRelation, StoredPartition
+from repro.asr.journal import ASRState, IntentJournal
 from repro.asr.manager import ASRManager
 from repro.asr.sharing import SharedASRBundle, SharedSegment, best_shared_design, shareable_segments
 from repro.asr.adaptive import AdaptiveDesigner, TuningDecision, WorkloadRecorder
@@ -37,6 +40,8 @@ __all__ = [
     "Decomposition",
     "AccessSupportRelation",
     "StoredPartition",
+    "ASRState",
+    "IntentJournal",
     "ASRManager",
     "SharedSegment",
     "SharedASRBundle",

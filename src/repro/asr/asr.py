@@ -21,6 +21,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.asr.decomposition import Decomposition
 from repro.asr.extensions import Extension, build_extension
+from repro.asr.journal import ASRState
 from repro.asr.relation import Relation
 from repro.context import resolve_buffer
 from repro.errors import RelationError, StorageError
@@ -269,6 +270,10 @@ class AccessSupportRelation:
         self.decomposition.validate_for(path.m)
         self.page_size = page_size
         self.oid_size = oid_size
+        #: Crash-consistency state (see :mod:`repro.asr.journal`); the
+        #: managing :class:`~repro.asr.manager.ASRManager` drives the
+        #: transitions, query layers only read it.
+        self.state = ASRState.CONSISTENT
         labels = path.column_labels()
         self.extension_relation = Relation(labels)
         self.partitions: list[StoredPartition] = [
@@ -296,11 +301,16 @@ class AccessSupportRelation:
         return asr
 
     def rebuild(self, db: ObjectBase) -> None:
-        """Recompute the extension from scratch and reload every partition."""
+        """Recompute the extension from scratch and reload every partition.
+
+        A rebuild restores consistency unconditionally, so it also lifts
+        any quarantine.
+        """
         self.extension_relation = build_extension(db, self.path, self.extension)
         rows = self.extension_relation.rows
         for partition in self.partitions:
             partition.load_from_extension(rows)
+        self.state = ASRState.CONSISTENT
 
     # ------------------------------------------------------------------
     # delta application (used by repro.asr.maintenance)
@@ -338,6 +348,12 @@ class AccessSupportRelation:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+
+    @property
+    def quarantined(self) -> bool:
+        """True while crash recovery is pending: trees may be torn and
+        queries must fall back instead of reading them."""
+        return self.state is ASRState.QUARANTINED
 
     @property
     def tuple_count(self) -> int:
@@ -407,7 +423,8 @@ class AccessSupportRelation:
             assert tree_rows == set(expected_counts), "backward tree drifted"
 
     def __repr__(self) -> str:
+        flag = "" if self.state is ASRState.CONSISTENT else f", {self.state.value}"
         return (
             f"AccessSupportRelation({self.path}, {self.extension.value}, "
-            f"dec={self.decomposition}, rows={self.tuple_count})"
+            f"dec={self.decomposition}, rows={self.tuple_count}{flag})"
         )

@@ -29,16 +29,28 @@ A manager holds its event subscription until :meth:`close` is called
 (or its ``with`` block exits); a closed manager no longer maintains its
 ASRs.  When the manager is constructed with an ``ExecutionContext``,
 pending batches are flushed automatically when that context closes.
+
+**Crash consistency** (see :mod:`repro.asr.journal`): every delta —
+eager or batched — is applied under a write-ahead intent journal and
+drives the ASR through ``CONSISTENT → APPLYING → CONSISTENT``.  A
+:class:`~repro.errors.SimulatedCrash` or
+:class:`~repro.errors.InjectedFault` mid-delta quarantines the ASR
+instead of leaving it silently torn; :meth:`recover` replays the journal
+by recomputing the neighbourhood against the current object graph (with
+bounded retry/backoff on transient faults, and a full rebuild as last
+resort), and :meth:`verify` is the ``repro doctor`` backend.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Iterator
 
 from repro.asr.asr import AccessSupportRelation
 from repro.asr.decomposition import Decomposition
 from repro.asr.extensions import Extension
+from repro.asr.journal import ASRState, IntentJournal
 from repro.asr.maintenance import (
     DirtyRegion,
     analyze_event,
@@ -46,7 +58,13 @@ from repro.asr.maintenance import (
     neighbourhood_delta,
 )
 from repro.context import ExecutionContext
-from repro.errors import ObjectBaseError
+from repro.errors import (
+    InjectedFault,
+    ObjectBaseError,
+    RecoveryError,
+    SimulatedCrash,
+)
+from repro.faults import reach
 from repro.gom.database import ObjectBase
 from repro.gom.events import Event
 from repro.gom.paths import PathExpression
@@ -64,9 +82,32 @@ class ASRManager:
         tree maintenance.  Setting the legacy ``manager.buffer``
         attribute to a raw buffer scope remains supported and takes
         precedence while set.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector` whose named crash
+        points the flush/recovery pipeline consults; defaults to the
+        context's injector when a context is given.
+    auto_recover:
+        When True (default), a *transient* :class:`InjectedFault` during
+        a flush triggers an immediate in-place :meth:`recover` of the
+        affected ASR; when that also fails the ASR stays quarantined and
+        the flush continues degraded.  A :class:`SimulatedCrash` always
+        propagates — a dead process cannot self-heal.
     """
 
-    def __init__(self, db: ObjectBase, context: ExecutionContext | None = None) -> None:
+    #: Bounded-retry defaults for :meth:`recover`.
+    DEFAULT_MAX_RETRIES = 3
+    #: Base of the exponential backoff between recovery retries, in
+    #: seconds.  Zero keeps the simulator (and the test suite) fast
+    #: while still counting the retries in the context trace.
+    retry_backoff = 0.0
+
+    def __init__(
+        self,
+        db: ObjectBase,
+        context: ExecutionContext | None = None,
+        fault_injector=None,
+        auto_recover: bool = True,
+    ) -> None:
         self.db = db
         self.asrs: list[AccessSupportRelation] = []
         self._suspended = 0
@@ -74,10 +115,15 @@ class ASRManager:
         #: (legacy spelling; prefer passing an ExecutionContext).
         self.buffer = None
         self.context = context
+        self.fault_injector = fault_injector
+        self.auto_recover = auto_recover
         self._batch_depth = 0
         #: Coalesced pending dirty regions, one per batched ASR
         #: (keyed by identity — ASRs are not hashable by value).
         self._pending: dict[int, tuple[AccessSupportRelation, DirtyRegion]] = {}
+        #: Outstanding intent journals, one per APPLYING/QUARANTINED ASR.
+        self._journals: dict[int, tuple[AccessSupportRelation, IntentJournal]] = {}
+        self._epoch = 0
         self._closed = False
         db.subscribe(self._on_event)
         if context is not None:
@@ -108,6 +154,7 @@ class ASRManager:
         except ValueError:
             raise ObjectBaseError("ASR is not registered with this manager") from None
         self._pending.pop(id(asr), None)
+        self._journals.pop(id(asr), None)
 
     def find(
         self, path: PathExpression, extension: Extension | None = None
@@ -130,17 +177,24 @@ class ASRManager:
     def close(self) -> None:
         """Flush pending work and stop maintaining: unsubscribe from the db.
 
-        Idempotent.  A closed manager keeps its ASR list for inspection
-        but no longer reacts to object-base events.
+        Idempotent, and safe while a batch is open: the defined order is
+        *flush-then-unsubscribe*, so pending work queued inside a still
+        open ``batch()`` block is applied (not dropped) and the batch's
+        own exit then flushes nothing.  The manager is marked closed and
+        unsubscribed even when the flush itself fails (e.g. an injected
+        crash) — the quarantine/journal state survives for
+        :meth:`recover`, but no further events are observed.
         """
         if self._closed:
             return
-        self.flush()
-        self._closed = True
         try:
-            self.db.unsubscribe(self._on_event)
-        except ValueError:  # pragma: no cover - subscription already gone
-            pass
+            self.flush()
+        finally:
+            self._closed = True
+            try:
+                self.db.unsubscribe(self._on_event)
+            except ValueError:  # pragma: no cover - subscription already gone
+                pass
 
     def __enter__(self) -> "ASRManager":
         return self
@@ -159,22 +213,32 @@ class ASRManager:
             return self.buffer
         return self.context
 
+    def _injector(self):
+        """The fault policy in force (explicit wins over the context's)."""
+        if self.fault_injector is not None:
+            return self.fault_injector
+        if self.context is not None:
+            return self.context.fault_injector
+        return None
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Bump an operation counter in the context trace, if any."""
+        if self.context is not None:
+            self.context.op_counts[name] = self.context.op_counts.get(name, 0) + n
+
     def _on_event(self, event: Event) -> None:
         if self._closed or self._suspended:
             return
         if self._batch_depth:
             self._enqueue(event)
             return
-        target = self._charge_target()
+        items = []
         for asr in self.asrs:
             region = analyze_event(self.db, asr.path, event)
-            if not region:
-                continue
-            added, removed = neighbourhood_delta(
-                self.db, asr.path, asr.extension, asr.extension_relation, region
-            )
-            if added or removed:
-                asr.apply_delta(added, removed, target)
+            if region:
+                items.append((asr, region))
+        if items:
+            self._journaled_run(items, self._charge_target(), "asr.apply")
 
     def _enqueue(self, event: Event) -> None:
         """Accumulate the event's dirty regions without touching trees.
@@ -209,14 +273,44 @@ class ASRManager:
             # <- one coalesced neighbourhood delta applied here
 
         Nesting is allowed; only the outermost exit flushes.
+
+        An exception escaping the (outermost) block does **not** flush:
+        applying tree deltas during unwind would race the very failure
+        being propagated.  Instead each pending region is re-validated
+        against the live graph — regions whose net delta is empty are
+        discarded, the rest quarantine their ASR with the region
+        journalled, to be healed by :meth:`recover`.
         """
         self._batch_depth += 1
         try:
             yield self
-        finally:
+        except BaseException:
+            self._batch_depth -= 1
+            if not self._batch_depth:
+                self._abort_pending()
+            raise
+        else:
             self._batch_depth -= 1
             if not self._batch_depth:
                 self.flush()
+
+    def _abort_pending(self) -> None:
+        """Discard-or-quarantine pending regions after an aborted batch."""
+        pending, self._pending = self._pending, {}
+        for asr, region in pending.values():
+            if asr.state is not ASRState.CONSISTENT:
+                self._absorb(asr, region)
+                continue
+            try:
+                added, removed = neighbourhood_delta(
+                    self.db, asr.path, asr.extension, asr.extension_relation, region
+                )
+                stale = bool(added or removed)
+            except Exception:  # conservative: assume the region matters
+                stale = True
+            if stale:
+                self._quarantine(asr, region)
+                self._count("asr.batch.aborted")
 
     def flush(self, context=None) -> int:
         """Apply all pending coalesced deltas under a single buffer scope.
@@ -230,25 +324,270 @@ class ASRManager:
             return 0
         pending, self._pending = self._pending, {}
         target = context if context is not None else self._charge_target()
-        changed = 0
         if isinstance(target, ExecutionContext):
             with target.operation("asr.flush") as scope:
-                changed = self._apply_pending(pending, scope)
-        else:
-            # A raw buffer scope (or None) is already a single scope.
-            changed = self._apply_pending(pending, target)
-        return changed
+                return self._journaled_run(pending.values(), scope, "asr.flush")
+        # A raw buffer scope (or None) is already a single scope.
+        return self._journaled_run(pending.values(), target, "asr.flush")
 
-    def _apply_pending(self, pending, scope) -> int:
-        changed = 0
-        for asr, region in pending.values():
+    # ------------------------------------------------------------------
+    # crash-consistent delta application
+    # ------------------------------------------------------------------
+
+    def _journaled_run(self, items, scope, stage: str) -> int:
+        """Apply ``(asr, region)`` items under write-ahead intent journals.
+
+        Phase 1 journals every intent before any tree is touched (so a
+        crash can never lose a region silently); phase 2 applies the
+        deltas, committing each journal on success.  Crash points
+        ``{stage}.journal`` / ``{stage}.mid-delta`` / ``{stage}.post-delta``
+        are consulted along the way.
+        """
+        injector = self._injector()
+        self._epoch += 1
+        journaled: list[tuple[AccessSupportRelation, IntentJournal]] = []
+        for asr, region in items:
+            if asr.state is not ASRState.CONSISTENT:
+                # Already quarantined: widen its journal for recover().
+                self._absorb(asr, region)
+                continue
             added, removed = neighbourhood_delta(
                 self.db, asr.path, asr.extension, asr.extension_relation, region
             )
-            if added or removed:
-                asr.apply_delta(added, removed, scope)
-                changed += len(added) + len(removed)
+            if not added and not removed:
+                continue
+            journal = IntentJournal(
+                region, self._epoch, frozenset(added), frozenset(removed)
+            )
+            self._journals[id(asr)] = (asr, journal)
+            asr.state = ASRState.APPLYING
+            journaled.append((asr, journal))
+        if not journaled:
+            return 0
+        try:
+            reach(injector, f"{stage}.journal")
+            return self._apply_journaled(journaled, scope, injector, stage)
+        except SimulatedCrash:
+            # The "process" died mid-flush: every intent not yet
+            # committed stays journalled and the ASR quarantined.
+            for asr, _journal in journaled:
+                if asr.state is ASRState.APPLYING:
+                    asr.state = ASRState.QUARANTINED
+            raise
+
+    def _apply_journaled(self, journaled, scope, injector, stage: str) -> int:
+        changed = 0
+        for asr, journal in journaled:
+            try:
+                asr.apply_delta((), journal.removed, scope)
+                reach(injector, f"{stage}.mid-delta")
+                asr.apply_delta(journal.added, (), scope)
+                reach(injector, f"{stage}.post-delta")
+            except SimulatedCrash:
+                raise  # quarantined by _journaled_run
+            except InjectedFault:
+                asr.state = ASRState.QUARANTINED
+                self._count(f"{stage}.fault")
+                if self.auto_recover:
+                    try:
+                        self._recover_one(asr, scope, injector, self.DEFAULT_MAX_RETRIES)
+                    except (InjectedFault, RecoveryError):
+                        self._count(f"{stage}.quarantined")
+                    else:
+                        changed += len(journal.added) + len(journal.removed)
+                else:
+                    self._count(f"{stage}.quarantined")
+            else:
+                self._journals.pop(id(asr), None)
+                asr.state = ASRState.CONSISTENT
+                changed += len(journal.added) + len(journal.removed)
         return changed
+
+    def _quarantine(self, asr: AccessSupportRelation, region: DirtyRegion) -> None:
+        """Quarantine ``asr`` with ``region`` journalled for recovery."""
+        key = id(asr)
+        if key in self._journals:
+            _, journal = self._journals[key]
+            self._journals[key] = (asr, journal.absorb(region))
+        else:
+            self._journals[key] = (asr, IntentJournal(region, self._epoch))
+        asr.state = ASRState.QUARANTINED
+
+    def _absorb(self, asr: AccessSupportRelation, region: DirtyRegion) -> None:
+        """Merge a quarantined ASR's new dirty region into its journal."""
+        self._quarantine(asr, region)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def quarantined(self) -> list[AccessSupportRelation]:
+        """The managed ASRs currently awaiting recovery."""
+        return [asr for asr in self.asrs if asr.state is not ASRState.CONSISTENT]
+
+    def journal_for(self, asr: AccessSupportRelation) -> IntentJournal | None:
+        """The outstanding intent journal of ``asr``, if any."""
+        entry = self._journals.get(id(asr))
+        return entry[1] if entry is not None else None
+
+    def recover(
+        self,
+        asr: AccessSupportRelation | None = None,
+        context=None,
+        max_retries: int | None = None,
+    ) -> int:
+        """Heal quarantined ASRs; returns how many were recovered.
+
+        For each quarantined ASR the journal is replayed by *recomputing*
+        the neighbourhood delta of the journalled dirty region against
+        the current object graph and healing the logical extension
+        relation, then reloading every partition wholesale from it — safe
+        for arbitrarily torn trees, and idempotent because the recompute
+        derives the correct post-state instead of redoing half-applied
+        operations.  Transient :class:`InjectedFault`\\ s are retried up
+        to ``max_retries`` times with exponential backoff
+        (``retry_backoff`` seconds base; zero by default).  When retries
+        are exhausted a full :meth:`~AccessSupportRelation.rebuild` is
+        the last resort; if even that faults, :class:`RecoveryError` is
+        raised and the ASR stays quarantined.
+
+        ``asr`` restricts recovery to one relation (it need not be
+        quarantined — recovering a consistent ASR is a no-op).
+        """
+        targets = (
+            [asr]
+            if asr is not None
+            else [a for a in self.asrs if a.state is not ASRState.CONSISTENT]
+        )
+        targets = [a for a in targets if a.state is not ASRState.CONSISTENT]
+        if not targets:
+            return 0
+        retries = self.DEFAULT_MAX_RETRIES if max_retries is None else max_retries
+        injector = self._injector()
+        target = context if context is not None else self._charge_target()
+        recovered = 0
+        if isinstance(target, ExecutionContext):
+            with target.operation("asr.recover") as scope:
+                for one in targets:
+                    self._recover_one(one, scope, injector, retries)
+                    recovered += 1
+        else:
+            for one in targets:
+                self._recover_one(one, target, injector, retries)
+                recovered += 1
+        return recovered
+
+    def _recover_one(self, asr, scope, injector, max_retries: int) -> None:
+        # Duck-typed registrants (e.g. the nested-index baseline) have no
+        # partitions to reload selectively; they recover via rebuild().
+        partitions = getattr(asr, "partitions", None)
+        if partitions is not None and any(p.shared for p in partitions):
+            # A shared partition aggregates witnesses from *other* ASRs:
+            # reloading it wholesale from this ASR's extension would drop
+            # theirs.  Sharing is set up by repro.asr.sharing after the
+            # manager is out of the picture, so refuse loudly.
+            raise RecoveryError(
+                f"cannot recover {asr.path} [{asr.extension.value}]: it has "
+                "shared partitions; rebuild the sharing group instead"
+            )
+        journal = self.journal_for(asr)
+        last_fault: InjectedFault | None = None
+        for attempt in range(max(1, max_retries)):
+            self._count("asr.recover.attempt")
+            if attempt and self.retry_backoff:
+                time.sleep(self.retry_backoff * 2 ** (attempt - 1))
+            try:
+                reach(injector, "asr.recover.replay")
+                if journal is not None and partitions is not None:
+                    added, removed = neighbourhood_delta(
+                        self.db,
+                        asr.path,
+                        asr.extension,
+                        asr.extension_relation,
+                        journal.region,
+                    )
+                    # Heal the logical relation only; the (possibly torn)
+                    # trees are replaced wholesale below.
+                    for row in removed:
+                        asr.extension_relation.discard(row)
+                    for row in added:
+                        asr.extension_relation.add(row)
+                reach(injector, "asr.recover.reload")
+                if partitions is None:
+                    asr.rebuild(self.db)
+                else:
+                    rows = asr.extension_relation.rows
+                    for partition in partitions:
+                        partition.load_from_extension(rows)
+            except SimulatedCrash:
+                asr.state = ASRState.QUARANTINED
+                raise
+            except InjectedFault as fault:
+                last_fault = fault
+                asr.state = ASRState.QUARANTINED
+                continue
+            else:
+                self._journals.pop(id(asr), None)
+                asr.state = ASRState.CONSISTENT
+                self._count("asr.recover.ok")
+                return
+        # Retries exhausted: a from-scratch rebuild is the last resort.
+        try:
+            asr.rebuild(self.db)
+        except (InjectedFault, SimulatedCrash) as err:
+            asr.state = ASRState.QUARANTINED
+            raise RecoveryError(
+                f"recovery of {asr.path} [{asr.extension.value}] failed after "
+                f"{max_retries} replay attempt(s) and a rebuild attempt"
+            ) from err
+        self._journals.pop(id(asr), None)
+        self._count("asr.recover.rebuilt")
+        if last_fault is not None:
+            self._count("asr.recover.retries-exhausted")
+
+    def verify(self, repair: bool = False) -> dict:
+        """Inspect (and optionally repair) every managed ASR.
+
+        The backend of ``repro doctor``: returns a JSON-able report with
+        one entry per ASR (path, extension, state, outstanding journal)
+        plus headline counts.  With ``repair=True``, quarantined ASRs are
+        recovered in place and the report records the outcome per ASR.
+        """
+        entries = []
+        recovered = failed = 0
+        for asr in self.asrs:
+            entry: dict = {
+                "path": str(asr.path),
+                "extension": asr.extension.value,
+                "state": asr.state.value,
+            }
+            journal = self.journal_for(asr)
+            if journal is not None:
+                entry["journal"] = journal.describe()
+            if repair and asr.state is not ASRState.CONSISTENT:
+                try:
+                    self._recover_one(
+                        asr, None, self._injector(), self.DEFAULT_MAX_RETRIES
+                    )
+                except (RecoveryError, InjectedFault) as err:
+                    entry["repair"] = f"failed: {err}"
+                    failed += 1
+                else:
+                    entry["repair"] = "recovered"
+                    recovered += 1
+                entry["state"] = asr.state.value
+            entries.append(entry)
+        quarantined = sum(
+            1 for asr in self.asrs if asr.state is not ASRState.CONSISTENT
+        )
+        return {
+            "asrs": entries,
+            "quarantined": quarantined,
+            "recovered": recovered,
+            "failed": failed,
+            "ok": quarantined == 0,
+        }
 
     @property
     def pending_regions(self) -> int:
@@ -272,6 +611,9 @@ class ASRManager:
             if not self._suspended:
                 for asr in self.asrs:
                     asr.rebuild(self.db)
+                    # A rebuild restores consistency unconditionally, so
+                    # any outstanding journal is moot.
+                    self._journals.pop(id(asr), None)
 
     # ------------------------------------------------------------------
     # verification / inspection

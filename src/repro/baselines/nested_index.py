@@ -21,6 +21,7 @@ from typing import Iterable
 
 from repro.asr.asr import cell_key
 from repro.asr.extensions import Extension, build_extension
+from repro.asr.journal import ASRState
 from repro.context import resolve_buffer
 from repro.errors import PathError
 from repro.gom.database import ObjectBase
@@ -65,6 +66,11 @@ class NestedAttributeIndex:
         self.extension_relation = Relation(path.column_labels())
         self._counts: Counter[tuple[Cell, Cell]] = Counter()
         self.tree = BPlusTree(self.pairs_per_page, self._fanout)
+        #: Crash-consistency state, mirrored from the ASR interface so
+        #: the manager's journal/quarantine machinery drives this index
+        #: too (recovery falls back to :meth:`rebuild` — there are no
+        #: partitions to reload selectively).
+        self.state = ASRState.CONSISTENT
 
     # ------------------------------------------------------------------
     # construction
@@ -88,6 +94,12 @@ class NestedAttributeIndex:
             for value, anchor in counts
         )
         self.tree = BPlusTree.bulk_load(entries, self.pairs_per_page, self._fanout)
+        self.state = ASRState.CONSISTENT
+
+    @property
+    def quarantined(self) -> bool:
+        """True while crash recovery is pending (see repro.asr.journal)."""
+        return self.state is ASRState.QUARANTINED
 
     # ------------------------------------------------------------------
     # maintenance (driven by ASRManager)

@@ -36,6 +36,14 @@ Commands
 ``profile --db db.json --path "Division.Manufactures.Composition.Name"``
     Load a saved database and print the measured Figure 3 parameters of
     a path over it.
+
+``doctor [--db db.json] [--repair]``
+    Verify the crash-consistency state of every ASR and, with
+    ``--repair``, recover quarantined ones in place
+    (:meth:`~repro.asr.manager.ASRManager.verify`).  Without ``--db`` a
+    built-in demonstration injects a crash mid-flush first, so the
+    command always has something to diagnose.  Exit code 0 means every
+    ASR is consistent.
 """
 
 from __future__ import annotations
@@ -110,6 +118,20 @@ def _build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--db", required=True, type=Path, help="JSON database")
     measure.add_argument(
         "--path", required=True, help='path expression, e.g. "Division.Manufactures.Composition.Name"'
+    )
+
+    doctor = commands.add_parser(
+        "doctor", help="verify (and repair) ASR crash-consistency state"
+    )
+    doctor.add_argument(
+        "--db",
+        type=Path,
+        default=None,
+        help="JSON database with ASR configurations "
+        "(default: a built-in crash-injection demonstration)",
+    )
+    doctor.add_argument(
+        "--repair", action="store_true", help="recover quarantined ASRs in place"
     )
     return parser
 
@@ -363,6 +385,61 @@ def _cmd_profile(args, out) -> int:
     return 0
 
 
+def _doctor_demo_manager(out) -> ASRManager:
+    """A tiny world with a freshly crashed flush, for the doctor demo."""
+    from repro.errors import SimulatedCrash
+    from repro.faults import FaultInjector
+    from repro.gom import ObjectBase, PathExpression, Schema
+
+    schema = Schema()
+    schema.define_tuple("Part", {"Name": "STRING"})
+    schema.define_set("PartSET", "Part")
+    schema.define_tuple("Product", {"Name": "STRING", "Composition": "PartSET"})
+    db = ObjectBase(schema)
+    door = db.new("Part", Name="Door")
+    wheel = db.new("Part", Name="Wheel")
+    parts = db.new_set("PartSET", [door])
+    db.new("Product", Name="560 SEC", Composition=parts)
+    path = PathExpression.parse(schema, "Product.Composition.Name")
+    injector = FaultInjector(seed=7)
+    manager = ASRManager(db, fault_injector=injector)
+    manager.create(path, Extension.FULL)
+    injector.crash_at("asr.flush.mid-delta")
+    print("injecting a crash at 'asr.flush.mid-delta' during an update…", file=out)
+    try:
+        with manager.batch():
+            db.set_insert(parts, wheel)
+    except SimulatedCrash as crash:
+        print(f"  {crash}", file=out)
+    return manager
+
+
+def _cmd_doctor(args, out) -> int:
+    if args.db is not None:
+        from repro.gom.serialization import load
+
+        db, asrs = load(args.db)
+        manager = ASRManager(db)
+        for asr in asrs:
+            manager.register(asr)
+    else:
+        manager = _doctor_demo_manager(out)
+    report = manager.verify(repair=args.repair)
+    for entry in report["asrs"]:
+        line = f"  {entry['path']} [{entry['extension']}]: {entry['state']}"
+        if "journal" in entry:
+            line += f" ({entry['journal']})"
+        if "repair" in entry:
+            line += f" -> {entry['repair']}"
+        print(line, file=out)
+    print(
+        f"{len(report['asrs'])} ASR(s): {report['quarantined']} quarantined, "
+        f"{report['recovered']} recovered, {report['failed']} repair failure(s)",
+        file=out,
+    )
+    return 0 if report["ok"] else 1
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "advise": _cmd_advise,
@@ -370,6 +447,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "export-demo": _cmd_export_demo,
     "profile": _cmd_profile,
+    "doctor": _cmd_doctor,
 }
 
 

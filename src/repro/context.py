@@ -94,6 +94,12 @@ class ExecutionContext:
     stats:
         An existing :class:`AccessStats` to charge; a fresh one by
         default.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector`.  Every buffer
+        scope the context creates consults it on charged page accesses,
+        and subsystems holding the context (the ASR manager's flush and
+        recovery pipeline) consult its named crash points — so one
+        policy object makes a whole execution's failures reproducible.
 
     Use as a context manager to get an explicit lifetime boundary::
 
@@ -112,6 +118,7 @@ class ExecutionContext:
         policy: str = "unbounded",
         capacity: int | None = None,
         stats: AccessStats | None = None,
+        fault_injector=None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown buffer policy {policy!r}; known: {POLICIES}")
@@ -122,6 +129,7 @@ class ExecutionContext:
         self.policy = policy
         self.capacity = capacity
         self.stats = stats if stats is not None else AccessStats()
+        self.fault_injector = fault_injector
         #: Completed operation spans, in completion order.
         self.spans: list[Span] = []
         #: ``operation name -> times entered`` counters.
@@ -144,18 +152,20 @@ class ExecutionContext:
             # survive operation boundaries, so there is only one.
             return self._ambient_scope()
         if self.policy == "null":
-            return NullBuffer(self.stats)
-        return BufferScope(self.stats)
+            return NullBuffer(self.stats, self.fault_injector)
+        return BufferScope(self.stats, self.fault_injector)
 
     def _ambient_scope(self) -> BufferScope | NullBuffer:
         if self._ambient is None:
             if self.policy == "bounded":
                 assert self.capacity is not None
-                self._ambient = BoundedBufferScope(self.stats, self.capacity)
+                self._ambient = BoundedBufferScope(
+                    self.stats, self.capacity, self.fault_injector
+                )
             elif self.policy == "null":
-                self._ambient = NullBuffer(self.stats)
+                self._ambient = NullBuffer(self.stats, self.fault_injector)
             else:
-                self._ambient = BufferScope(self.stats)
+                self._ambient = BufferScope(self.stats, self.fault_injector)
         return self._ambient
 
     @property

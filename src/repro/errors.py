@@ -58,6 +58,41 @@ class StorageError(ReproError):
     """The page-level storage engine was used inconsistently."""
 
 
+class InjectedFault(StorageError):
+    """A *simulated, transient* I/O fault raised by fault injection.
+
+    Raised by a :class:`~repro.faults.FaultInjector` from a page read or
+    write (probabilistically, under a deterministic seed) or from a named
+    fault point armed with :meth:`~repro.faults.FaultInjector.fault_at`.
+    Transient by definition: retrying the operation may succeed, which is
+    what the bounded retry/backoff in
+    :meth:`~repro.asr.manager.ASRManager.recover` exercises.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """A simulated process crash raised at a named crash point.
+
+    Unlike :class:`InjectedFault` this is *not* retryable: it models the
+    process dying mid-operation, so it deliberately does not derive from
+    :class:`StorageError` and must never be swallowed by retry loops.
+    Structures protected by an intent journal (the ASR flush pipeline)
+    are left quarantined and recoverable; the test harness catches the
+    crash where a real system would restart.
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery of an access support relation failed.
+
+    Raised when :meth:`~repro.asr.manager.ASRManager.recover` exhausts
+    its bounded retries and the scoped-rebuild fallback also cannot
+    restore consistency — e.g. for a quarantined ASR whose partitions
+    are physically shared with other ASRs (the shared bundle must be
+    rebuilt as a whole instead).
+    """
+
+
 class QueryError(ReproError):
     """A query is malformed or cannot be evaluated.
 

@@ -117,6 +117,7 @@ class CostBasedPlanner(Planner):
             context.op_counts[f"plan.{chosen}"] = (
                 context.op_counts.get(f"plan.{chosen}", 0) + 1
             )
+        self._count_degraded(query, plan, context)
         if plan.asr is None:
             return evaluator.evaluate_unsupported(query)
         return evaluator.evaluate_supported(query, plan.asr)

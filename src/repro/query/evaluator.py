@@ -97,8 +97,22 @@ class QueryEvaluator:
     def evaluate(
         self, query: Query, asr: AccessSupportRelation | None = None
     ) -> EvaluationResult:
-        """Evaluate with the ASR when it applies (Eq. 35), else unsupported."""
+        """Evaluate with the ASR when it applies (Eq. 35), else unsupported.
+
+        A quarantined ASR (crash recovery pending, trees possibly torn)
+        is treated as absent: the query degrades to the unsupported
+        strategy — correct answer, worse page profile — and the fallback
+        is counted in the context trace under ``query.degraded-fallback``.
+        """
         if asr is not None and asr.supports_query(query.i, query.j):
+            if asr.quarantined:
+                if self.context is not None:
+                    self.context.op_counts["query.degraded-fallback"] = (
+                        self.context.op_counts.get("query.degraded-fallback", 0) + 1
+                    )
+                result = self.evaluate_unsupported(query)
+                result.strategy = "unsupported (degraded: ASR quarantined)"
+                return result
             return self.evaluate_supported(query, asr)
         return self.evaluate_unsupported(query)
 
@@ -131,6 +145,11 @@ class QueryEvaluator:
             raise QueryError(
                 f"extension {asr.extension.value!r} cannot evaluate "
                 f"Q{query.i},{query.j} (Eq. 35)"
+            )
+        if asr.quarantined:
+            raise QueryError(
+                f"ASR {asr.path} [{asr.extension.value}] is quarantined after "
+                "a crash/fault; recover it or use evaluate() to fall back"
             )
         before = self.stats.snapshot()
         with self._measured(f"query.supported.{query.kind}") as buffer:

@@ -145,6 +145,16 @@ class SelectExecutor:
                     continue
                 plan = self.planner.plan(query)
                 if plan.asr is None:
+                    if self.planner.quarantined_applicable(query):
+                        # Support exists but is quarantined: keep the
+                        # nested-loop filter (correct, just slower) and
+                        # say so in the strategy string / trace.
+                        strategy = "nested-loop traversal (degraded: ASR quarantined)"
+                        context = self.evaluator.context
+                        if context is not None:
+                            context.op_counts["query.degraded-fallback"] = (
+                                context.op_counts.get("query.degraded-fallback", 0) + 1
+                            )
                     continue
                 result = self.evaluator.evaluate_supported(query, plan.asr)
                 candidates &= result.cells

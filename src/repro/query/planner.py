@@ -7,6 +7,12 @@ otherwise the query falls back to unsupported evaluation.  When several
 registered ASRs apply, the planner ranks them by an estimate of the pages
 a supported evaluation touches (partition data pages along the query
 range, which dominates; tree interiors are comparatively tiny).
+
+Quarantined ASRs (see :mod:`repro.asr.journal`) are never candidates:
+their trees may be torn, so the planner degrades to another applicable
+decomposition or to the unsupported evaluation — results stay correct,
+only the page profile suffers.  Degraded decisions are counted in the
+context trace under ``plan.degraded-fallback``.
 """
 
 from __future__ import annotations
@@ -47,12 +53,41 @@ class Planner:
         self.manager = manager
 
     def applicable(self, query: Query) -> list[AccessSupportRelation]:
-        """All registered ASRs that may answer ``query`` per Eq. 35."""
+        """All registered ASRs that may answer ``query`` per Eq. 35.
+
+        Quarantined ASRs are excluded: reading possibly-torn trees could
+        return wrong results, and wrong is worse than slow.
+        """
         return [
             asr
             for asr in self.manager.asrs
-            if asr.path == query.path and asr.supports_query(query.i, query.j)
+            if asr.path == query.path
+            and asr.supports_query(query.i, query.j)
+            and not asr.quarantined
         ]
+
+    def quarantined_applicable(self, query: Query) -> list[AccessSupportRelation]:
+        """ASRs that *would* answer ``query`` but are quarantined.
+
+        Non-empty exactly when a plan is degraded: the query had support
+        before the fault, and will have it again after recovery.
+        """
+        return [
+            asr
+            for asr in self.manager.asrs
+            if asr.path == query.path
+            and asr.supports_query(query.i, query.j)
+            and asr.quarantined
+        ]
+
+    def _count_degraded(self, query: Query, plan: Plan, context) -> None:
+        """Trace a degraded decision (support lost to quarantine)."""
+        if context is None:
+            return
+        if plan.asr is None and self.quarantined_applicable(query):
+            context.op_counts["plan.degraded-fallback"] = (
+                context.op_counts.get("plan.degraded-fallback", 0) + 1
+            )
 
     def estimate_supported_pages(
         self, query: Query, asr: AccessSupportRelation
@@ -94,6 +129,7 @@ class Planner:
     def execute(self, query: Query, evaluator: QueryEvaluator) -> EvaluationResult:
         """Plan and evaluate in one step."""
         plan = self.plan(query)
+        self._count_degraded(query, plan, evaluator.context)
         if plan.asr is None:
             return evaluator.evaluate_unsupported(query)
         return evaluator.evaluate_supported(query, plan.asr)

@@ -6,6 +6,12 @@ per-operation buffer the analytical model implicitly assumes: within one
 query or update, re-touching a page that is already resident is free —
 this is exactly the "number of *distinct* pages" that Yao's formula
 estimates (section 5.6).
+
+Buffer scopes are also where simulated storage faults surface: a scope
+constructed with a :class:`~repro.faults.FaultInjector` consults it on
+every *charged* access (cache hits need no physical I/O and are never
+faulted), so the B+ trees and the clustered object store see faults
+exactly where a real engine would — on the page read/write boundary.
 """
 
 from __future__ import annotations
@@ -85,8 +91,12 @@ class BufferScope:
     one directly.)
     """
 
-    def __init__(self, stats: AccessStats) -> None:
+    def __init__(self, stats: AccessStats, injector=None) -> None:
         self.stats = stats
+        #: Optional :class:`~repro.faults.FaultInjector` consulted on
+        #: every charged access (duck-typed: anything with
+        #: ``on_read``/``on_write``).
+        self.injector = injector
         self._resident: set[Hashable] = set()
         self._dirty: set[Hashable] = set()
 
@@ -100,6 +110,8 @@ class BufferScope:
         """Read ``page_id``; returns True when it caused a physical read."""
         if page_id in self._resident:
             return False
+        if self.injector is not None:
+            self.injector.on_read(page_id, category)
         self._resident.add(page_id)
         self.stats.read(1, category)
         return True
@@ -108,6 +120,8 @@ class BufferScope:
         """Mark ``page_id`` dirty; returns True on the first write charge."""
         if page_id in self._dirty:
             return False
+        if self.injector is not None:
+            self.injector.on_write(page_id, category)
         self._dirty.add(page_id)
         self.stats.write(1, category)
         return True
@@ -162,14 +176,19 @@ def resolve_buffer(context=None, buffer=None):
 class NullBuffer:
     """A buffer that charges every touch (no caching) to its stats."""
 
-    def __init__(self, stats: AccessStats) -> None:
+    def __init__(self, stats: AccessStats, injector=None) -> None:
         self.stats = stats
+        self.injector = injector
 
     def touch(self, page_id: Hashable, category: str = "page") -> bool:
+        if self.injector is not None:
+            self.injector.on_read(page_id, category)
         self.stats.read(1, category)
         return True
 
     def touch_write(self, page_id: Hashable, category: str = "page") -> bool:
+        if self.injector is not None:
+            self.injector.on_write(page_id, category)
         self.stats.write(1, category)
         return True
 
@@ -191,8 +210,8 @@ class BoundedBufferScope(BufferScope):
     (the first write-back already happened at eviction time).
     """
 
-    def __init__(self, stats: AccessStats, capacity: int) -> None:
-        super().__init__(stats)
+    def __init__(self, stats: AccessStats, capacity: int, injector=None) -> None:
+        super().__init__(stats, injector)
         if capacity < 1:
             raise ValueError("buffer capacity must be at least one page")
         self.capacity = capacity
@@ -209,6 +228,8 @@ class BoundedBufferScope(BufferScope):
             dirty = self._lru.pop(page_id)
             self._lru[page_id] = dirty  # refresh recency
             return False
+        if self.injector is not None:
+            self.injector.on_read(page_id, category)
         self.stats.read(1, category)
         self._lru[page_id] = False
         self._evict_excess()
@@ -216,12 +237,16 @@ class BoundedBufferScope(BufferScope):
 
     def touch_write(self, page_id: Hashable, category: str = "page") -> bool:
         if page_id in self._lru:
+            if not self._lru[page_id] and self.injector is not None:
+                self.injector.on_write(page_id, category)
             dirty = self._lru.pop(page_id)
             self._lru[page_id] = True  # refresh recency, mark dirty
             if dirty:
                 return False
             self.stats.write(1, category)
             return True
+        if self.injector is not None:
+            self.injector.on_write(page_id, category)
         self.stats.write(1, category)
         self._lru[page_id] = True
         self._evict_excess()

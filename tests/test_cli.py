@@ -176,3 +176,27 @@ class TestTracing:
         names = [span["name"] for span in data["spans"]]
         assert "query.unsupported.bw" in names
         assert "query.supported.bw" in names
+
+
+class TestDoctor:
+    def test_demo_crash_is_diagnosed(self):
+        code, text = run_cli("doctor")
+        assert code == 1  # something is quarantined: non-zero for scripts
+        assert "asr.flush.mid-delta" in text
+        assert "quarantined" in text
+        assert "1 quarantined" in text
+
+    def test_repair_recovers_and_exits_zero(self):
+        code, text = run_cli("doctor", "--repair")
+        assert code == 0
+        assert "-> recovered" in text
+        assert "0 quarantined" in text
+        assert "1 recovered" in text
+
+    def test_saved_database_is_healthy(self, tmp_path):
+        target = tmp_path / "company.json"
+        run_cli("export-demo", "--out", str(target))
+        code, text = run_cli("doctor", "--db", str(target))
+        assert code == 0
+        assert "consistent" in text
+        assert "0 quarantined" in text
