@@ -27,7 +27,9 @@ from repro.errors import (
     StorageError,
     TypingError,
 )
+from repro.concurrency import ContextPool, RWLock
 from repro.context import ExecutionContext, Span
+from repro.errors import ExitHookError
 from repro.faults import FaultInjector
 from repro.gom import (
     NULL,
@@ -87,10 +89,13 @@ __all__ = [
     "InjectedFault",
     "SimulatedCrash",
     "RecoveryError",
-    # execution context / fault injection
+    "ExitHookError",
+    # execution context / fault injection / concurrency
     "ExecutionContext",
     "Span",
     "FaultInjector",
+    "ContextPool",
+    "RWLock",
     # object model
     "NULL",
     "OID",

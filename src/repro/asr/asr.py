@@ -294,22 +294,46 @@ class AccessSupportRelation:
         decomposition: Decomposition | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         oid_size: int = DEFAULT_OID_SIZE,
+        workers: int | None = None,
     ) -> "AccessSupportRelation":
-        """Materialize the ASR for ``path`` from the object base."""
+        """Materialize the ASR for ``path`` from the object base.
+
+        ``workers`` (> 1) parallelizes the bulk build: the auxiliary
+        scans are partitioned across a thread pool and the decomposition
+        partitions are bulk-loaded concurrently.  The result is
+        identical to the sequential build (see :mod:`repro.asr.auxiliary`).
+        """
         asr = cls(path, extension, decomposition, page_size, oid_size)
-        asr.rebuild(db)
+        asr.rebuild(db, workers=workers)
         return asr
 
-    def rebuild(self, db: ObjectBase) -> None:
+    def rebuild(self, db: ObjectBase, workers: int | None = None) -> None:
         """Recompute the extension from scratch and reload every partition.
 
         A rebuild restores consistency unconditionally, so it also lifts
-        any quarantine.
+        any quarantine.  ``workers`` parallelizes the auxiliary scans and
+        the per-partition bulk loads (each partition owns its trees, so
+        the loads are independent).
         """
-        self.extension_relation = build_extension(db, self.path, self.extension)
+        self.extension_relation = build_extension(
+            db, self.path, self.extension, workers=workers
+        )
         rows = self.extension_relation.rows
-        for partition in self.partitions:
-            partition.load_from_extension(rows)
+        if workers is not None and workers > 1 and len(self.partitions) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(self.partitions))
+            ) as executor:
+                list(
+                    executor.map(
+                        lambda partition: partition.load_from_extension(rows),
+                        self.partitions,
+                    )
+                )
+        else:
+            for partition in self.partitions:
+                partition.load_from_extension(rows)
         self.state = ASRState.CONSISTENT
 
     # ------------------------------------------------------------------

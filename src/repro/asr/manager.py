@@ -30,6 +30,18 @@ A manager holds its event subscription until :meth:`close` is called
 ASRs.  When the manager is constructed with an ``ExecutionContext``,
 pending batches are flushed automatically when that context closes.
 
+**Concurrency** (see :mod:`repro.concurrency` and DESIGN §9): the
+manager carries a readers-writer lock.  Query-side readers — the
+planners and the select executor — hold the read side while probing
+registered ASRs and reading their trees, so any number of queries
+proceed in parallel; event maintenance, flushes, recovery, registration
+changes, and the quarantine state transitions take the write side and
+are exclusive.  Callers mutating the *object base* from several threads
+should wrap each update transaction in :meth:`exclusive` so the graph
+mutation and its maintenance are one atomic unit with respect to
+concurrent readers.  ``batch()`` blocks themselves are per-thread
+(open/close a batch from one thread at a time).
+
 **Crash consistency** (see :mod:`repro.asr.journal`): every delta —
 eager or batched — is applied under a write-ahead intent journal and
 drives the ASR through ``CONSISTENT → APPLYING → CONSISTENT``.  A
@@ -57,6 +69,7 @@ from repro.asr.maintenance import (
     merge_regions,
     neighbourhood_delta,
 )
+from repro.concurrency import RWLock
 from repro.context import ExecutionContext
 from repro.errors import (
     InjectedFault,
@@ -125,6 +138,8 @@ class ASRManager:
         self._journals: dict[int, tuple[AccessSupportRelation, IntentJournal]] = {}
         self._epoch = 0
         self._closed = False
+        #: Readers-writer lock: queries share, maintenance is exclusive.
+        self.lock = RWLock()
         db.subscribe(self._on_event)
         if context is not None:
             context.add_exit_hook(self.flush)
@@ -138,23 +153,36 @@ class ASRManager:
         path: PathExpression,
         extension: Extension = Extension.FULL,
         decomposition: Decomposition | None = None,
+        workers: int | None = None,
     ) -> AccessSupportRelation:
-        """Build and register an ASR for ``path`` from the current state."""
-        asr = AccessSupportRelation.build(self.db, path, extension, decomposition)
-        self.asrs.append(asr)
+        """Build and register an ASR for ``path`` from the current state.
+
+        ``workers`` parallelizes the bulk build across a thread pool
+        (see :meth:`AccessSupportRelation.build`); the result is
+        identical to the sequential build.
+        """
+        asr = AccessSupportRelation.build(
+            self.db, path, extension, decomposition, workers=workers
+        )
+        with self.lock.write():
+            self.asrs.append(asr)
         return asr
 
     def register(self, asr: AccessSupportRelation) -> None:
         """Adopt an externally built ASR (assumed consistent right now)."""
-        self.asrs.append(asr)
+        with self.lock.write():
+            self.asrs.append(asr)
 
     def drop(self, asr: AccessSupportRelation) -> None:
-        try:
-            self.asrs.remove(asr)
-        except ValueError:
-            raise ObjectBaseError("ASR is not registered with this manager") from None
-        self._pending.pop(id(asr), None)
-        self._journals.pop(id(asr), None)
+        with self.lock.write():
+            try:
+                self.asrs.remove(asr)
+            except ValueError:
+                raise ObjectBaseError(
+                    "ASR is not registered with this manager"
+                ) from None
+            self._pending.pop(id(asr), None)
+            self._journals.pop(id(asr), None)
 
     def find(
         self, path: PathExpression, extension: Extension | None = None
@@ -187,14 +215,15 @@ class ASRManager:
         """
         if self._closed:
             return
-        try:
-            self.flush()
-        finally:
-            self._closed = True
+        with self.lock.write():
             try:
-                self.db.unsubscribe(self._on_event)
-            except ValueError:  # pragma: no cover - subscription already gone
-                pass
+                self.flush()
+            finally:
+                self._closed = True
+                try:
+                    self.db.unsubscribe(self._on_event)
+                except ValueError:  # pragma: no cover - subscription already gone
+                    pass
 
     def __enter__(self) -> "ASRManager":
         return self
@@ -229,16 +258,17 @@ class ASRManager:
     def _on_event(self, event: Event) -> None:
         if self._closed or self._suspended:
             return
-        if self._batch_depth:
-            self._enqueue(event)
-            return
-        items = []
-        for asr in self.asrs:
-            region = analyze_event(self.db, asr.path, event)
-            if region:
-                items.append((asr, region))
-        if items:
-            self._journaled_run(items, self._charge_target(), "asr.apply")
+        with self.lock.write():
+            if self._batch_depth:
+                self._enqueue(event)
+                return
+            items = []
+            for asr in self.asrs:
+                region = analyze_event(self.db, asr.path, event)
+                if region:
+                    items.append((asr, region))
+            if items:
+                self._journaled_run(items, self._charge_target(), "asr.apply")
 
     def _enqueue(self, event: Event) -> None:
         """Accumulate the event's dirty regions without touching trees.
@@ -287,12 +317,38 @@ class ASRManager:
         except BaseException:
             self._batch_depth -= 1
             if not self._batch_depth:
-                self._abort_pending()
+                with self.lock.write():
+                    self._abort_pending()
             raise
         else:
             self._batch_depth -= 1
             if not self._batch_depth:
                 self.flush()
+
+    @contextmanager
+    def exclusive(self) -> Iterator["ASRManager"]:
+        """Hold the write side across a multi-step update transaction.
+
+        Concurrent writers mutating the object base should wrap each
+        transaction (the graph mutations *and* the eager maintenance they
+        trigger) in this block so readers never observe the graph and the
+        ASRs mid-divergence::
+
+            with manager.exclusive():
+                db.set_insert(parts, bolt)
+                db.set_attr(bolt, "weight", 7)
+
+        Reentrant: the eager ``_on_event`` path re-acquires the same
+        write side without deadlocking.
+        """
+        with self.lock.write():
+            yield self
+
+    @contextmanager
+    def shared(self) -> Iterator["ASRManager"]:
+        """Hold the read side — what the planner and executor do per query."""
+        with self.lock.read():
+            yield self
 
     def _abort_pending(self) -> None:
         """Discard-or-quarantine pending regions after an aborted batch."""
@@ -320,15 +376,16 @@ class ASRManager:
         ``context`` when given, else to the manager's context / legacy
         buffer.  No-op when nothing is pending.
         """
-        if not self._pending:
-            return 0
-        pending, self._pending = self._pending, {}
-        target = context if context is not None else self._charge_target()
-        if isinstance(target, ExecutionContext):
-            with target.operation("asr.flush") as scope:
-                return self._journaled_run(pending.values(), scope, "asr.flush")
-        # A raw buffer scope (or None) is already a single scope.
-        return self._journaled_run(pending.values(), target, "asr.flush")
+        with self.lock.write():
+            if not self._pending:
+                return 0
+            pending, self._pending = self._pending, {}
+            target = context if context is not None else self._charge_target()
+            if isinstance(target, ExecutionContext):
+                with target.operation("asr.flush") as scope:
+                    return self._journaled_run(pending.values(), scope, "asr.flush")
+            # A raw buffer scope (or None) is already a single scope.
+            return self._journaled_run(pending.values(), target, "asr.flush")
 
     # ------------------------------------------------------------------
     # crash-consistent delta application
@@ -455,28 +512,29 @@ class ASRManager:
         ``asr`` restricts recovery to one relation (it need not be
         quarantined — recovering a consistent ASR is a no-op).
         """
-        targets = (
-            [asr]
-            if asr is not None
-            else [a for a in self.asrs if a.state is not ASRState.CONSISTENT]
-        )
-        targets = [a for a in targets if a.state is not ASRState.CONSISTENT]
-        if not targets:
-            return 0
-        retries = self.DEFAULT_MAX_RETRIES if max_retries is None else max_retries
-        injector = self._injector()
-        target = context if context is not None else self._charge_target()
-        recovered = 0
-        if isinstance(target, ExecutionContext):
-            with target.operation("asr.recover") as scope:
+        with self.lock.write():
+            targets = (
+                [asr]
+                if asr is not None
+                else [a for a in self.asrs if a.state is not ASRState.CONSISTENT]
+            )
+            targets = [a for a in targets if a.state is not ASRState.CONSISTENT]
+            if not targets:
+                return 0
+            retries = self.DEFAULT_MAX_RETRIES if max_retries is None else max_retries
+            injector = self._injector()
+            target = context if context is not None else self._charge_target()
+            recovered = 0
+            if isinstance(target, ExecutionContext):
+                with target.operation("asr.recover") as scope:
+                    for one in targets:
+                        self._recover_one(one, scope, injector, retries)
+                        recovered += 1
+            else:
                 for one in targets:
-                    self._recover_one(one, scope, injector, retries)
+                    self._recover_one(one, target, injector, retries)
                     recovered += 1
-        else:
-            for one in targets:
-                self._recover_one(one, target, injector, retries)
-                recovered += 1
-        return recovered
+            return recovered
 
     def _recover_one(self, asr, scope, injector, max_retries: int) -> None:
         # Duck-typed registrants (e.g. the nested-index baseline) have no
@@ -554,40 +612,42 @@ class ASRManager:
         plus headline counts.  With ``repair=True``, quarantined ASRs are
         recovered in place and the report records the outcome per ASR.
         """
-        entries = []
-        recovered = failed = 0
-        for asr in self.asrs:
-            entry: dict = {
-                "path": str(asr.path),
-                "extension": asr.extension.value,
-                "state": asr.state.value,
+        guard = self.lock.write() if repair else self.lock.read()
+        with guard:
+            entries = []
+            recovered = failed = 0
+            for asr in self.asrs:
+                entry: dict = {
+                    "path": str(asr.path),
+                    "extension": asr.extension.value,
+                    "state": asr.state.value,
+                }
+                journal = self.journal_for(asr)
+                if journal is not None:
+                    entry["journal"] = journal.describe()
+                if repair and asr.state is not ASRState.CONSISTENT:
+                    try:
+                        self._recover_one(
+                            asr, None, self._injector(), self.DEFAULT_MAX_RETRIES
+                        )
+                    except (RecoveryError, InjectedFault) as err:
+                        entry["repair"] = f"failed: {err}"
+                        failed += 1
+                    else:
+                        entry["repair"] = "recovered"
+                        recovered += 1
+                    entry["state"] = asr.state.value
+                entries.append(entry)
+            quarantined = sum(
+                1 for asr in self.asrs if asr.state is not ASRState.CONSISTENT
+            )
+            return {
+                "asrs": entries,
+                "quarantined": quarantined,
+                "recovered": recovered,
+                "failed": failed,
+                "ok": quarantined == 0,
             }
-            journal = self.journal_for(asr)
-            if journal is not None:
-                entry["journal"] = journal.describe()
-            if repair and asr.state is not ASRState.CONSISTENT:
-                try:
-                    self._recover_one(
-                        asr, None, self._injector(), self.DEFAULT_MAX_RETRIES
-                    )
-                except (RecoveryError, InjectedFault) as err:
-                    entry["repair"] = f"failed: {err}"
-                    failed += 1
-                else:
-                    entry["repair"] = "recovered"
-                    recovered += 1
-                entry["state"] = asr.state.value
-            entries.append(entry)
-        quarantined = sum(
-            1 for asr in self.asrs if asr.state is not ASRState.CONSISTENT
-        )
-        return {
-            "asrs": entries,
-            "quarantined": quarantined,
-            "recovered": recovered,
-            "failed": failed,
-            "ok": quarantined == 0,
-        }
 
     @property
     def pending_regions(self) -> int:
@@ -609,11 +669,12 @@ class ASRManager:
         finally:
             self._suspended -= 1
             if not self._suspended:
-                for asr in self.asrs:
-                    asr.rebuild(self.db)
-                    # A rebuild restores consistency unconditionally, so
-                    # any outstanding journal is moot.
-                    self._journals.pop(id(asr), None)
+                with self.lock.write():
+                    for asr in self.asrs:
+                        asr.rebuild(self.db)
+                        # A rebuild restores consistency unconditionally, so
+                        # any outstanding journal is moot.
+                        self._journals.pop(id(asr), None)
 
     # ------------------------------------------------------------------
     # verification / inspection
@@ -621,8 +682,9 @@ class ASRManager:
 
     def check_consistency(self) -> None:
         """Assert every managed ASR matches a from-scratch rebuild."""
-        for asr in self.asrs:
-            asr.consistency_check(self.db)
+        with self.lock.read():
+            for asr in self.asrs:
+                asr.consistency_check(self.db)
 
     def report(self) -> str:
         """A catalog-style summary of every managed ASR."""

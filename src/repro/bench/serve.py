@@ -1,0 +1,238 @@
+"""Multi-client query serving over one shared bounded buffer pool.
+
+The paper's evaluation is single-client: one operation at a time, page
+accesses as the cost measure.  This driver measures the *serving*
+dimension instead: ``clients`` worker threads replay a seeded operation
+stream (:mod:`repro.workload.opstream`) against one chain database, each
+through its own :class:`~repro.context.ExecutionContext` drawn from a
+:class:`~repro.concurrency.ContextPool`, all sharing one bounded LRU
+pool and the ASR manager's readers-writer lock — queries proceed
+concurrently, updates (graph mutation plus eager ASR maintenance) run
+under :meth:`~repro.asr.manager.ASRManager.exclusive`.
+
+Page accesses are still the cost *model*; wall-clock needs an I/O model
+on top.  Every charged page is priced at ``io_micros`` of simulated
+device latency, slept **after** the operation releases its locks — so
+stalls overlap across clients exactly as asynchronous I/O would, and
+the multi-client throughput gain over a single client is real rather
+than a GIL artifact.
+
+The headline report (``BENCH_serve.json``): throughput, speedup versus
+the single-client replay of the *same* stream, and per-operation
+p50/p95/p99 latencies, plus the shared pool's hit rate and the
+accounting invariant (shared totals == Σ per-worker totals).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.asr.extensions import Extension
+from repro.asr.manager import ASRManager
+from repro.concurrency import ContextPool
+from repro.costmodel.parameters import ApplicationProfile
+from repro.query.evaluator import QueryEvaluator
+from repro.query.planner import Planner
+from repro.workload.generator import ChainGenerator, GeneratedDatabase
+from repro.workload.opstream import Operation, apply_update, operation_stream
+from repro.workload.profiles import FIG14_MIX
+
+__all__ = ["ServeConfig", "run_serve", "SMALL_PROFILE"]
+
+#: A small n=4 chain (the Figure 14 shape, scaled down ~250×) that
+#: builds in well under a second yet yields non-trivial ASR trees.
+SMALL_PROFILE = ApplicationProfile(
+    c=(40, 80, 120, 240, 480),
+    d=(36, 64, 96, 200),
+    fan=(2, 2, 2, 2),
+    size=(120,) * 5,
+)
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one serve run (all reachable from ``repro bench serve``)."""
+
+    clients: int = 4
+    ops: int = 200
+    seed: int = 0
+    capacity: int = 256
+    #: Simulated device latency per charged page, in microseconds.
+    io_micros: float = 150.0
+    query_fraction: float = 0.8
+    build_workers: int = 4
+
+
+@dataclass
+class _OpSample:
+    name: str
+    kind: str
+    latency_s: float
+    pages: int
+
+
+@dataclass
+class _RunOutcome:
+    wall_seconds: float
+    samples: list[_OpSample] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return len(self.samples) / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[index]
+
+
+def _build_world(config: ServeConfig) -> tuple[GeneratedDatabase, ASRManager, ContextPool]:
+    generated = ChainGenerator(config.seed).generate(SMALL_PROFILE)
+    pool = ContextPool(config.capacity)
+    manager_context = pool.acquire()
+    manager = ASRManager(generated.db, context=manager_context)
+    manager.create(generated.path, Extension.FULL, workers=config.build_workers)
+    return generated, manager, pool
+
+
+def _run_clients(
+    config: ServeConfig,
+    clients: int,
+) -> tuple[_RunOutcome, dict, dict]:
+    """Replay the stream over ``clients`` threads against a fresh world."""
+    generated, manager, pool = _build_world(config)
+    stream = operation_stream(
+        generated,
+        FIG14_MIX,
+        count=config.ops,
+        seed=config.seed,
+        query_fraction=config.query_fraction,
+    )
+    io_seconds = config.io_micros / 1e6
+    samples_per_client: list[list[_OpSample]] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+
+    def serve_one(context, planner, ops: list[Operation], out: list[_OpSample]) -> None:
+        evaluator = QueryEvaluator(generated.db, generated.store, context=context)
+        for op in ops:
+            start = time.perf_counter()
+            if op.kind == "query":
+                result = planner.execute(op.query, evaluator)
+                pages = result.total_pages
+            else:
+                # The mutation and its eager maintenance are one atomic
+                # unit; pages are read off the manager context's private
+                # stats (updates are serialized by the write lock, so
+                # the delta is unambiguous).
+                with manager.exclusive():
+                    before = manager.context.stats.snapshot()
+                    apply_update(generated, op)
+                    pages = manager.context.stats.delta_since(before).total
+            if pages and io_seconds:
+                time.sleep(pages * io_seconds)  # simulated I/O, outside locks
+            out.append(
+                _OpSample(op.name, op.kind, time.perf_counter() - start, pages)
+            )
+
+    def client(k: int) -> None:
+        try:
+            with pool.context() as context:
+                planner = Planner(manager)
+                serve_one(context, planner, stream[k::clients], samples_per_client[k])
+        except BaseException as error:  # surfaced after join
+            errors.append(error)
+
+    threads = [threading.Thread(target=client, args=(k,)) for k in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+
+    manager.check_consistency()
+    pool.pool.check_invariants()
+    shared = pool.stats.snapshot()
+    worker_reads = sum(c.stats.page_reads for c in pool.contexts)
+    worker_writes = sum(c.stats.page_writes for c in pool.contexts)
+    accounting = {
+        "shared_reads": shared.page_reads,
+        "shared_writes": shared.page_writes,
+        "worker_reads": worker_reads,
+        "worker_writes": worker_writes,
+        "ok": shared.page_reads == worker_reads and shared.page_writes == worker_writes,
+    }
+    pool_report = pool.describe()
+    manager.close()
+    outcome = _RunOutcome(wall, [s for per in samples_per_client for s in per])
+    return outcome, pool_report, accounting
+
+
+def _per_operation(samples: list[_OpSample]) -> dict:
+    by_name: dict[str, list[float]] = {}
+    for sample in samples:
+        by_name.setdefault(sample.name, []).append(sample.latency_s)
+    report = {}
+    for name, latencies in sorted(by_name.items()):
+        latencies.sort()
+        report[name] = {
+            "count": len(latencies),
+            "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p95_ms": round(_percentile(latencies, 0.95) * 1e3, 3),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+            "mean_ms": round(sum(latencies) / len(latencies) * 1e3, 3),
+        }
+    return report
+
+
+def run_serve(config: ServeConfig | None = None) -> dict:
+    """Run the serve benchmark; returns the JSON-able report."""
+    config = config or ServeConfig()
+    single, _, _ = _run_clients(config, clients=1)
+    multi, pool_report, accounting = _run_clients(config, clients=config.clients)
+    speedup = multi.throughput / single.throughput if single.throughput else 0.0
+    return {
+        "benchmark": "serve",
+        "config": {
+            "clients": config.clients,
+            "ops": config.ops,
+            "seed": config.seed,
+            "capacity": config.capacity,
+            "io_micros": config.io_micros,
+            "query_fraction": config.query_fraction,
+            "build_workers": config.build_workers,
+        },
+        "profile": {
+            "c": list(SMALL_PROFILE.c),
+            "d": list(SMALL_PROFILE.d),
+            "fan": list(SMALL_PROFILE.fan),
+        },
+        "single_client": {
+            "wall_seconds": round(single.wall_seconds, 4),
+            "throughput_ops_per_s": round(single.throughput, 2),
+        },
+        "serve": {
+            "clients": config.clients,
+            "wall_seconds": round(multi.wall_seconds, 4),
+            "throughput_ops_per_s": round(multi.throughput, 2),
+            "speedup_vs_single_client": round(speedup, 3),
+        },
+        "pool": pool_report,
+        "accounting": accounting,
+        "operations": _per_operation(multi.samples),
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write the report as indented JSON (the ``BENCH_serve.json`` artifact)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")

@@ -37,6 +37,13 @@ Commands
     Load a saved database and print the measured Figure 3 parameters of
     a path over it.
 
+``bench serve [--clients N] [--ops K] [--seed S] [--io-micros U]
+[--capacity C] [--out BENCH_serve.json]``
+    Serve a seeded operation mix from ``N`` concurrent client threads
+    over one shared bounded buffer pool and one ASR-managed chain
+    database; report throughput, speedup over a single client, and
+    per-operation p50/p95/p99 latency (:mod:`repro.bench.serve`).
+
 ``doctor [--db db.json] [--repair]``
     Verify the crash-consistency state of every ASR and, with
     ``--repair``, recover quarantined ones in place
@@ -118,6 +125,29 @@ def _build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--db", required=True, type=Path, help="JSON database")
     measure.add_argument(
         "--path", required=True, help='path expression, e.g. "Division.Manufactures.Composition.Name"'
+    )
+
+    bench = commands.add_parser(
+        "bench", help="runtime benchmarks (beyond the paper's page counts)"
+    )
+    bench.add_argument("action", choices=["serve"], help="which benchmark")
+    bench.add_argument("--clients", type=int, default=4, help="client threads")
+    bench.add_argument("--ops", type=int, default=200, help="operations to replay")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--io-micros",
+        type=float,
+        default=150.0,
+        help="simulated device latency per charged page (microseconds)",
+    )
+    bench.add_argument(
+        "--capacity", type=int, default=256, help="shared buffer pool pages"
+    )
+    bench.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_serve.json"),
+        help="where to write the JSON report",
     )
 
     doctor = commands.add_parser(
@@ -440,8 +470,46 @@ def _cmd_doctor(args, out) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_bench(args, out) -> int:
+    from repro.bench.serve import ServeConfig, run_serve, write_report
+
+    config = ServeConfig(
+        clients=args.clients,
+        ops=args.ops,
+        seed=args.seed,
+        capacity=args.capacity,
+        io_micros=args.io_micros,
+    )
+    report = run_serve(config)
+    write_report(report, str(args.out))
+    serve = report["serve"]
+    single = report["single_client"]
+    print(
+        f"served {args.ops} ops with {serve['clients']} client(s): "
+        f"{serve['throughput_ops_per_s']:.0f} ops/s "
+        f"(single client {single['throughput_ops_per_s']:.0f} ops/s, "
+        f"speedup {serve['speedup_vs_single_client']:.2f}x)",
+        file=out,
+    )
+    print(
+        f"pool: {report['pool']['hit_rate'] * 100:.1f}% hit rate over "
+        f"{report['pool']['capacity']} pages; accounting "
+        f"{'consistent' if report['accounting']['ok'] else 'INCONSISTENT'}",
+        file=out,
+    )
+    for name, entry in report["operations"].items():
+        print(
+            f"  {name:<10} n={entry['count']:<4} p50={entry['p50_ms']:.2f}ms "
+            f"p95={entry['p95_ms']:.2f}ms p99={entry['p99_ms']:.2f}ms",
+            file=out,
+        )
+    print(f"report -> {args.out}", file=out)
+    return 0 if report["accounting"]["ok"] else 1
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
+    "bench": _cmd_bench,
     "advise": _cmd_advise,
     "validate": _cmd_validate,
     "demo": _cmd_demo,

@@ -1,0 +1,221 @@
+"""Concurrency primitives: a readers-writer lock and a context pool.
+
+Everything built in the earlier layers — buffer scopes, execution
+contexts, the ASR manager's batch/journal pipeline — was single-threaded.
+This module supplies the two pieces that make the hot path safely
+concurrent:
+
+* :class:`RWLock` — a reentrant readers-writer lock.  The
+  :class:`~repro.asr.manager.ASRManager` holds one: queries take the
+  read side (many may probe and read ASR trees at once), while event
+  maintenance, flushes, recovery, and registration changes take the
+  write side (tree mutations and CONSISTENT→APPLYING→… state
+  transitions are exclusive).
+* :class:`ContextPool` — the per-connection-context idiom: each worker
+  thread acquires its *own* :class:`~repro.context.ExecutionContext`
+  (private span trace, private per-operation accounting) while all of
+  them share one :class:`~repro.storage.stats.SharedBufferPool` of
+  bounded capacity and one lock-protected
+  :class:`~repro.storage.stats.ThreadSafeAccessStats` aggregate.
+
+The invariant that makes the accounting trustworthy under contention:
+every page charge goes to the shared stats (via the pool) *and* is
+mirrored onto the charging worker's private stats (via its
+:class:`~repro.storage.stats.WorkerScope`), so
+
+    shared totals  ==  Σ over workers of private totals
+
+which the concurrency stress suite asserts after mixed traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.context import ExecutionContext
+from repro.storage.stats import (
+    AccessStats,
+    SharedBufferPool,
+    ThreadSafeAccessStats,
+    WorkerScope,
+)
+
+__all__ = ["RWLock", "ContextPool"]
+
+
+class RWLock:
+    """A readers-writer lock with a reentrant writer.
+
+    * Any number of threads may hold the read side at once.
+    * The write side is exclusive against readers and other writers.
+    * The writing thread may re-acquire the write side (nesting — e.g.
+      ``close()`` flushing inside its own write section) and may take
+      the read side while writing.
+    * Upgrading (read held, write requested by the same thread) is
+      refused with :class:`RuntimeError` instead of deadlocking.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers: dict[int, int] = {}
+        self._writer: int | None = None
+        self._write_depth = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            while self._writer is not None and self._writer != me:
+                self._cond.wait()
+            self._readers[me] = self._readers.get(me, 0) + 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            count = self._readers.get(me, 0)
+            if count <= 1:
+                self._readers.pop(me, None)
+            else:
+                self._readers[me] = count - 1
+            self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            if self._readers.get(me):
+                raise RuntimeError(
+                    "read->write upgrade is not supported: release the read "
+                    "side before requesting the write side"
+                )
+            while self._writer is not None or self._readers:
+                self._cond.wait()
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write by a thread not holding the lock")
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @property
+    def write_held(self) -> bool:
+        """True when the *calling* thread holds the write side."""
+        return self._writer == threading.get_ident()
+
+
+class ContextPool:
+    """Hands each worker its own context over one shared buffer pool.
+
+    Parameters
+    ----------
+    capacity:
+        Page capacity of the shared LRU pool.
+    stats:
+        The shared aggregate; a fresh
+        :class:`~repro.storage.stats.ThreadSafeAccessStats` by default.
+    fault_injector:
+        Optional injector consulted by the shared pool on charged
+        accesses (under the pool lock, so fault decisions are
+        serialized and reproducible per access sequence).
+
+    Usage, one worker thread each::
+
+        pool = ContextPool(capacity=256)
+        def worker():
+            with pool.context() as ctx:
+                evaluator = QueryEvaluator(db, store, context=ctx)
+                ...
+
+    Every context created by :meth:`acquire` has a *private*
+    :class:`~repro.storage.stats.AccessStats` (so its spans measure only
+    its own thread's accesses) and charges the shared pool through a
+    :class:`~repro.storage.stats.WorkerScope`; the pool charges the
+    shared :attr:`stats`, whose totals therefore equal the sum of the
+    per-worker totals at any quiescent point.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        stats: AccessStats | None = None,
+        fault_injector=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("pool capacity must be at least one page")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else ThreadSafeAccessStats()
+        self.fault_injector = fault_injector
+        self.pool = SharedBufferPool(self.stats, capacity, fault_injector)
+        self._lock = threading.Lock()
+        self._contexts: list[ExecutionContext] = []
+
+    def acquire(self) -> ExecutionContext:
+        """A fresh worker context sharing this pool's buffer frames."""
+        worker_stats = AccessStats()
+        context = ExecutionContext(
+            policy="bounded",
+            stats=worker_stats,
+            fault_injector=self.fault_injector,
+            shared_buffer=WorkerScope(self.pool, worker_stats),
+        )
+        with self._lock:
+            self._contexts.append(context)
+        return context
+
+    @contextmanager
+    def context(self) -> Iterator[ExecutionContext]:
+        """``with pool.context() as ctx`` — acquire, then close on exit."""
+        ctx = self.acquire()
+        try:
+            yield ctx
+        finally:
+            ctx.close()
+
+    @property
+    def contexts(self) -> list[ExecutionContext]:
+        """Every context handed out so far (closed ones included)."""
+        with self._lock:
+            return list(self._contexts)
+
+    def close(self) -> None:
+        """Close every context handed out (runs their exit hooks)."""
+        for context in self.contexts:
+            context.close()
+
+    def describe(self) -> dict:
+        """Headline pool counters, JSON-able (for benchmark reports)."""
+        return {
+            "capacity": self.capacity,
+            "resident_pages": self.pool.distinct_pages,
+            "hits": self.pool.hits,
+            "misses": self.pool.misses,
+            "hit_rate": round(self.pool.hit_rate, 4),
+            "page_reads": self.stats.page_reads,
+            "page_writes": self.stats.page_writes,
+            "contexts": len(self.contexts),
+        }

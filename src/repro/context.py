@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.errors import ExitHookError
 from repro.storage.stats import (
     AccessStats,
     BoundedBufferScope,
@@ -100,6 +101,15 @@ class ExecutionContext:
         and subsystems holding the context (the ASR manager's flush and
         recovery pipeline) consult its named crash points — so one
         policy object makes a whole execution's failures reproducible.
+    shared_buffer:
+        Optional externally owned buffer scope (typically a
+        :class:`~repro.storage.stats.WorkerScope` over a
+        :class:`~repro.storage.stats.SharedBufferPool`) used as *the*
+        scope for every operation of this context — the per-connection
+        idiom of :class:`~repro.concurrency.ContextPool`, where many
+        contexts share one bounded pool.  Only meaningful under the
+        ``bounded`` policy; ``capacity`` then describes the shared
+        pool and may be omitted.
 
     Use as a context manager to get an explicit lifetime boundary::
 
@@ -119,10 +129,16 @@ class ExecutionContext:
         capacity: int | None = None,
         stats: AccessStats | None = None,
         fault_injector=None,
+        shared_buffer=None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown buffer policy {policy!r}; known: {POLICIES}")
-        if policy == "bounded" and (capacity is None or capacity < 1):
+        if shared_buffer is not None:
+            if policy != "bounded":
+                raise ValueError("a shared buffer implies the 'bounded' policy")
+            if capacity is None:
+                capacity = getattr(shared_buffer, "capacity", None)
+        elif policy == "bounded" and (capacity is None or capacity < 1):
             raise ValueError("bounded policy requires a positive page capacity")
         if policy != "bounded" and capacity is not None:
             raise ValueError(f"capacity is only meaningful under 'bounded', not {policy!r}")
@@ -136,7 +152,7 @@ class ExecutionContext:
         self.op_counts: dict[str, int] = {}
         self._span_stack: list[Span] = []
         self._buffer_stack: list[BufferScope | NullBuffer] = []
-        self._ambient: BufferScope | NullBuffer | None = None
+        self._ambient: BufferScope | NullBuffer | None = shared_buffer
         self._exit_hooks: list[Callable[[], None]] = []
         self._next_index = 0
         self._closed = False
@@ -219,12 +235,30 @@ class ExecutionContext:
         self._exit_hooks.append(hook)
 
     def close(self) -> None:
-        """Run exit hooks; further closes are no-ops."""
+        """Run every exit hook (LIFO); further closes are no-ops.
+
+        A hook that raises does not prevent the remaining hooks from
+        running — a failing trace exporter must not drop another
+        manager's pending flush.  A single failure is re-raised as
+        itself once all hooks ran; several are aggregated into an
+        :class:`~repro.errors.ExitHookError`.
+        """
         if self._closed:
             return
         self._closed = True
+        errors: list[BaseException] = []
         while self._exit_hooks:
-            self._exit_hooks.pop()()
+            hook = self._exit_hooks.pop()
+            try:
+                hook()
+            except BaseException as error:
+                errors.append(error)
+        if len(errors) == 1:
+            raise errors[0]
+        if errors:
+            aggregate = ExitHookError(errors)
+            aggregate.__cause__ = errors[0]
+            raise aggregate
 
     @property
     def closed(self) -> bool:

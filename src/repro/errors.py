@@ -93,6 +93,25 @@ class RecoveryError(ReproError):
     """
 
 
+class ExitHookError(ReproError):
+    """Several exit hooks of an :class:`~repro.context.ExecutionContext`
+    failed while the context was closing.
+
+    ``close()`` runs *every* registered hook even when one raises (a
+    failing trace exporter must not prevent an ASR flush, and vice
+    versa); a single failure is re-raised as itself, two or more are
+    aggregated into this error with the originals in :attr:`errors`
+    (the first also as ``__cause__``).
+    """
+
+    def __init__(self, errors):
+        self.errors = list(errors)
+        super().__init__(
+            f"{len(self.errors)} exit hook(s) failed while closing: "
+            + "; ".join(f"{type(e).__name__}: {e}" for e in self.errors)
+        )
+
+
 class QueryError(ReproError):
     """A query is malformed or cannot be evaluated.
 

@@ -101,6 +101,15 @@ class SelectExecutor:
     def run(self, statement: SelectStatement | str) -> ExecutionReport:
         if isinstance(statement, str):
             statement = parse_select(statement)
+        if self.planner is not None:
+            # Hold the manager's read side across binding *and* filtering
+            # so a concurrent maintenance write cannot swap ASR state
+            # between the plan decision and the tree probes.
+            with self.planner.manager.lock.read():
+                return self._run_bound(statement)
+        return self._run_bound(statement)
+
+    def _run_bound(self, statement: SelectStatement) -> ExecutionReport:
         bindings_list, strategy, reads, writes = self._bind_and_filter(statement)
         rows: list[tuple[Cell, ...]] = []
         seen: set[tuple[Cell, ...]] = set()

@@ -58,13 +58,14 @@ class Planner:
         Quarantined ASRs are excluded: reading possibly-torn trees could
         return wrong results, and wrong is worse than slow.
         """
-        return [
-            asr
-            for asr in self.manager.asrs
-            if asr.path == query.path
-            and asr.supports_query(query.i, query.j)
-            and not asr.quarantined
-        ]
+        with self.manager.lock.read():
+            return [
+                asr
+                for asr in self.manager.asrs
+                if asr.path == query.path
+                and asr.supports_query(query.i, query.j)
+                and not asr.quarantined
+            ]
 
     def quarantined_applicable(self, query: Query) -> list[AccessSupportRelation]:
         """ASRs that *would* answer ``query`` but are quarantined.
@@ -72,13 +73,14 @@ class Planner:
         Non-empty exactly when a plan is degraded: the query had support
         before the fault, and will have it again after recovery.
         """
-        return [
-            asr
-            for asr in self.manager.asrs
-            if asr.path == query.path
-            and asr.supports_query(query.i, query.j)
-            and asr.quarantined
-        ]
+        with self.manager.lock.read():
+            return [
+                asr
+                for asr in self.manager.asrs
+                if asr.path == query.path
+                and asr.supports_query(query.i, query.j)
+                and asr.quarantined
+            ]
 
     def _count_degraded(self, query: Query, plan: Plan, context) -> None:
         """Trace a degraded decision (support lost to quarantine)."""
@@ -118,18 +120,25 @@ class Planner:
 
     def plan(self, query: Query) -> Plan:
         """The cheapest plan for ``query`` among ASRs and the fallback."""
-        candidates = self.applicable(query)
-        if not candidates:
-            return Plan(query, None, float("inf"))
-        best = min(
-            candidates, key=lambda asr: self.estimate_supported_pages(query, asr)
-        )
-        return Plan(query, best, self.estimate_supported_pages(query, best))
+        with self.manager.lock.read():
+            candidates = self.applicable(query)
+            if not candidates:
+                return Plan(query, None, float("inf"))
+            best = min(
+                candidates, key=lambda asr: self.estimate_supported_pages(query, asr)
+            )
+            return Plan(query, best, self.estimate_supported_pages(query, best))
 
     def execute(self, query: Query, evaluator: QueryEvaluator) -> EvaluationResult:
-        """Plan and evaluate in one step."""
-        plan = self.plan(query)
-        self._count_degraded(query, plan, evaluator.context)
-        if plan.asr is None:
-            return evaluator.evaluate_unsupported(query)
-        return evaluator.evaluate_supported(query, plan.asr)
+        """Plan and evaluate in one step.
+
+        The manager's read lock is held across both the plan decision
+        and the evaluation, so a concurrent flush or recovery can never
+        mutate a tree mid-probe (readers share; writers wait).
+        """
+        with self.manager.lock.read():
+            plan = self.plan(query)
+            self._count_degraded(query, plan, evaluator.context)
+            if plan.asr is None:
+                return evaluator.evaluate_unsupported(query)
+            return evaluator.evaluate_supported(query, plan.asr)

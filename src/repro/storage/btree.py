@@ -168,7 +168,17 @@ class BPlusTree:
 
         ``None`` bounds are open.  Pages are charged as the scan touches
         them (interior pages on the initial descent, every leaf visited).
+
+        The scan is lazy, and so is its accounting: when called with an
+        :class:`~repro.context.ExecutionContext`, the charge target is
+        resolved each time a page is touched — i.e. at *consumption*
+        time — not when ``range`` is called.  A range created in one
+        operation span but iterated in another therefore charges the
+        span that actually does the reading, and a range that is never
+        consumed charges nothing.
         """
+        if buffer is None and context is not None and hasattr(context, "current_buffer"):
+            return self._range(lo, hi, _DeferredContextBuffer(context))
         buffer = resolve_buffer(context, buffer)
         return self._range(lo, hi, buffer)
 
@@ -492,6 +502,27 @@ class _Missing:
 #: may legitimately be ``None``).
 _MISSING = _Missing()
 MISSING = _MISSING
+
+
+class _DeferredContextBuffer:
+    """A charge target that re-resolves the context's buffer per touch.
+
+    Generators hand this to their page touches so that lazily consumed
+    scans charge whatever buffer scope is current *when the page is
+    actually read* (the consuming operation's span), not the scope that
+    happened to be current when the generator was created.
+    """
+
+    __slots__ = ("context",)
+
+    def __init__(self, context) -> None:
+        self.context = context
+
+    def touch(self, page_id, category: str = "page") -> bool:
+        return self.context.current_buffer.touch(page_id, category)
+
+    def touch_write(self, page_id, category: str = "page") -> bool:
+        return self.context.current_buffer.touch_write(page_id, category)
 
 
 def _touch(buffer, node, category: str) -> None:

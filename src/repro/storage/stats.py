@@ -16,6 +16,7 @@ exactly where a real engine would — on the page read/write boundary.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Hashable
@@ -259,3 +260,139 @@ class BoundedBufferScope(BufferScope):
     def evict_all(self) -> None:
         self._lru.clear()
         self._dirty.clear()
+
+
+class ThreadSafeAccessStats(AccessStats):
+    """An :class:`AccessStats` whose accumulation is lock-protected.
+
+    Charged concurrently by every worker of a
+    :class:`~repro.concurrency.ContextPool`; ``snapshot`` and
+    ``delta_since`` take the same lock so a reader never observes a
+    half-applied increment (``page_reads`` bumped, ``by_category`` not
+    yet).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._lock = threading.Lock()
+
+    def read(self, pages: int = 1, category: str = "page") -> None:
+        with self._lock:
+            super().read(pages, category)
+
+    def write(self, pages: int = 1, category: str = "page") -> None:
+        with self._lock:
+            super().write(pages, category)
+
+    def reset(self) -> None:
+        with self._lock:
+            super().reset()
+
+    def snapshot(self) -> AccessStats:
+        with self._lock:
+            return AccessStats(
+                self.page_reads, self.page_writes, dict(self.by_category)
+            )
+
+
+class SharedBufferPool(BoundedBufferScope):
+    """A thread-safe bounded LRU pool shared by many execution contexts.
+
+    One internal lock covers the LRU order, the residency decision, and
+    the stats charge, so concurrent touches can never tear the recency
+    list or double-charge a resident page.  Hit/miss counters accumulate
+    under the same lock; :attr:`hit_rate` is the headline number the
+    serve benchmark reports.
+
+    The pool is handed to workers through :class:`WorkerScope` views
+    (usually via :class:`~repro.concurrency.ContextPool`), which mirror
+    each worker's charges onto a thread-private :class:`AccessStats` —
+    the shared totals then provably equal the per-worker sums.
+    """
+
+    def __init__(self, stats: AccessStats, capacity: int, injector=None) -> None:
+        super().__init__(stats, capacity, injector)
+        self._pool_lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    def touch(self, page_id: Hashable, category: str = "page") -> bool:
+        with self._pool_lock:
+            charged = super().touch(page_id, category)
+            if charged:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return charged
+
+    def touch_write(self, page_id: Hashable, category: str = "page") -> bool:
+        with self._pool_lock:
+            charged = super().touch_write(page_id, category)
+            if charged:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return charged
+
+    def evict_all(self) -> None:
+        with self._pool_lock:
+            super().evict_all()
+
+    @property
+    def distinct_pages(self) -> int:
+        with self._pool_lock:
+            return len(self._lru)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def check_invariants(self) -> None:
+        """Assert the LRU is not torn (used by the stress suite)."""
+        with self._pool_lock:
+            assert len(self._lru) <= self.capacity, (
+                f"LRU overflow: {len(self._lru)} frames > capacity {self.capacity}"
+            )
+            assert all(isinstance(dirty, bool) for dirty in self._lru.values()), (
+                "LRU dirty flags torn"
+            )
+
+
+class WorkerScope:
+    """One worker's view of a :class:`SharedBufferPool`.
+
+    Residency and replacement are decided by the shared pool (which
+    charges the shared stats); every charge is *mirrored* onto the
+    worker's private ``stats`` so operation spans measured on a single
+    worker stay accurate even while other workers charge the pool
+    concurrently.  The private stats are only ever touched by the
+    owning thread, so they need no lock.
+    """
+
+    def __init__(self, pool: SharedBufferPool, stats: AccessStats) -> None:
+        self.pool = pool
+        self.stats = stats
+
+    @property
+    def capacity(self) -> int:
+        return self.pool.capacity
+
+    def touch(self, page_id: Hashable, category: str = "page") -> bool:
+        charged = self.pool.touch(page_id, category)
+        if charged:
+            self.stats.read(1, category)
+        return charged
+
+    def touch_write(self, page_id: Hashable, category: str = "page") -> bool:
+        charged = self.pool.touch_write(page_id, category)
+        if charged:
+            self.stats.write(1, category)
+        return charged
+
+    @property
+    def distinct_pages(self) -> int:
+        return self.pool.distinct_pages
+
+    def evict_all(self) -> None:
+        self.pool.evict_all()

@@ -30,6 +30,7 @@ from repro.workload.profiles import (
     fig13_profile,
 )
 from repro.workload.generator import ChainGenerator, GeneratedDatabase, measure_profile
+from repro.workload.opstream import Operation, apply_update, operation_stream
 
 __all__ = [
     "FIG4_PROFILE",
@@ -52,4 +53,7 @@ __all__ = [
     "ChainGenerator",
     "GeneratedDatabase",
     "measure_profile",
+    "Operation",
+    "apply_update",
+    "operation_stream",
 ]

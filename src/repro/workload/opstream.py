@@ -1,0 +1,126 @@
+"""Seeded concrete operation streams over a generated chain database.
+
+The profile tables (:mod:`repro.workload.profiles`) describe operation
+mixes *abstractly* — weighted :class:`~repro.costmodel.opmix.QuerySpec`
+and :class:`~repro.costmodel.opmix.UpdateSpec` shapes.  The serve
+benchmark and the concurrency stress suite need *executable* operations:
+a ``Q_{0,4}(bw)`` with an actual target OID, an ``ins_2`` naming the
+actual owner and element.  :func:`operation_stream` performs that
+binding against a :class:`~repro.workload.generator.GeneratedDatabase`,
+deterministically under a seed, so every client replays an agreed-upon
+schedule and reruns are reproducible.
+
+The stream contains no deletions: every bound OID stays valid for the
+whole run, so operations may be partitioned across threads in any order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.costmodel.opmix import OperationMix, QuerySpec, UpdateSpec
+from repro.gom.objects import OID
+from repro.gom.types import NULL
+from repro.query.queries import BackwardQuery, ForwardQuery, Query
+from repro.workload.generator import GeneratedDatabase
+from repro.workload.profiles import FIG14_MIX
+
+__all__ = ["Operation", "operation_stream", "apply_update"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One bound, executable operation of a workload stream."""
+
+    index: int
+    name: str
+    kind: str  # "query" | "update"
+    query: Query | None = None
+    #: For updates: the chain level ``i`` of ``ins_i`` …
+    level: int | None = None
+    #: … the ``T_i`` object whose set gains a member …
+    owner: OID | None = None
+    #: … and the ``T_{i+1}`` element being inserted.
+    target: OID | None = None
+
+
+def _bind_query(generated: GeneratedDatabase, spec: QuerySpec, rng: random.Random) -> Query:
+    if spec.kind == "bw":
+        target = rng.choice(generated.layers[spec.j])
+        return BackwardQuery(generated.path, spec.i, spec.j, target=target)
+    start = rng.choice(generated.layers[spec.i])
+    return ForwardQuery(generated.path, spec.i, spec.j, start=start)
+
+
+def _bind_update(
+    generated: GeneratedDatabase, spec: UpdateSpec, rng: random.Random, index: int
+) -> Operation:
+    owner = rng.choice(generated.layers[spec.i])
+    target = rng.choice(generated.layers[spec.i + 1])
+    return Operation(
+        index, str(spec), "update", level=spec.i, owner=owner, target=target
+    )
+
+
+def _pick(weighted, rng: random.Random):
+    roll = rng.random()
+    acc = 0.0
+    for weight, spec in weighted:
+        acc += weight
+        if roll < acc:
+            return spec
+    return weighted[-1][1]
+
+
+def operation_stream(
+    generated: GeneratedDatabase,
+    mix: OperationMix = FIG14_MIX,
+    count: int = 200,
+    seed: int = 0,
+    query_fraction: float = 0.8,
+) -> list[Operation]:
+    """``count`` bound operations drawn from ``mix``, reproducibly.
+
+    ``mix`` weights queries and updates *within* their kind; the overall
+    kind split is ``query_fraction`` (the mix tables of section 6.4
+    leave that ratio to the application).  Update specs whose level does
+    not exist on ``generated``'s path are skipped.
+    """
+    n = generated.n
+    queries = [(w, q) for w, q in mix.queries if 0 <= q.i < q.j <= n]
+    updates = [(w, u) for w, u in mix.updates if 0 <= u.i < n]
+    rng = random.Random(seed)
+    stream: list[Operation] = []
+    for index in range(count):
+        if updates and (not queries or rng.random() >= query_fraction):
+            stream.append(_bind_update(generated, _pick(updates, rng), rng, index))
+        else:
+            spec = _pick(queries, rng)
+            stream.append(
+                Operation(index, str(spec), "query", query=_bind_query(generated, spec, rng))
+            )
+    return stream
+
+
+def apply_update(generated: GeneratedDatabase, op: Operation) -> bool:
+    """Execute one bound ``ins_i`` against the live database.
+
+    Inserts ``op.target`` into ``op.owner``'s set-valued ``A`` (creating
+    the set when the attribute is still NULL, single-valued steps assign
+    directly); returns True when the object graph actually changed.
+    """
+    db = generated.db
+    assert op.kind == "update" and op.owner is not None and op.target is not None
+    step = generated.path.steps[op.level]
+    value = db.attr(op.owner, "A")
+    if not step.is_set_occurrence:
+        if value == op.target:
+            return False
+        db.set_attr(op.owner, "A", op.target)
+        return True
+    if value is NULL:
+        collection = db.new_set(step.collection_type, [op.target])
+        db.set_attr(op.owner, "A", collection)
+        return True
+    return db.set_insert(value, op.target)

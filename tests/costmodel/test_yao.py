@@ -55,6 +55,43 @@ class TestShape:
         assert yao(2.5, 10.0, 100.0) >= yao(2, 10, 100) - 1.0
 
 
+class TestFractionalInterpolation:
+    """Regression: fractional ``k`` used to be rounded up to ``⌈k⌉`` steps,
+    so ``yao(2.1, …)`` was priced as fetching three whole records."""
+
+    def test_agrees_with_exact_formula_at_integers(self):
+        for k in range(0, 60):
+            assert yao(float(k), 17, 300) == yao(k, 17, 300)
+            assert yao(k + 0.0, 17, 300) == float(int(yao(k, 17, 300)))
+
+    def test_fractional_k_lies_between_neighbouring_integers(self):
+        for k10 in range(11, 400, 7):  # k = 1.1, 1.8, 2.5, …
+            k = k10 / 10.0
+            lo, hi = yao(math.floor(k), 25, 500), yao(math.ceil(k), 25, 500)
+            assert lo <= yao(k, 25, 500) <= hi
+
+    def test_no_ceiling_overestimate(self):
+        # The old code returned yao(3,...) for k=2.1; interpolation must
+        # price it strictly below whenever the neighbours differ.
+        lo, hi = yao(2, 40, 400), yao(3, 40, 400)
+        assert lo < hi  # precondition: the step actually moves
+        assert yao(2.1, 40, 400) < hi
+        assert abs(yao(2.1, 40, 400) - (lo + 0.1 * (hi - lo))) < 1e-9
+
+    def test_monotone_over_fine_fractional_grid(self):
+        values = [yao(k / 4.0, 50, 1000) for k in range(0, 4000)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    @settings(max_examples=200)
+    @given(
+        st.floats(0.1, 900.0, allow_nan=False),
+        st.floats(0.1, 900.0, allow_nan=False),
+    )
+    def test_interpolation_bracketed(self, k_a, k_b):
+        a, b = sorted((k_a, k_b))
+        assert yao(a, 30, 900) <= yao(b, 30, 900) + 1e-12
+
+
 @settings(max_examples=200)
 @given(
     st.floats(0, 1e6, allow_nan=False),

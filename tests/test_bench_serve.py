@@ -1,0 +1,62 @@
+"""The multi-client serve benchmark and its operation stream."""
+
+import json
+
+from repro.bench.serve import ServeConfig, run_serve, write_report
+from repro.costmodel.parameters import ApplicationProfile
+from repro.workload.generator import ChainGenerator
+from repro.workload.opstream import Operation, operation_stream
+from repro.workload.profiles import FIG14_MIX
+
+TINY = ServeConfig(clients=2, ops=24, seed=7, capacity=64, io_micros=20.0)
+
+
+class TestOperationStream:
+    def make_generated(self, seed=0):
+        profile = ApplicationProfile(
+            c=(20, 40, 60, 120, 240), d=(18, 32, 48, 100), fan=(2, 2, 2, 2)
+        )
+        return ChainGenerator(seed=seed).generate(profile)
+
+    def test_same_seed_same_stream(self):
+        generated = self.make_generated()
+        first = operation_stream(generated, FIG14_MIX, count=60, seed=4)
+        second = operation_stream(generated, FIG14_MIX, count=60, seed=4)
+        assert [(op.name, op.kind, op.owner, op.target) for op in first] == [
+            (op.name, op.kind, op.owner, op.target) for op in second
+        ]
+
+    def test_stream_respects_count_and_fraction(self):
+        generated = self.make_generated()
+        stream = operation_stream(generated, FIG14_MIX, count=50, seed=1)
+        assert len(stream) == 50
+        assert all(isinstance(op, Operation) for op in stream)
+        kinds = {op.kind for op in stream}
+        assert kinds == {"query", "update"}
+        only_queries = operation_stream(
+            generated, FIG14_MIX, count=30, seed=1, query_fraction=1.0
+        )
+        assert {op.kind for op in only_queries} == {"query"}
+
+
+class TestServeBench:
+    def test_report_shape_and_accounting(self, tmp_path):
+        report = run_serve(TINY)
+        assert report["benchmark"] == "serve"
+        assert report["accounting"]["ok"] is True
+        assert report["serve"]["clients"] == 2
+        assert report["serve"]["throughput_ops_per_s"] > 0
+        assert "speedup_vs_single_client" in report["serve"]
+        assert report["operations"], "per-operation latency table missing"
+        for entry in report["operations"].values():
+            assert {"count", "p50_ms", "p95_ms", "p99_ms", "mean_ms"} <= set(entry)
+            assert entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
+        out = tmp_path / "BENCH_serve.json"
+        write_report(report, out)
+        assert json.loads(out.read_text())["benchmark"] == "serve"
+
+    def test_pool_counters_reported(self):
+        report = run_serve(TINY)
+        pool = report["pool"]
+        assert pool["capacity"] == 64
+        assert pool["hits"] + pool["misses"] > 0

@@ -200,3 +200,20 @@ class TestDoctor:
         assert code == 0
         assert "consistent" in text
         assert "0 quarantined" in text
+
+
+class TestBenchServe:
+    def test_serve_writes_report_and_exits_zero(self, tmp_path):
+        target = tmp_path / "BENCH_serve.json"
+        code, text = run_cli(
+            "bench", "serve",
+            "--clients", "2", "--ops", "20", "--io-micros", "20",
+            "--capacity", "64", "--out", str(target),
+        )
+        assert code == 0
+        assert "speedup" in text
+        assert "accounting consistent" in text
+        report = json.loads(target.read_text())
+        assert report["benchmark"] == "serve"
+        assert report["accounting"]["ok"] is True
+        assert all("p99_ms" in entry for entry in report["operations"].values())

@@ -1,0 +1,297 @@
+"""Concurrency: RWLock, ContextPool, and mixed traffic under contention.
+
+The invariants these tests pin down:
+
+* the shared LRU pool is never torn (bounded residency, sane flags);
+* shared stats totals equal the sum of the per-worker private totals;
+* readers share the ASR manager's lock, writers are exclusive, and the
+  answers under contention equal the single-threaded oracle;
+* a quarantined ASR degrades queries (correctly) even while other
+  threads hammer the manager, and recovery heals it.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.asr.extensions import Extension
+from repro.asr.journal import ASRState
+from repro.asr.manager import ASRManager
+from repro.concurrency import ContextPool, RWLock
+from repro.costmodel.parameters import ApplicationProfile
+from repro.errors import SimulatedCrash
+from repro.faults import FaultInjector
+from repro.query.evaluator import QueryEvaluator
+from repro.query.planner import Planner
+from repro.workload.generator import ChainGenerator
+from repro.workload.opstream import apply_update, operation_stream
+from repro.workload.profiles import FIG14_MIX
+
+SMALL = ApplicationProfile(
+    c=(20, 40, 60, 120, 240),
+    d=(18, 32, 48, 100),
+    fan=(2, 2, 2, 2),
+)
+
+
+def run_threads(n, target):
+    errors = []
+
+    def wrap(k):
+        try:
+            target(k)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=wrap, args=(k,)) for k in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        inside = []
+        barrier = threading.Barrier(4)
+
+        def reader(_k):
+            with lock.read():
+                barrier.wait(timeout=5)  # all four must be inside at once
+                inside.append(1)
+
+        run_threads(4, reader)
+        assert len(inside) == 4
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        active = []
+        peaks = []
+
+        def worker(k):
+            for _ in range(50):
+                with lock.write() if k % 2 else lock.read():
+                    active.append(k)
+                    if k % 2:  # a writer must be alone
+                        peaks.append(len(active))
+                    time.sleep(0)
+                    active.remove(k)
+
+        run_threads(4, worker)
+        # While a writer held the lock nobody else was active.
+        assert peaks and all(peak == 1 for peak in peaks)
+
+    def test_write_is_reentrant(self):
+        lock = RWLock()
+        with lock.write():
+            with lock.write():
+                assert lock.write_held
+            assert lock.write_held
+        assert not lock.write_held
+
+    def test_read_allowed_under_own_write(self):
+        lock = RWLock()
+        with lock.write():
+            with lock.read():
+                pass
+            assert lock.write_held
+
+    def test_upgrade_refused(self):
+        lock = RWLock()
+        with lock.read():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_write()
+
+    def test_release_write_by_stranger_refused(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestContextPool:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ContextPool(0)
+
+    def test_shared_buffer_requires_bounded_policy(self):
+        from repro.context import ExecutionContext
+
+        pool = ContextPool(8)
+        with pytest.raises(ValueError, match="bounded"):
+            ExecutionContext(policy="unbounded", shared_buffer=pool.pool)
+
+    def test_contexts_share_residency(self):
+        pool = ContextPool(64)
+        first = pool.acquire()
+        second = pool.acquire()
+        first.current_buffer.touch("page-A")
+        # Already resident in the *shared* pool: the second context's
+        # touch is a hit and charges nobody.
+        assert second.current_buffer.touch("page-A") is False
+        assert pool.stats.page_reads == 1
+        assert first.stats.page_reads == 1
+        assert second.stats.page_reads == 0
+
+    def test_stress_invariants_hold(self):
+        pool = ContextPool(32)
+        clients = 8
+        touches = 400
+
+        def worker(k):
+            rng = random.Random(k)
+            with pool.context() as context:
+                scope = context.current_buffer
+                for i in range(touches):
+                    page = f"page-{rng.randrange(200)}"
+                    if rng.random() < 0.25:
+                        scope.touch_write(page)
+                    else:
+                        scope.touch(page)
+                    if i % 97 == 0:
+                        pool.pool.check_invariants()
+
+        run_threads(clients, worker)
+        pool.pool.check_invariants()
+        shared = pool.stats.snapshot()
+        assert shared.page_reads == sum(c.stats.page_reads for c in pool.contexts)
+        assert shared.page_writes == sum(c.stats.page_writes for c in pool.contexts)
+        assert pool.pool.hits + pool.pool.misses == clients * touches
+        assert pool.pool.distinct_pages <= 32
+
+    def test_describe_is_json_able(self):
+        import json
+
+        pool = ContextPool(4)
+        pool.acquire().current_buffer.touch("p")
+        assert json.loads(json.dumps(pool.describe()))["capacity"] == 4
+
+
+class TestParallelBuild:
+    def test_parallel_build_matches_sequential(self):
+        generated = ChainGenerator(seed=11).generate(SMALL)
+        from repro.asr.asr import AccessSupportRelation
+
+        sequential = AccessSupportRelation.build(
+            generated.db, generated.path, Extension.FULL
+        )
+        parallel = AccessSupportRelation.build(
+            generated.db, generated.path, Extension.FULL, workers=4
+        )
+        assert parallel.extension_relation.rows == sequential.extension_relation.rows
+        assert parallel.tuple_count == sequential.tuple_count
+        for left, right in zip(parallel.partitions, sequential.partitions):
+            assert left.tuple_count == right.tuple_count
+            assert list(left.forward_tree.items()) == list(right.forward_tree.items())
+
+    def test_parallel_build_consistency_checked(self):
+        generated = ChainGenerator(seed=3).generate(SMALL)
+        manager = ASRManager(generated.db)
+        manager.create(generated.path, Extension.FULL, workers=3)
+        manager.check_consistency()
+
+
+class TestConcurrentServing:
+    def make_world(self, seed=0):
+        generated = ChainGenerator(seed=seed).generate(SMALL)
+        pool = ContextPool(128)
+        manager = ASRManager(generated.db, context=pool.acquire())
+        manager.create(generated.path, Extension.FULL)
+        return generated, manager, pool
+
+    def test_queries_and_updates_under_contention(self):
+        generated, manager, pool = self.make_world()
+        stream = operation_stream(generated, FIG14_MIX, count=120, seed=5)
+        answers: dict[int, frozenset] = {}
+        clients = 6
+
+        def worker(k):
+            with pool.context() as context:
+                planner = Planner(manager)
+                evaluator = QueryEvaluator(
+                    generated.db, generated.store, context=context
+                )
+                for op in stream[k::clients]:
+                    if op.kind == "query":
+                        result = planner.execute(op.query, evaluator)
+                        answers[op.index] = frozenset(result.cells)
+                    else:
+                        with manager.exclusive():
+                            apply_update(generated, op)
+
+        run_threads(clients, worker)
+        manager.check_consistency()
+        pool.pool.check_invariants()
+        shared = pool.stats.snapshot()
+        assert shared.page_reads == sum(c.stats.page_reads for c in pool.contexts)
+        assert shared.page_writes == sum(c.stats.page_writes for c in pool.contexts)
+        # Every query answer matches the (post-run) single-threaded oracle
+        # for queries the updates could not have affected: re-ask them all
+        # now that the graph is quiescent and supported == unsupported.
+        oracle = QueryEvaluator(generated.db, generated.store)
+        for op in stream:
+            if op.kind == "query":
+                quiescent = oracle.evaluate_supported(op.query, manager.asrs[0])
+                unsupported = oracle.evaluate_unsupported(op.query)
+                assert quiescent.cells == unsupported.cells
+
+    def test_quarantined_fallback_under_contention(self):
+        generated, manager, pool = self.make_world(seed=9)
+        injector = FaultInjector(seed=1)
+        manager.fault_injector = injector
+        asr = manager.asrs[0]
+        stream = operation_stream(
+            generated, FIG14_MIX, count=40, seed=2, query_fraction=1.0
+        )
+
+        # Crash one eager maintenance run mid-delta: the ASR quarantines.
+        injector.crash_at("asr.apply.mid-delta")
+        update = next(
+            op for op in operation_stream(generated, FIG14_MIX, 40, 3, 0.0)
+            if op.kind == "update"
+        )
+        with pytest.raises(SimulatedCrash):
+            with manager.exclusive():
+                apply_update(generated, update)
+        assert asr.state is ASRState.QUARANTINED
+
+        oracle = QueryEvaluator(generated.db, generated.store)
+        expected = {
+            op.index: frozenset(oracle.evaluate_unsupported(op.query).cells)
+            for op in stream
+        }
+        degraded_answers: dict[int, frozenset] = {}
+
+        def reader(k):
+            with pool.context() as context:
+                planner = Planner(manager)
+                evaluator = QueryEvaluator(
+                    generated.db, generated.store, context=context
+                )
+                for op in stream[k::4]:
+                    result = planner.execute(op.query, evaluator)
+                    degraded_answers[op.index] = frozenset(result.cells)
+
+        run_threads(4, reader)
+        assert degraded_answers == expected
+
+        # Recovery is exclusive; a concurrent reader burst still answers.
+        recover_error = []
+
+        def recoverer(_k):
+            try:
+                manager.recover()
+            except BaseException as error:  # noqa: BLE001
+                recover_error.append(error)
+
+        recovery = threading.Thread(target=recoverer, args=(0,))
+        recovery.start()
+        run_threads(4, reader)
+        recovery.join()
+        assert not recover_error
+        assert asr.state is ASRState.CONSISTENT
+        manager.check_consistency()

@@ -112,6 +112,66 @@ class TestLifetime:
         assert ran == [True]
 
 
+class TestExitHookFailures:
+    """Regression: a raising hook used to leave the remaining hooks un-run
+    (and the context marked open, so a retried close re-ran the failer)."""
+
+    @staticmethod
+    def _raiser(message):
+        def hook():
+            raise RuntimeError(message)
+
+        return hook
+
+    def test_later_hooks_still_run_after_a_failure(self):
+        ran = []
+        context = ExecutionContext()
+        context.add_exit_hook(lambda: ran.append("first"))  # LIFO: runs last
+        context.add_exit_hook(self._raiser("boom"))
+        context.add_exit_hook(lambda: ran.append("third"))  # LIFO: runs first
+        with pytest.raises(RuntimeError, match="boom"):
+            context.close()
+        assert ran == ["third", "first"]
+        assert context.closed
+
+    def test_single_failure_reraised_as_itself(self):
+        context = ExecutionContext()
+        context.add_exit_hook(self._raiser("only"))
+        with pytest.raises(RuntimeError, match="only"):
+            context.close()
+
+    def test_multiple_failures_aggregate(self):
+        from repro.errors import ExitHookError
+
+        ran = []
+        context = ExecutionContext()
+        context.add_exit_hook(self._raiser("first-registered"))
+        context.add_exit_hook(lambda: ran.append("middle"))
+        context.add_exit_hook(self._raiser("last-registered"))
+        with pytest.raises(ExitHookError) as excinfo:
+            context.close()
+        assert ran == ["middle"]
+        errors = excinfo.value.errors
+        assert [str(e) for e in errors] == ["last-registered", "first-registered"]
+        assert excinfo.value.__cause__ is errors[0]
+        assert "2 exit hook(s) failed" in str(excinfo.value)
+
+    def test_failed_close_is_still_final(self):
+        calls = []
+
+        def failing():
+            calls.append("ran")
+            raise RuntimeError("once")
+
+        context = ExecutionContext()
+        context.add_exit_hook(failing)
+        with pytest.raises(RuntimeError):
+            context.close()
+        context.close()  # second close must be a no-op
+        assert calls == ["ran"]
+        assert context.closed
+
+
 class TestExport:
     def test_to_dict_round_trips_through_json(self):
         context = ExecutionContext()
