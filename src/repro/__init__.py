@@ -69,6 +69,7 @@ from repro.costmodel import (
     UpdateCostModel,
     UpdateSpec,
 )
+from repro.telemetry import CostModelPredictor, DriftMonitor, MetricsRegistry
 
 __version__ = "1.0.0"
 
@@ -130,4 +131,8 @@ __all__ = [
     "UpdateSpec",
     "MixCostModel",
     "DesignAdvisor",
+    # telemetry
+    "MetricsRegistry",
+    "DriftMonitor",
+    "CostModelPredictor",
 ]

@@ -105,6 +105,14 @@ class ASRManager:
         affected ASR; when that also fails the ASR stays quarantined and
         the flush continues degraded.  A :class:`SimulatedCrash` always
         propagates — a dead process cannot self-heal.
+    metrics:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`.
+        Defaults to the context's registry when a context is given.
+        Maintenance publishes ``asr.maintenance.rows`` (extension rows
+        changed per applied delta), quarantine transitions publish
+        ``asr.quarantine.entered`` / ``asr.quarantine.exited`` (labelled
+        by extension), and every operation counter the manager bumps in
+        the context trace is mirrored into the ``ops`` counter family.
     """
 
     #: Bounded-retry defaults for :meth:`recover`.
@@ -120,6 +128,7 @@ class ASRManager:
         context: ExecutionContext | None = None,
         fault_injector=None,
         auto_recover: bool = True,
+        metrics=None,
     ) -> None:
         self.db = db
         self.asrs: list[AccessSupportRelation] = []
@@ -130,6 +139,7 @@ class ASRManager:
         self.context = context
         self.fault_injector = fault_injector
         self.auto_recover = auto_recover
+        self.metrics = metrics
         self._batch_depth = 0
         #: Coalesced pending dirty regions, one per batched ASR
         #: (keyed by identity — ASRs are not hashable by value).
@@ -250,10 +260,46 @@ class ASRManager:
             return self.context.fault_injector
         return None
 
+    def _metrics(self):
+        """The registry in force (explicit wins over the context's)."""
+        if self.metrics is not None:
+            return self.metrics
+        if self.context is not None:
+            return self.context.metrics
+        return None
+
     def _count(self, name: str, n: int = 1) -> None:
         """Bump an operation counter in the context trace, if any."""
         if self.context is not None:
-            self.context.op_counts[name] = self.context.op_counts.get(name, 0) + n
+            self.context.count(name, n)
+            return
+        registry = self._metrics()
+        if registry is not None:
+            registry.inc("ops", n, op=name)
+
+    def _metric_inc(self, name: str, n: float = 1, **labels: str) -> None:
+        """Publish one counter bump into the registry in force, if any."""
+        registry = self._metrics()
+        if registry is not None:
+            registry.inc(name, n, **labels)
+
+    def _mark_quarantined(self, asr) -> None:
+        """Transition ``asr`` to QUARANTINED, counting the entry once."""
+        if asr.state is not ASRState.QUARANTINED:
+            self._metric_inc(
+                "asr.quarantine.entered",
+                extension=getattr(asr.extension, "value", str(asr.extension)),
+            )
+        asr.state = ASRState.QUARANTINED
+
+    def _mark_consistent(self, asr) -> None:
+        """Transition ``asr`` to CONSISTENT, counting a quarantine exit."""
+        if asr.state is ASRState.QUARANTINED:
+            self._metric_inc(
+                "asr.quarantine.exited",
+                extension=getattr(asr.extension, "value", str(asr.extension)),
+            )
+        asr.state = ASRState.CONSISTENT
 
     def _on_event(self, event: Event) -> None:
         if self._closed or self._suspended:
@@ -429,7 +475,7 @@ class ASRManager:
             # committed stays journalled and the ASR quarantined.
             for asr, _journal in journaled:
                 if asr.state is ASRState.APPLYING:
-                    asr.state = ASRState.QUARANTINED
+                    self._mark_quarantined(asr)
             raise
 
     def _apply_journaled(self, journaled, scope, injector, stage: str) -> int:
@@ -443,7 +489,7 @@ class ASRManager:
             except SimulatedCrash:
                 raise  # quarantined by _journaled_run
             except InjectedFault:
-                asr.state = ASRState.QUARANTINED
+                self._mark_quarantined(asr)
                 self._count(f"{stage}.fault")
                 if self.auto_recover:
                     try:
@@ -452,13 +498,24 @@ class ASRManager:
                         self._count(f"{stage}.quarantined")
                     else:
                         changed += len(journal.added) + len(journal.removed)
+                        self._note_rows(asr, journal, stage)
                 else:
                     self._count(f"{stage}.quarantined")
             else:
                 self._journals.pop(id(asr), None)
-                asr.state = ASRState.CONSISTENT
+                self._mark_consistent(asr)
                 changed += len(journal.added) + len(journal.removed)
+                self._note_rows(asr, journal, stage)
         return changed
+
+    def _note_rows(self, asr, journal, stage: str) -> None:
+        """Publish one applied delta's row count as a maintenance metric."""
+        self._metric_inc(
+            "asr.maintenance.rows",
+            len(journal.added) + len(journal.removed),
+            extension=getattr(asr.extension, "value", str(asr.extension)),
+            stage=stage,
+        )
 
     def _quarantine(self, asr: AccessSupportRelation, region: DirtyRegion) -> None:
         """Quarantine ``asr`` with ``region`` journalled for recovery."""
@@ -468,7 +525,7 @@ class ASRManager:
             self._journals[key] = (asr, journal.absorb(region))
         else:
             self._journals[key] = (asr, IntentJournal(region, self._epoch))
-        asr.state = ASRState.QUARANTINED
+        self._mark_quarantined(asr)
 
     def _absorb(self, asr: AccessSupportRelation, region: DirtyRegion) -> None:
         """Merge a quarantined ASR's new dirty region into its journal."""
@@ -579,26 +636,33 @@ class ASRManager:
                     for partition in partitions:
                         partition.load_from_extension(rows)
             except SimulatedCrash:
-                asr.state = ASRState.QUARANTINED
+                self._mark_quarantined(asr)
                 raise
             except InjectedFault as fault:
                 last_fault = fault
-                asr.state = ASRState.QUARANTINED
+                self._mark_quarantined(asr)
                 continue
             else:
                 self._journals.pop(id(asr), None)
-                asr.state = ASRState.CONSISTENT
+                self._mark_consistent(asr)
                 self._count("asr.recover.ok")
                 return
         # Retries exhausted: a from-scratch rebuild is the last resort.
+        was_quarantined = asr.state is ASRState.QUARANTINED
         try:
             asr.rebuild(self.db)
         except (InjectedFault, SimulatedCrash) as err:
-            asr.state = ASRState.QUARANTINED
+            self._mark_quarantined(asr)
             raise RecoveryError(
                 f"recovery of {asr.path} [{asr.extension.value}] failed after "
                 f"{max_retries} replay attempt(s) and a rebuild attempt"
             ) from err
+        if was_quarantined:
+            # rebuild() reset the state itself; count the exit here.
+            self._metric_inc(
+                "asr.quarantine.exited",
+                extension=getattr(asr.extension, "value", str(asr.extension)),
+            )
         self._journals.pop(id(asr), None)
         self._count("asr.recover.rebuilt")
         if last_fault is not None:

@@ -37,11 +37,22 @@ from repro.concurrency import ContextPool
 from repro.costmodel.parameters import ApplicationProfile
 from repro.query.evaluator import QueryEvaluator
 from repro.query.planner import Planner
-from repro.workload.generator import ChainGenerator, GeneratedDatabase
+from repro.telemetry import CostModelPredictor, DriftMonitor, MetricsRegistry
+from repro.workload.generator import (
+    ChainGenerator,
+    GeneratedDatabase,
+    measure_profile,
+)
 from repro.workload.opstream import Operation, apply_update, operation_stream
-from repro.workload.profiles import FIG14_MIX
+from repro.workload.profiles import FIG14_MIX, FIG16_MIX
 
-__all__ = ["ServeConfig", "run_serve", "SMALL_PROFILE"]
+__all__ = [
+    "ServeConfig",
+    "run_serve",
+    "SMALL_PROFILE",
+    "SMALL_FIG16_PROFILE",
+    "SERVE_PROFILES",
+]
 
 #: A small n=4 chain (the Figure 14 shape, scaled down ~250×) that
 #: builds in well under a second yet yields non-trivial ASR trees.
@@ -51,6 +62,22 @@ SMALL_PROFILE = ApplicationProfile(
     fan=(2, 2, 2, 2),
     size=(120,) * 5,
 )
+
+#: The Figure 16 application shape (n = 5, growing extents, the
+#: left-complete-vs-full study), scaled to the same build budget as
+#: :data:`SMALL_PROFILE`.
+SMALL_FIG16_PROFILE = ApplicationProfile(
+    c=(20, 20, 40, 80, 320, 480),
+    d=(12, 20, 32, 64, 320),
+    fan=(2, 2, 2, 2, 2),
+    size=(120,) * 6,
+)
+
+#: ``--profile`` choices: name -> (generator profile, operation mix).
+SERVE_PROFILES = {
+    "fig14": (SMALL_PROFILE, FIG14_MIX),
+    "fig16": (SMALL_FIG16_PROFILE, FIG16_MIX),
+}
 
 
 @dataclass
@@ -65,6 +92,18 @@ class ServeConfig:
     io_micros: float = 150.0
     query_fraction: float = 0.8
     build_workers: int = 4
+    #: Which application shape to serve (a :data:`SERVE_PROFILES` key).
+    profile: str = "fig14"
+
+    def resolved_profile(self) -> tuple[ApplicationProfile, object]:
+        """The (generator profile, operation mix) pair of :attr:`profile`."""
+        try:
+            return SERVE_PROFILES[self.profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown serve profile {self.profile!r}; "
+                f"known: {sorted(SERVE_PROFILES)}"
+            ) from None
 
 
 @dataclass
@@ -92,24 +131,32 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[index]
 
 
-def _build_world(config: ServeConfig) -> tuple[GeneratedDatabase, ASRManager, ContextPool]:
-    generated = ChainGenerator(config.seed).generate(SMALL_PROFILE)
-    pool = ContextPool(config.capacity)
+def _build_world(
+    config: ServeConfig, registry: MetricsRegistry
+) -> tuple[GeneratedDatabase, ASRManager, ContextPool, DriftMonitor]:
+    profile, _mix = config.resolved_profile()
+    generated = ChainGenerator(config.seed).generate(profile)
+    pool = ContextPool(config.capacity, metrics=registry)
     manager_context = pool.acquire()
     manager = ASRManager(generated.db, context=manager_context)
     manager.create(generated.path, Extension.FULL, workers=config.build_workers)
-    return generated, manager, pool
+    # Drift predictions come from the *measured* profile of the world we
+    # actually built, so the report isolates model error from input error.
+    drift = DriftMonitor(CostModelPredictor(measure_profile(generated)), registry)
+    return generated, manager, pool, drift
 
 
 def _run_clients(
     config: ServeConfig,
     clients: int,
-) -> tuple[_RunOutcome, dict, dict]:
+) -> tuple[_RunOutcome, dict, dict, MetricsRegistry, DriftMonitor]:
     """Replay the stream over ``clients`` threads against a fresh world."""
-    generated, manager, pool = _build_world(config)
+    registry = MetricsRegistry()
+    generated, manager, pool, drift = _build_world(config, registry)
+    _profile, mix = config.resolved_profile()
     stream = operation_stream(
         generated,
-        FIG14_MIX,
+        mix,
         count=config.ops,
         seed=config.seed,
         query_fraction=config.query_fraction,
@@ -134,16 +181,19 @@ def _run_clients(
                     before = manager.context.stats.snapshot()
                     apply_update(generated, op)
                     pages = manager.context.stats.delta_since(before).total
+                drift.observe_update(op.level, manager.asrs, pages)
             if pages and io_seconds:
                 time.sleep(pages * io_seconds)  # simulated I/O, outside locks
-            out.append(
-                _OpSample(op.name, op.kind, time.perf_counter() - start, pages)
+            latency = time.perf_counter() - start
+            registry.observe(
+                "op.latency_ms", latency * 1e3, op=op.name, kind=op.kind
             )
+            out.append(_OpSample(op.name, op.kind, latency, pages))
 
     def client(k: int) -> None:
         try:
             with pool.context() as context:
-                planner = Planner(manager)
+                planner = Planner(manager, drift=drift)
                 serve_one(context, planner, stream[k::clients], samples_per_client[k])
         except BaseException as error:  # surfaced after join
             errors.append(error)
@@ -160,20 +210,12 @@ def _run_clients(
 
     manager.check_consistency()
     pool.pool.check_invariants()
-    shared = pool.stats.snapshot()
-    worker_reads = sum(c.stats.page_reads for c in pool.contexts)
-    worker_writes = sum(c.stats.page_writes for c in pool.contexts)
-    accounting = {
-        "shared_reads": shared.page_reads,
-        "shared_writes": shared.page_writes,
-        "worker_reads": worker_reads,
-        "worker_writes": worker_writes,
-        "ok": shared.page_reads == worker_reads and shared.page_writes == worker_writes,
-    }
+    accounting = pool.check_accounting(registry)
+    drift.publish(registry)
     pool_report = pool.describe()
     manager.close()
     outcome = _RunOutcome(wall, [s for per in samples_per_client for s in per])
-    return outcome, pool_report, accounting
+    return outcome, pool_report, accounting, registry, drift
 
 
 def _per_operation(samples: list[_OpSample]) -> dict:
@@ -194,10 +236,18 @@ def _per_operation(samples: list[_OpSample]) -> dict:
 
 
 def run_serve(config: ServeConfig | None = None) -> dict:
-    """Run the serve benchmark; returns the JSON-able report."""
+    """Run the serve benchmark; returns the JSON-able report.
+
+    The report embeds the multi-client run's full metrics snapshot
+    (``metrics``) and the cost-model drift report (``drift``) — the data
+    behind ``repro stats``.
+    """
     config = config or ServeConfig()
-    single, _, _ = _run_clients(config, clients=1)
-    multi, pool_report, accounting = _run_clients(config, clients=config.clients)
+    profile, _mix = config.resolved_profile()
+    single, _, _, _, _ = _run_clients(config, clients=1)
+    multi, pool_report, accounting, registry, drift = _run_clients(
+        config, clients=config.clients
+    )
     speedup = multi.throughput / single.throughput if single.throughput else 0.0
     return {
         "benchmark": "serve",
@@ -209,11 +259,12 @@ def run_serve(config: ServeConfig | None = None) -> dict:
             "io_micros": config.io_micros,
             "query_fraction": config.query_fraction,
             "build_workers": config.build_workers,
+            "profile": config.profile,
         },
         "profile": {
-            "c": list(SMALL_PROFILE.c),
-            "d": list(SMALL_PROFILE.d),
-            "fan": list(SMALL_PROFILE.fan),
+            "c": list(profile.c),
+            "d": list(profile.d),
+            "fan": list(profile.fan),
         },
         "single_client": {
             "wall_seconds": round(single.wall_seconds, 4),
@@ -228,6 +279,8 @@ def run_serve(config: ServeConfig | None = None) -> dict:
         "pool": pool_report,
         "accounting": accounting,
         "operations": _per_operation(multi.samples),
+        "metrics": registry.snapshot(),
+        "drift": drift.report(),
     }
 
 

@@ -23,8 +23,10 @@ Commands
     Generate a chain object base, run queries on the page-counting
     simulator, and print measured vs model page counts.  With
     ``--trace`` the whole run executes under one
-    :class:`~repro.context.ExecutionContext` and its trace (per-span
-    page accesses, operation counters) is written as JSON.
+    :class:`~repro.context.ExecutionContext` with a metrics registry
+    attached, and its trace (per-span page accesses, operation
+    counters, metric snapshots interleaved at phase boundaries) is
+    written as JSON.
 
 ``demo``
     The robot quickstart (paper Query 1) end to end.
@@ -38,11 +40,21 @@ Commands
     a path over it.
 
 ``bench serve [--clients N] [--ops K] [--seed S] [--io-micros U]
-[--capacity C] [--out BENCH_serve.json]``
+[--capacity C] [--profile fig14|fig16] [--out BENCH_serve.json]``
     Serve a seeded operation mix from ``N`` concurrent client threads
     over one shared bounded buffer pool and one ASR-managed chain
     database; report throughput, speedup over a single client, and
-    per-operation p50/p95/p99 latency (:mod:`repro.bench.serve`).
+    per-operation p50/p95/p99 latency (:mod:`repro.bench.serve`).  The
+    report embeds the run's metrics snapshot and cost-model drift
+    report, which ``repro stats`` renders.
+
+``stats [--in BENCH_serve.json] [--json] [--prometheus]``
+    Render the telemetry embedded in a serve report: the accounting
+    invariant, the cost-model drift table (observed vs predicted page
+    accesses per plan shape), and the metrics snapshot (counters,
+    gauges, histograms).  ``--json`` emits the raw structures;
+    ``--prometheus`` re-renders the snapshot in the Prometheus text
+    exposition format.
 
 ``doctor [--db db.json] [--repair]``
     Verify the crash-consistency state of every ASR and, with
@@ -144,10 +156,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--capacity", type=int, default=256, help="shared buffer pool pages"
     )
     bench.add_argument(
+        "--profile",
+        choices=["fig14", "fig16"],
+        default="fig14",
+        help="application shape to serve (Figure 14 or Figure 16 mix)",
+    )
+    bench.add_argument(
         "--out",
         type=Path,
         default=Path("BENCH_serve.json"),
         help="where to write the JSON report",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="render the telemetry embedded in a serve report"
+    )
+    stats.add_argument(
+        "--in",
+        dest="input",
+        type=Path,
+        default=Path("BENCH_serve.json"),
+        help="serve report to read (default: BENCH_serve.json)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="emit the raw JSON structures"
+    )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit the metrics snapshot in Prometheus text format",
     )
 
     doctor = commands.add_parser(
@@ -279,17 +316,30 @@ def _cmd_validate(args, out) -> int:
     )
     generated = ChainGenerator(seed=args.seed).generate(scaled)
     measured = measure_profile(generated)
-    context = ExecutionContext() if args.trace is not None else None
+    if args.trace is not None:
+        from repro.telemetry import MetricsRegistry
+
+        # Trace runs carry a registry so the exported trace interleaves
+        # metric snapshots with the span timeline.
+        context = ExecutionContext(metrics=MetricsRegistry())
+    else:
+        context = None
     manager = ASRManager(generated.db, context=context)
     asr = manager.create(
         generated.path, Extension.FULL, Decomposition.binary(generated.path.m)
     )
+    if context is not None:
+        context.snapshot_metrics("after-build")
     evaluator = QueryEvaluator(generated.db, generated.store, context=context)
     model = QueryCostModel(measured)
     target = generated.layers[measured.n][0]
     query = BackwardQuery(generated.path, 0, measured.n, target=target)
     unsupported = evaluator.evaluate_unsupported(query)
+    if context is not None:
+        context.snapshot_metrics("after-unsupported")
     supported = evaluator.evaluate_supported(query, asr)
+    if context is not None:
+        context.snapshot_metrics("after-supported")
     print(
         f"world: c={tuple(int(x) for x in measured.c)} "
         f"(seed {args.seed}, scale {args.scale:g})",
@@ -314,6 +364,7 @@ def _cmd_validate(args, out) -> int:
         args.trace.write_text(context.to_json())
         print(
             f"trace: {len(context.spans)} span(s), "
+            f"{len(context.metric_snapshots)} metric snapshot(s), "
             f"{context.stats.page_reads} reads / {context.stats.page_writes} "
             f"writes -> {args.trace}",
             file=out,
@@ -479,14 +530,15 @@ def _cmd_bench(args, out) -> int:
         seed=args.seed,
         capacity=args.capacity,
         io_micros=args.io_micros,
+        profile=args.profile,
     )
     report = run_serve(config)
     write_report(report, str(args.out))
     serve = report["serve"]
     single = report["single_client"]
     print(
-        f"served {args.ops} ops with {serve['clients']} client(s): "
-        f"{serve['throughput_ops_per_s']:.0f} ops/s "
+        f"served {args.ops} ops ({args.profile}) with {serve['clients']} "
+        f"client(s): {serve['throughput_ops_per_s']:.0f} ops/s "
         f"(single client {single['throughput_ops_per_s']:.0f} ops/s, "
         f"speedup {serve['speedup_vs_single_client']:.2f}x)",
         file=out,
@@ -497,19 +549,58 @@ def _cmd_bench(args, out) -> int:
         f"{'consistent' if report['accounting']['ok'] else 'INCONSISTENT'}",
         file=out,
     )
+    overall = report["drift"]["overall"]
+    print(
+        f"cost-model drift: geometric-mean observed/predicted ratio "
+        f"{overall['geo_mean_ratio']:g} over {overall['count']} op(s) "
+        f"({'finite' if overall['finite'] else 'NOT FINITE'})",
+        file=out,
+    )
     for name, entry in report["operations"].items():
         print(
             f"  {name:<10} n={entry['count']:<4} p50={entry['p50_ms']:.2f}ms "
             f"p95={entry['p95_ms']:.2f}ms p99={entry['p99_ms']:.2f}ms",
             file=out,
         )
-    print(f"report -> {args.out}", file=out)
+    print(f"report -> {args.out}  (render with: repro stats --in {args.out})", file=out)
     return 0 if report["accounting"]["ok"] else 1
+
+
+def _cmd_stats(args, out) -> int:
+    from repro.telemetry import MetricsRegistry, format_stats
+
+    data = json.loads(args.input.read_text())
+    metrics = data.get("metrics")
+    drift = data.get("drift")
+    accounting = data.get("accounting")
+    if metrics is None and drift is None and accounting is None:
+        print(
+            f"error: {args.input} holds no telemetry "
+            "(re-run 'repro bench serve' to produce one)",
+            file=out,
+        )
+        return 1
+    if args.prometheus:
+        registry = MetricsRegistry.from_snapshot(metrics or {})
+        print(registry.render_prometheus(), end="", file=out)
+        return 0
+    if args.json:
+        print(
+            json.dumps(
+                {"metrics": metrics, "drift": drift, "accounting": accounting},
+                indent=2,
+            ),
+            file=out,
+        )
+        return 0
+    print(format_stats(metrics, drift, accounting), file=out)
+    return 0
 
 
 _COMMANDS = {
     "figures": _cmd_figures,
     "bench": _cmd_bench,
+    "stats": _cmd_stats,
     "advise": _cmd_advise,
     "validate": _cmd_validate,
     "demo": _cmd_demo,

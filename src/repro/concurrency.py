@@ -142,6 +142,17 @@ class ContextPool:
         Optional injector consulted by the shared pool on charged
         accesses (under the pool lock, so fault decisions are
         serialized and reproducible per access sequence).
+    metrics:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`.
+        Registered as lazy callable gauges at construction (capacity,
+        residency, hits/misses/hit rate, evictions, live occupancy,
+        contexts recycled), passed to every acquired context, and the
+        target of :meth:`check_accounting` — the pool never pays for
+        metrics on the touch path.
+    max_spans:
+        Optional per-context span-trace bound, forwarded to every
+        acquired :class:`~repro.context.ExecutionContext` (long-lived
+        serve workers keep bounded memory; ``None`` keeps every span).
 
     Usage, one worker thread each::
 
@@ -157,6 +168,19 @@ class ContextPool:
     :class:`~repro.storage.stats.WorkerScope`; the pool charges the
     shared :attr:`stats`, whose totals therefore equal the sum of the
     per-worker totals at any quiescent point.
+
+    **Recycling.**  :meth:`release` (and the :meth:`context` manager)
+    retires a finished context: its exit hooks run, its private stats
+    fold into the pool's :attr:`retired` accumulator, and its
+    :class:`~repro.storage.stats.WorkerScope` goes onto a free list that
+    :meth:`acquire` drains first — the scope is *reset* onto a fresh
+    private :class:`AccessStats`, so a reused worker slot never inherits
+    a predecessor's counters.  :attr:`contexts` therefore lists only
+    *live* contexts, and the accounting invariant becomes
+
+        shared totals  ==  retired totals + Σ live per-worker totals
+
+    which :meth:`check_accounting` evaluates (and publishes).
     """
 
     def __init__(
@@ -164,48 +188,145 @@ class ContextPool:
         capacity: int,
         stats: AccessStats | None = None,
         fault_injector=None,
+        metrics=None,
+        max_spans: int | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("pool capacity must be at least one page")
         self.capacity = capacity
         self.stats = stats if stats is not None else ThreadSafeAccessStats()
         self.fault_injector = fault_injector
+        self.metrics = metrics
+        self.max_spans = max_spans
         self.pool = SharedBufferPool(self.stats, capacity, fault_injector)
+        #: Accumulated private stats of every retired (released) context.
+        self.retired = AccessStats()
+        #: Contexts retired through :meth:`release` so far.
+        self.recycled = 0
+        #: Acquisitions that reused a retired worker scope.
+        self.reused = 0
         self._lock = threading.Lock()
         self._contexts: list[ExecutionContext] = []
+        self._free_scopes: list[WorkerScope] = []
+        if metrics is not None:
+            self._register_gauges(metrics)
+
+    def _register_gauges(self, metrics) -> None:
+        """Register the pool's lazy gauges (evaluated at snapshot time)."""
+        metrics.gauge_fn("pool.capacity", lambda: self.capacity)
+        metrics.gauge_fn("pool.resident_pages", lambda: self.pool.distinct_pages)
+        metrics.gauge_fn("pool.hits", lambda: self.pool.hits)
+        metrics.gauge_fn("pool.misses", lambda: self.pool.misses)
+        metrics.gauge_fn("pool.hit_rate", lambda: self.pool.hit_rate)
+        metrics.gauge_fn("pool.evictions", lambda: self.pool.evictions)
+        metrics.gauge_fn("pool.occupancy", lambda: len(self.contexts))
+        metrics.gauge_fn("pool.recycled", lambda: self.recycled)
 
     def acquire(self) -> ExecutionContext:
-        """A fresh worker context sharing this pool's buffer frames."""
+        """A worker context sharing this pool's buffer frames.
+
+        Reuses a retired :class:`WorkerScope` when one is free (reset
+        onto fresh private stats); otherwise creates a new scope.
+        """
         worker_stats = AccessStats()
+        with self._lock:
+            scope = self._free_scopes.pop() if self._free_scopes else None
+            if scope is not None:
+                self.reused += 1
+        if scope is None:
+            scope = WorkerScope(self.pool, worker_stats)
+        else:
+            scope.stats = worker_stats
         context = ExecutionContext(
             policy="bounded",
             stats=worker_stats,
             fault_injector=self.fault_injector,
-            shared_buffer=WorkerScope(self.pool, worker_stats),
+            shared_buffer=scope,
+            metrics=self.metrics,
+            max_spans=self.max_spans,
         )
         with self._lock:
             self._contexts.append(context)
         return context
 
+    def release(self, context: ExecutionContext) -> None:
+        """Retire ``context``: close it, fold its stats, recycle its scope.
+
+        The context's private totals move into :attr:`retired` even when
+        an exit hook raises, so the accounting invariant holds across
+        failures.  Releasing a context the pool does not own (or twice)
+        is a no-op beyond closing it.
+        """
+        try:
+            context.close()
+        finally:
+            with self._lock:
+                if context in self._contexts:
+                    self._contexts.remove(context)
+                    self.retired.merge(context.stats)
+                    self.recycled += 1
+                    scope = context._ambient
+                    if isinstance(scope, WorkerScope):
+                        self._free_scopes.append(scope)
+
     @contextmanager
     def context(self) -> Iterator[ExecutionContext]:
-        """``with pool.context() as ctx`` — acquire, then close on exit."""
+        """``with pool.context() as ctx`` — acquire, then retire on exit."""
         ctx = self.acquire()
         try:
             yield ctx
         finally:
-            ctx.close()
+            self.release(ctx)
 
     @property
     def contexts(self) -> list[ExecutionContext]:
-        """Every context handed out so far (closed ones included)."""
+        """The *live* contexts (acquired and not yet released)."""
         with self._lock:
             return list(self._contexts)
 
+    def worker_totals(self) -> AccessStats:
+        """Σ of per-worker private stats: retired plus every live context."""
+        totals = AccessStats()
+        with self._lock:
+            totals.merge(self.retired)
+            for context in self._contexts:
+                totals.merge(context.stats)
+        return totals
+
+    def check_accounting(self, registry=None) -> dict:
+        """Evaluate (and publish) the shared-vs-Σ-workers invariant.
+
+        Returns a JSON-able dict with both sides and an ``ok`` flag;
+        when a registry is attached (or passed), the same numbers are
+        published as ``accounting.*`` gauges so the invariant is
+        assertable *through the registry*.  Only meaningful at a
+        quiescent point (no worker mid-charge).
+        """
+        shared = self.stats.snapshot()
+        workers = self.worker_totals()
+        result = {
+            "shared_reads": shared.page_reads,
+            "shared_writes": shared.page_writes,
+            "worker_reads": workers.page_reads,
+            "worker_writes": workers.page_writes,
+            "ok": (
+                shared.page_reads == workers.page_reads
+                and shared.page_writes == workers.page_writes
+            ),
+        }
+        registry = registry if registry is not None else self.metrics
+        if registry is not None:
+            registry.set_gauge("accounting.shared_reads", result["shared_reads"])
+            registry.set_gauge("accounting.shared_writes", result["shared_writes"])
+            registry.set_gauge("accounting.worker_reads", result["worker_reads"])
+            registry.set_gauge("accounting.worker_writes", result["worker_writes"])
+            registry.set_gauge("accounting.ok", 1.0 if result["ok"] else 0.0)
+        return result
+
     def close(self) -> None:
-        """Close every context handed out (runs their exit hooks)."""
+        """Retire every live context (runs their exit hooks)."""
         for context in self.contexts:
-            context.close()
+            self.release(context)
 
     def describe(self) -> dict:
         """Headline pool counters, JSON-able (for benchmark reports)."""
@@ -215,7 +336,10 @@ class ContextPool:
             "hits": self.pool.hits,
             "misses": self.pool.misses,
             "hit_rate": round(self.pool.hit_rate, 4),
+            "evictions": self.pool.evictions,
             "page_reads": self.stats.page_reads,
             "page_writes": self.stats.page_writes,
             "contexts": len(self.contexts),
+            "recycled": self.recycled,
+            "reused": self.reused,
         }

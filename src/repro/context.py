@@ -29,6 +29,7 @@ normalization once at the API boundary.
 from __future__ import annotations
 
 import json
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
@@ -110,6 +111,22 @@ class ExecutionContext:
         contexts share one bounded pool.  Only meaningful under the
         ``bounded`` policy; ``capacity`` then describes the shared
         pool and may be omitted.
+    metrics:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry`.
+        When attached, every completed span publishes its page delta
+        into the ``span.pages`` histogram (labelled by operation name),
+        :meth:`count` mirrors operation counters into the ``ops``
+        counter family, and dropped spans bump ``spans.dropped`` — the
+        registry is how many contexts' traces aggregate into one
+        observable surface.
+    max_spans:
+        Optional bound on the retained span trace.  ``None`` (the
+        default) keeps every span, as tests and one-shot measurements
+        expect.  Long-lived servers set a bound: :attr:`spans` becomes a
+        ring buffer of the most recent ``max_spans`` spans and
+        :attr:`spans_dropped` counts the evicted ones (also surfaced in
+        :meth:`to_dict` and the metrics registry), so a context serving
+        millions of operations holds bounded memory.
 
     Use as a context manager to get an explicit lifetime boundary::
 
@@ -130,6 +147,8 @@ class ExecutionContext:
         stats: AccessStats | None = None,
         fault_injector=None,
         shared_buffer=None,
+        metrics=None,
+        max_spans: int | None = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown buffer policy {policy!r}; known: {POLICIES}")
@@ -142,14 +161,25 @@ class ExecutionContext:
             raise ValueError("bounded policy requires a positive page capacity")
         if policy != "bounded" and capacity is not None:
             raise ValueError(f"capacity is only meaningful under 'bounded', not {policy!r}")
+        if max_spans is not None and max_spans < 1:
+            raise ValueError("max_spans must be a positive span count")
         self.policy = policy
         self.capacity = capacity
         self.stats = stats if stats is not None else AccessStats()
         self.fault_injector = fault_injector
-        #: Completed operation spans, in completion order.
-        self.spans: list[Span] = []
+        self.metrics = metrics
+        self.max_spans = max_spans
+        #: Completed operation spans, in completion order.  A plain list
+        #: when unbounded; a ring of the newest ``max_spans`` otherwise.
+        self.spans: list[Span] | deque[Span] = (
+            [] if max_spans is None else deque(maxlen=max_spans)
+        )
+        #: Spans evicted from a full ring buffer (0 when unbounded).
+        self.spans_dropped = 0
         #: ``operation name -> times entered`` counters.
         self.op_counts: dict[str, int] = {}
+        #: Metric snapshots interleaved with the trace (``--trace``).
+        self.metric_snapshots: list[dict] = []
         self._span_stack: list[Span] = []
         self._buffer_stack: list[BufferScope | NullBuffer] = []
         self._ambient: BufferScope | NullBuffer | None = shared_buffer
@@ -210,7 +240,7 @@ class ExecutionContext:
         """
         span = Span(name, self._next_index, depth=len(self._span_stack))
         self._next_index += 1
-        self.op_counts[name] = self.op_counts.get(name, 0) + 1
+        self.count(name)
         before = self.stats.snapshot()
         buffer = self.new_scope()
         self._span_stack.append(span)
@@ -224,7 +254,44 @@ class ExecutionContext:
             span.page_reads = delta.page_reads
             span.page_writes = delta.page_writes
             span.by_category = dict(delta.by_category)
+            if self.max_spans is not None and len(self.spans) == self.max_spans:
+                self.spans_dropped += 1
+                if self.metrics is not None:
+                    self.metrics.inc("spans.dropped")
             self.spans.append(span)
+            if self.metrics is not None:
+                self.metrics.observe("span.pages", span.total_pages, op=name)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump the ``name`` operation counter by ``n``.
+
+        The single entry point for event counting: updates the local
+        :attr:`op_counts` dict and mirrors into the attached metrics
+        registry's ``ops`` counter family (labelled by operation name),
+        so per-context counts and fleet-wide aggregates stay one call.
+        """
+        self.op_counts[name] = self.op_counts.get(name, 0) + n
+        if self.metrics is not None:
+            self.metrics.inc("ops", n, op=name)
+
+    def snapshot_metrics(self, label: str | None = None) -> dict | None:
+        """Interleave a registry snapshot with the span trace.
+
+        Appends (and returns) an entry recording the attached registry's
+        full state *and* the trace position (``at_span`` — the index the
+        next span will get), so an exported trace shows how metrics
+        evolved between phases.  No-op returning ``None`` without a
+        registry.
+        """
+        if self.metrics is None:
+            return None
+        entry = {
+            "at_span": self._next_index,
+            "label": label,
+            "metrics": self.metrics.snapshot(),
+        }
+        self.metric_snapshots.append(entry)
+        return entry
 
     # ------------------------------------------------------------------
     # lifetime
@@ -277,7 +344,7 @@ class ExecutionContext:
 
     def to_dict(self) -> dict:
         """The full trace: policy, headline counters, and all spans."""
-        return {
+        out = {
             "policy": self.policy,
             "capacity": self.capacity,
             "page_reads": self.stats.page_reads,
@@ -286,7 +353,12 @@ class ExecutionContext:
             "by_category": dict(self.stats.by_category),
             "op_counts": dict(self.op_counts),
             "spans": [span.as_dict() for span in self.spans],
+            "max_spans": self.max_spans,
+            "spans_dropped": self.spans_dropped,
         }
+        if self.metric_snapshots:
+            out["metric_snapshots"] = list(self.metric_snapshots)
+        return out
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

@@ -29,6 +29,7 @@ from repro.gom.paths import PathExpression
 from repro.query.evaluator import EvaluationResult, QueryEvaluator
 from repro.query.planner import Plan, Planner
 from repro.query.queries import Query
+from repro.telemetry.drift import type_decomposition
 
 
 class CostBasedPlanner(Planner):
@@ -44,8 +45,9 @@ class CostBasedPlanner(Planner):
         manager: ASRManager,
         object_sizes: dict[str, int] | None = None,
         default_size: int = 100,
+        drift=None,
     ) -> None:
-        super().__init__(manager)
+        super().__init__(manager, drift=drift)
         self.object_sizes = object_sizes
         self.default_size = default_size
         self._profiles: dict[PathExpression, ApplicationProfile] = {}
@@ -71,13 +73,7 @@ class CostBasedPlanner(Planner):
 
     def _type_decomposition(self, asr: AccessSupportRelation) -> Decomposition:
         """The ASR's decomposition expressed over type indices (m = n)."""
-        borders = tuple(
-            dict.fromkeys(
-                asr.path.type_index_of_column(column)
-                for column in asr.decomposition.borders
-            )
-        )
-        return Decomposition(borders)
+        return type_decomposition(asr)
 
     def unsupported_cost(self, query: Query) -> float:
         """Model estimate for the traversal/scan evaluation (Eqs. 31-32)."""
@@ -114,13 +110,15 @@ class CostBasedPlanner(Planner):
             # Count plan decisions in the context's trace: which arm the
             # cost model chose is as interesting as what it cost.
             chosen = "unsupported" if plan.asr is None else "supported"
-            context.op_counts[f"plan.{chosen}"] = (
-                context.op_counts.get(f"plan.{chosen}", 0) + 1
-            )
+            context.count(f"plan.{chosen}")
         self._count_degraded(query, plan, context)
         if plan.asr is None:
-            return evaluator.evaluate_unsupported(query)
-        return evaluator.evaluate_supported(query, plan.asr)
+            result = evaluator.evaluate_unsupported(query)
+        else:
+            result = evaluator.evaluate_supported(query, plan.asr)
+        if self.drift is not None:
+            self.drift.observe_query(query, plan.asr, result.total_pages)
+        return result
 
 
 class RecordingPlanner(CostBasedPlanner):

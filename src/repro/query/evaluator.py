@@ -107,9 +107,7 @@ class QueryEvaluator:
         if asr is not None and asr.supports_query(query.i, query.j):
             if asr.quarantined:
                 if self.context is not None:
-                    self.context.op_counts["query.degraded-fallback"] = (
-                        self.context.op_counts.get("query.degraded-fallback", 0) + 1
-                    )
+                    self.context.count("query.degraded-fallback")
                 result = self.evaluate_unsupported(query)
                 result.strategy = "unsupported (degraded: ASR quarantined)"
                 return result
@@ -162,6 +160,13 @@ class QueryEvaluator:
             else:
                 raise QueryError(f"unknown query shape {query!r}")
         delta = self.stats.delta_since(before)
+        if self.context is not None and self.context.metrics is not None:
+            # Per-ASR lookup traffic: which physical design served reads.
+            self.context.metrics.inc(
+                "asr.lookups",
+                extension=asr.extension.value,
+                decomposition=str(asr.decomposition),
+            )
         return EvaluationResult(
             cells,
             delta.page_reads,

@@ -161,9 +161,7 @@ class SelectExecutor:
                         strategy = "nested-loop traversal (degraded: ASR quarantined)"
                         context = self.evaluator.context
                         if context is not None:
-                            context.op_counts["query.degraded-fallback"] = (
-                                context.op_counts.get("query.degraded-fallback", 0) + 1
-                            )
+                            context.count("query.degraded-fallback")
                     continue
                 result = self.evaluator.evaluate_supported(query, plan.asr)
                 candidates &= result.cells

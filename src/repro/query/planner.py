@@ -47,10 +47,18 @@ class Plan:
 
 
 class Planner:
-    """Chooses among registered ASRs and the unsupported fallback."""
+    """Chooses among registered ASRs and the unsupported fallback.
 
-    def __init__(self, manager: ASRManager) -> None:
+    ``drift`` optionally attaches a
+    :class:`~repro.telemetry.drift.DriftMonitor` (duck-typed: anything
+    with ``observe_query``): :meth:`execute` then records every
+    executed plan's measured page accesses against the cost model's
+    prediction, feeding the live drift report.
+    """
+
+    def __init__(self, manager: ASRManager, drift=None) -> None:
         self.manager = manager
+        self.drift = drift
 
     def applicable(self, query: Query) -> list[AccessSupportRelation]:
         """All registered ASRs that may answer ``query`` per Eq. 35.
@@ -87,9 +95,7 @@ class Planner:
         if context is None:
             return
         if plan.asr is None and self.quarantined_applicable(query):
-            context.op_counts["plan.degraded-fallback"] = (
-                context.op_counts.get("plan.degraded-fallback", 0) + 1
-            )
+            context.count("plan.degraded-fallback")
 
     def estimate_supported_pages(
         self, query: Query, asr: AccessSupportRelation
@@ -140,5 +146,9 @@ class Planner:
             plan = self.plan(query)
             self._count_degraded(query, plan, evaluator.context)
             if plan.asr is None:
-                return evaluator.evaluate_unsupported(query)
-            return evaluator.evaluate_supported(query, plan.asr)
+                result = evaluator.evaluate_unsupported(query)
+            else:
+                result = evaluator.evaluate_supported(query, plan.asr)
+        if self.drift is not None:
+            self.drift.observe_query(query, plan.asr, result.total_pages)
+        return result

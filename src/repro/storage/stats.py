@@ -60,6 +60,19 @@ class AccessStats:
         clone = AccessStats(self.page_reads, self.page_writes, dict(self.by_category))
         return clone
 
+    def merge(self, other: "AccessStats") -> None:
+        """Fold ``other``'s counters into this one.
+
+        Used by :class:`~repro.concurrency.ContextPool` to accumulate a
+        retired context's per-worker stats into the pool's running
+        ``retired`` total, so the shared-vs-Σ-workers accounting
+        invariant survives context recycling.
+        """
+        self.page_reads += other.page_reads
+        self.page_writes += other.page_writes
+        for key, count in other.by_category.items():
+            self.by_category[key] = self.by_category.get(key, 0) + count
+
     def delta_since(self, before: "AccessStats") -> "AccessStats":
         """The accesses accumulated since ``before`` (a prior snapshot)."""
         by_category = {
@@ -216,6 +229,8 @@ class BoundedBufferScope(BufferScope):
         if capacity < 1:
             raise ValueError("buffer capacity must be at least one page")
         self.capacity = capacity
+        #: Pages pushed out by LRU replacement since construction.
+        self.evictions = 0
         # page id -> dirty flag; insertion order is recency order.
         self._lru: dict[Hashable, bool] = {}
 
@@ -223,6 +238,7 @@ class BoundedBufferScope(BufferScope):
         while len(self._lru) > self.capacity:
             evicted = next(iter(self._lru))
             del self._lru[evicted]
+            self.evictions += 1
 
     def touch(self, page_id: Hashable, category: str = "page") -> bool:
         if page_id in self._lru:

@@ -1,0 +1,32 @@
+"""Telemetry: the metrics registry and the cost-model drift monitor.
+
+The observability layer over everything the earlier PRs measure.  Three
+pieces:
+
+* :mod:`repro.telemetry.registry` — :class:`MetricsRegistry`, the
+  lock-safe sink (counters, gauges, log-scale histograms) every layer
+  publishes into, with a JSON snapshot and a Prometheus text exposition;
+* :mod:`repro.telemetry.drift` — :class:`DriftMonitor` +
+  :class:`CostModelPredictor`, continuously comparing the analytical
+  cost model's predicted page accesses (Eqs. 31–36) against the spans'
+  measured ones, per (extension, decomposition, op-kind);
+* :mod:`repro.telemetry.render` — the text tables behind ``repro
+  stats``.
+
+See ``docs/observability.md`` for the metric name catalogue.
+"""
+
+from repro.telemetry.drift import CostModelPredictor, DriftMonitor, type_decomposition
+from repro.telemetry.registry import HistogramState, MetricsRegistry
+from repro.telemetry.render import format_drift, format_metrics, format_stats
+
+__all__ = [
+    "MetricsRegistry",
+    "HistogramState",
+    "DriftMonitor",
+    "CostModelPredictor",
+    "type_decomposition",
+    "format_metrics",
+    "format_drift",
+    "format_stats",
+]

@@ -1,0 +1,294 @@
+"""Live predicted-vs-observed cost-model drift monitoring.
+
+The paper's entire argument rests on an *analytical* cost model (Yao's
+formula, Eqs. 16–34) predicting page accesses per (extension,
+decomposition) choice; the advisor ranks physical designs by those
+predictions.  Nothing so far checked the predictions against what the
+running system actually does — the methodology gap Darmont & Gruenwald
+close for clustering strategies by measuring simulated workloads.
+
+:class:`DriftMonitor` closes it here: for every executed plan it records
+the model's predicted page accesses next to the span's measured
+``page_reads + page_writes`` and maintains, per
+``(extension, decomposition, op-kind)`` key, running error ratios —
+observed/predicted totals and the geometric mean of the per-operation
+ratios (the standard scale-free aggregate for multiplicative error).  A
+drift report close to 1.0 means the advisor's rankings can be trusted on
+this workload; a sustained departure means the profile drifted or the
+model term is wrong, and names which term.
+
+:class:`CostModelPredictor` supplies the predictions: Eqs. 31–32 for
+unsupported plans, Eqs. 33–34 (with the ASR's actual decomposition
+translated to type indices) for supported ones, and the section 6
+``search + aup`` maintenance terms for ``ins_i`` updates.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from repro.asr.decomposition import Decomposition
+from repro.costmodel.parameters import ApplicationProfile
+from repro.costmodel.querycost import QueryCostModel
+from repro.costmodel.updatecost import UpdateCostModel
+from repro.query.queries import Query
+
+__all__ = ["DriftMonitor", "CostModelPredictor", "type_decomposition"]
+
+#: Key label for plans answered without any ASR.
+UNSUPPORTED = "unsupported"
+
+
+def type_decomposition(asr) -> Decomposition:
+    """An ASR's decomposition expressed over type indices (``m == n``).
+
+    ASR partitions are declared over *columns* of the extension (which
+    may repeat types for non-full extensions); the cost model speaks
+    type indices.  Shared with the cost-based planner.
+    """
+    borders = tuple(
+        dict.fromkeys(
+            asr.path.type_index_of_column(column)
+            for column in asr.decomposition.borders
+        )
+    )
+    return Decomposition(borders)
+
+
+@dataclass
+class DriftEntry:
+    """Running error aggregate of one (extension, decomposition, op) key."""
+
+    count: int = 0
+    predicted_total: float = 0.0
+    observed_total: float = 0.0
+    #: Observations where both sides were positive (geomean-eligible).
+    finite_count: int = 0
+    log_ratio_sum: float = 0.0
+    min_ratio: float = math.inf
+    max_ratio: float = -math.inf
+    #: Observations skipped from the geomean (a zero on either side).
+    skipped: int = 0
+
+    def record(self, predicted: float, observed: float) -> None:
+        """Fold one (predicted, observed) page-access pair in."""
+        self.count += 1
+        self.predicted_total += predicted
+        self.observed_total += observed
+        if predicted > 0 and observed > 0:
+            ratio = observed / predicted
+            self.finite_count += 1
+            self.log_ratio_sum += math.log(ratio)
+            self.min_ratio = min(self.min_ratio, ratio)
+            self.max_ratio = max(self.max_ratio, ratio)
+        else:
+            self.skipped += 1
+
+    @property
+    def ratio(self) -> float:
+        """Observed/predicted page totals (inf when predicted is 0)."""
+        if self.predicted_total > 0:
+            return self.observed_total / self.predicted_total
+        return math.inf if self.observed_total else 1.0
+
+    @property
+    def geo_mean_ratio(self) -> float:
+        """Geometric mean of per-operation observed/predicted ratios."""
+        if not self.finite_count:
+            return 1.0
+        return math.exp(self.log_ratio_sum / self.finite_count)
+
+    def as_dict(self) -> dict:
+        """JSON-able summary of this key's drift."""
+        return {
+            "count": self.count,
+            "predicted_pages": round(self.predicted_total, 2),
+            "observed_pages": round(self.observed_total, 2),
+            "ratio": round(self.ratio, 4) if math.isfinite(self.ratio) else None,
+            "geo_mean_ratio": round(self.geo_mean_ratio, 4),
+            "min_ratio": round(self.min_ratio, 4) if self.finite_count else None,
+            "max_ratio": round(self.max_ratio, 4) if self.finite_count else None,
+            "skipped": self.skipped,
+        }
+
+
+class CostModelPredictor:
+    """Predicts page accesses for executed operations from one profile.
+
+    Built over the *measured* profile of the generated world (so the
+    drift isolates model error, not input error).  Query predictions
+    follow the Eq. 35 dispatch the executed plan actually took; update
+    predictions price the ASR maintenance terms (``search + aup``)
+    without the flat object-representation constant, because the
+    simulator charges maintenance pages only.
+    """
+
+    def __init__(self, profile: ApplicationProfile) -> None:
+        self.profile = profile
+        self.query_model = QueryCostModel(profile)
+        self.update_model = UpdateCostModel(profile)
+
+    def predict_query(self, query: Query, asr) -> float | None:
+        """Predicted pages for ``query`` as executed (``asr=None`` ⇒ Eqs. 31–32).
+
+        Returns ``None`` for shapes the model does not price (value-range
+        queries, ranges outside the profile) — callers skip those.
+        """
+        if query.kind not in ("fw", "bw"):
+            return None
+        try:
+            if asr is None:
+                return self.query_model.qnas(query.i, query.j, query.kind)
+            return self.query_model.qsup(
+                asr.extension, query.i, query.j, query.kind, type_decomposition(asr)
+            )
+        except Exception:
+            return None
+
+    def predict_update(self, level: int, asr) -> float | None:
+        """Predicted maintenance pages of ``ins_level`` against ``asr``."""
+        try:
+            dec = type_decomposition(asr)
+            return self.update_model.search(
+                asr.extension, level, dec
+            ) + self.update_model.aup(asr.extension, level, dec)
+        except Exception:
+            return None
+
+
+class DriftMonitor:
+    """Accumulates predicted-vs-observed page accesses per plan shape.
+
+    Parameters
+    ----------
+    predictor:
+        Optional :class:`CostModelPredictor`; required for the
+        ``observe_query`` / ``observe_update`` convenience entry points
+        (``record`` always works with caller-supplied predictions).
+    registry:
+        Optional :class:`~repro.telemetry.registry.MetricsRegistry` into
+        which every recorded pair bumps the ``drift.observations``
+        counter; :meth:`publish` writes the ratio gauges.
+
+    Thread-safe: planner threads of a serve run share one monitor.
+    """
+
+    def __init__(self, predictor: CostModelPredictor | None = None, registry=None):
+        self.predictor = predictor
+        self.registry = registry
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[str, str, str], DriftEntry] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        extension: str,
+        decomposition: str,
+        op: str,
+        predicted: float,
+        observed: float,
+    ) -> None:
+        """Fold one executed operation into the drift aggregates."""
+        key = (extension, decomposition, op)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = DriftEntry()
+            entry.record(predicted, observed)
+        if self.registry is not None:
+            self.registry.inc(
+                "drift.observations",
+                extension=extension,
+                decomposition=decomposition,
+                op=op,
+            )
+
+    def observe_query(self, query: Query, asr, observed_pages: float) -> None:
+        """Record an executed query plan (``asr=None`` for unsupported)."""
+        if self.predictor is None:
+            return
+        predicted = self.predictor.predict_query(query, asr)
+        if predicted is None:
+            return
+        if asr is None:
+            extension, decomposition = UNSUPPORTED, "-"
+        else:
+            extension = asr.extension.value
+            decomposition = str(type_decomposition(asr))
+        self.record(extension, decomposition, query.kind, predicted, observed_pages)
+
+    def observe_update(self, level: int, asrs, observed_pages: float) -> None:
+        """Record one ``ins_level`` and its measured maintenance pages.
+
+        The measured delta covers every maintained ASR at once, so the
+        prediction sums the per-ASR maintenance terms; the drift key
+        names the first ASR's shape (serve runs maintain exactly one).
+        """
+        if self.predictor is None or not asrs:
+            return
+        predictions = [self.predictor.predict_update(level, asr) for asr in asrs]
+        if any(p is None for p in predictions):
+            return
+        first = asrs[0]
+        self.record(
+            first.extension.value,
+            str(type_decomposition(first)),
+            f"ins_{level}",
+            sum(predictions),
+            observed_pages,
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict:
+        """The drift report: per-key aggregates plus the overall geomean."""
+        with self._lock:
+            items = sorted(self._entries.items())
+            entries = [
+                {
+                    "extension": extension,
+                    "decomposition": decomposition,
+                    "op": op,
+                    **entry.as_dict(),
+                }
+                for (extension, decomposition, op), entry in items
+            ]
+            finite = sum(e.finite_count for _, e in items)
+            log_sum = sum(e.log_ratio_sum for _, e in items)
+            overall = {
+                "count": sum(e.count for _, e in items),
+                "skipped": sum(e.skipped for _, e in items),
+                "geo_mean_ratio": (
+                    round(math.exp(log_sum / finite), 4) if finite else 1.0
+                ),
+            }
+        overall["finite"] = math.isfinite(overall["geo_mean_ratio"])
+        return {"by_key": entries, "overall": overall}
+
+    def publish(self, registry=None) -> None:
+        """Write the current ratios into a registry as gauges."""
+        registry = registry if registry is not None else self.registry
+        if registry is None:
+            return
+        report = self.report()
+        for entry in report["by_key"]:
+            labels = {
+                "extension": entry["extension"],
+                "decomposition": entry["decomposition"],
+                "op": entry["op"],
+            }
+            if entry["ratio"] is not None:
+                registry.set_gauge("drift.ratio", entry["ratio"], **labels)
+            registry.set_gauge(
+                "drift.geo_mean_ratio", entry["geo_mean_ratio"], **labels
+            )
+        registry.set_gauge(
+            "drift.overall_geo_mean_ratio", report["overall"]["geo_mean_ratio"]
+        )

@@ -1,8 +1,15 @@
 """Page-access accounting: counters, buffers, deltas."""
 
+import threading
+
 import pytest
 
-from repro.storage.stats import AccessStats, BufferScope, NullBuffer
+from repro.storage.stats import (
+    AccessStats,
+    BufferScope,
+    NullBuffer,
+    ThreadSafeAccessStats,
+)
 
 
 class TestAccessStats:
@@ -177,3 +184,73 @@ class TestBoundedBufferScope:
         buffer.touch("p1")  # read must not launder the dirty state
         assert buffer.touch_write("p1") is False  # still dirty: no new charge
         assert stats.page_writes == 1
+
+    def test_evictions_counted(self):
+        from repro.storage.stats import BoundedBufferScope
+
+        stats = AccessStats()
+        buffer = BoundedBufferScope(stats, capacity=2)
+        for page in range(5):
+            buffer.touch(page)
+        assert buffer.evictions == 3
+
+
+class TestMerge:
+    def test_merge_folds_counters_and_categories(self):
+        total = AccessStats()
+        total.read(2, "object")
+        part = AccessStats()
+        part.read(1, "object")
+        part.write(3, "btree_leaf")
+        total.merge(part)
+        assert total.page_reads == 3
+        assert total.page_writes == 3
+        assert total.by_category == {"object": 3, "btree_leaf:write": 3}
+
+
+class TestThreadSafeAccessStats:
+    def test_concurrent_charges_are_exact(self):
+        stats = ThreadSafeAccessStats()
+        workers, rounds = 8, 1000
+
+        def charge(k):
+            for _ in range(rounds):
+                stats.read(1, f"cat{k % 2}")
+                stats.write(1, f"cat{k % 2}")
+
+        threads = [threading.Thread(target=charge, args=(k,)) for k in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.page_reads == workers * rounds
+        assert stats.page_writes == workers * rounds
+        # Per-category counts survive the interleaving too.
+        assert stats.by_category["cat0"] + stats.by_category["cat1"] == workers * rounds
+
+    def test_snapshot_never_observes_a_torn_increment(self):
+        stats = ThreadSafeAccessStats()
+        stop = threading.Event()
+
+        def charge():
+            while not stop.is_set():
+                stats.read(1, "object")
+
+        thread = threading.Thread(target=charge)
+        thread.start()
+        try:
+            for _ in range(200):
+                snap = stats.snapshot()
+                # read() bumps page_reads and by_category under one lock:
+                # a snapshot must always see them equal.
+                assert snap.page_reads == snap.by_category.get("object", 0)
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_snapshot_is_a_plain_stats(self):
+        stats = ThreadSafeAccessStats()
+        stats.read()
+        snap = stats.snapshot()
+        assert type(snap) is AccessStats
+        assert snap.page_reads == 1

@@ -1,0 +1,1 @@
+"""Tests of the telemetry layer: metrics registry and drift monitor."""

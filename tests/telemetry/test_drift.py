@@ -1,0 +1,197 @@
+"""Drift monitor: entry math, predictor dispatch, report, publication."""
+
+import math
+
+import pytest
+
+from repro.asr.extensions import Extension
+from repro.asr.manager import ASRManager
+from repro.costmodel.parameters import ApplicationProfile
+from repro.telemetry import CostModelPredictor, DriftMonitor, MetricsRegistry
+from repro.telemetry.drift import UNSUPPORTED, DriftEntry, type_decomposition
+from repro.workload.generator import ChainGenerator, measure_profile
+from repro.workload.opstream import operation_stream
+from repro.workload.profiles import FIG14_MIX
+
+SMALL = ApplicationProfile(
+    c=(20, 40, 60, 120, 240),
+    d=(18, 32, 48, 100),
+    fan=(2, 2, 2, 2),
+    size=(100,) * 5,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A small generated chain with one full ASR over its path."""
+    generated = ChainGenerator(seed=4).generate(SMALL)
+    manager = ASRManager(generated.db)
+    manager.create(generated.path, Extension.FULL)
+    return generated, manager
+
+
+class TestDriftEntry:
+    def test_running_ratios(self):
+        entry = DriftEntry()
+        entry.record(predicted=10.0, observed=20.0)
+        entry.record(predicted=10.0, observed=5.0)
+        assert entry.count == 2
+        assert entry.ratio == pytest.approx(25.0 / 20.0)
+        # geomean(2.0, 0.5) == 1.0 — multiplicative errors cancel.
+        assert entry.geo_mean_ratio == pytest.approx(1.0)
+        assert entry.min_ratio == pytest.approx(0.5)
+        assert entry.max_ratio == pytest.approx(2.0)
+        assert entry.skipped == 0
+
+    def test_zero_on_either_side_is_skipped_not_poisoned(self):
+        entry = DriftEntry()
+        entry.record(predicted=0.0, observed=7.0)
+        entry.record(predicted=4.0, observed=0.0)
+        entry.record(predicted=4.0, observed=8.0)
+        assert entry.skipped == 2
+        assert entry.finite_count == 1
+        assert entry.geo_mean_ratio == pytest.approx(2.0)
+        assert math.isfinite(entry.geo_mean_ratio)
+
+    def test_as_dict_is_json_safe_when_nothing_is_finite(self):
+        entry = DriftEntry()
+        entry.record(predicted=0.0, observed=0.0)
+        data = entry.as_dict()
+        assert data["min_ratio"] is None and data["max_ratio"] is None
+        assert data["ratio"] == 1.0  # 0 observed / 0 predicted: no drift
+        assert data["geo_mean_ratio"] == 1.0
+
+    def test_observed_without_prediction_flags_infinite_ratio(self):
+        entry = DriftEntry()
+        entry.record(predicted=0.0, observed=3.0)
+        assert entry.ratio == math.inf
+        assert entry.as_dict()["ratio"] is None
+
+
+class TestTypeDecomposition:
+    def test_borders_are_type_indices(self, world):
+        generated, manager = world
+        asr = manager.asrs[0]
+        dec = type_decomposition(asr)
+        n = generated.path.n
+        assert dec.m == n  # the cost model needs m == n
+        assert all(0 <= border <= n for border in dec.borders)
+        assert list(dec.borders) == sorted(set(dec.borders))
+
+
+class TestCostModelPredictor:
+    def test_query_predictions_follow_the_plan(self, world):
+        generated, manager = world
+        predictor = CostModelPredictor(measure_profile(generated))
+        asr = manager.asrs[0]
+        query = next(
+            op.query
+            for op in operation_stream(generated, FIG14_MIX, 80, seed=1)
+            if op.kind == "query" and op.query.kind == "bw"
+        )
+        unsupported = predictor.predict_query(query, None)
+        supported = predictor.predict_query(query, asr)
+        assert unsupported is not None and unsupported > 0
+        assert supported is not None and supported > 0
+        # Backward lookups through a full ASR beat the exhaustive
+        # traversal — the paper's headline result, reproduced here.
+        assert supported < unsupported
+
+    def test_unpriceable_shapes_return_none(self, world):
+        generated, _manager = world
+
+        class RangeLike:
+            kind = "range"
+
+        assert CostModelPredictor(SMALL).predict_query(RangeLike(), None) is None
+
+    def test_update_prediction_is_positive(self, world):
+        _generated, manager = world
+        predictor = CostModelPredictor(SMALL)
+        predicted = predictor.predict_update(1, manager.asrs[0])
+        assert predicted is not None and predicted > 0
+
+
+class TestDriftMonitor:
+    def test_report_aggregates_by_key(self):
+        monitor = DriftMonitor()
+        monitor.record("full", "(0, 4)", "fw", predicted=10.0, observed=20.0)
+        monitor.record("full", "(0, 4)", "fw", predicted=10.0, observed=5.0)
+        monitor.record(UNSUPPORTED, "-", "bw", predicted=8.0, observed=8.0)
+        report = monitor.report()
+        keys = {(e["extension"], e["decomposition"], e["op"]) for e in report["by_key"]}
+        assert keys == {("full", "(0, 4)", "fw"), (UNSUPPORTED, "-", "bw")}
+        overall = report["overall"]
+        assert overall["count"] == 3
+        assert overall["skipped"] == 0
+        # geomean(2, 0.5, 1) == 1
+        assert overall["geo_mean_ratio"] == pytest.approx(1.0)
+        assert overall["finite"] is True
+
+    def test_empty_monitor_reports_unit_ratio(self):
+        report = DriftMonitor().report()
+        assert report["by_key"] == []
+        assert report["overall"] == {
+            "count": 0,
+            "skipped": 0,
+            "geo_mean_ratio": 1.0,
+            "finite": True,
+        }
+
+    def test_record_bumps_registry_counter(self):
+        registry = MetricsRegistry()
+        monitor = DriftMonitor(registry=registry)
+        monitor.record("full", "(0, 4)", "fw", 1.0, 2.0)
+        assert (
+            registry.counter_value(
+                "drift.observations", extension="full", decomposition="(0, 4)", op="fw"
+            )
+            == 1
+        )
+
+    def test_publish_writes_ratio_gauges(self):
+        registry = MetricsRegistry()
+        monitor = DriftMonitor()
+        monitor.record("full", "(0, 4)", "fw", predicted=10.0, observed=5.0)
+        monitor.publish(registry)
+        labels = {"extension": "full", "decomposition": "(0, 4)", "op": "fw"}
+        assert registry.gauge_value("drift.ratio", **labels) == pytest.approx(0.5)
+        assert registry.gauge_value("drift.geo_mean_ratio", **labels) == pytest.approx(
+            0.5
+        )
+        assert registry.gauge_value("drift.overall_geo_mean_ratio") == pytest.approx(
+            0.5
+        )
+
+    def test_observe_query_keys_on_the_executed_plan(self, world):
+        generated, manager = world
+        predictor = CostModelPredictor(measure_profile(generated))
+        monitor = DriftMonitor(predictor)
+        asr = manager.asrs[0]
+        query = next(
+            op.query
+            for op in operation_stream(generated, FIG14_MIX, 40, seed=2)
+            if op.kind == "query"
+        )
+        monitor.observe_query(query, asr, observed_pages=6)
+        monitor.observe_query(query, None, observed_pages=40)
+        report = monitor.report()
+        extensions = {e["extension"] for e in report["by_key"]}
+        assert extensions == {asr.extension.value, UNSUPPORTED}
+
+    def test_observe_update_sums_per_asr_predictions(self, world):
+        _generated, manager = world
+        predictor = CostModelPredictor(SMALL)
+        monitor = DriftMonitor(predictor)
+        asr = manager.asrs[0]
+        single = predictor.predict_update(1, asr)
+        monitor.observe_update(1, [asr, asr], observed_pages=12)
+        (entry,) = monitor.report()["by_key"]
+        assert entry["op"] == "ins_1"
+        assert entry["predicted_pages"] == pytest.approx(2 * single, abs=0.01)
+
+    def test_observe_without_predictor_is_a_noop(self, world):
+        _generated, manager = world
+        monitor = DriftMonitor()
+        monitor.observe_update(1, manager.asrs, observed_pages=3)
+        assert monitor.report()["overall"]["count"] == 0

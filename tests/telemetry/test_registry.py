@@ -1,0 +1,230 @@
+"""MetricsRegistry: buckets, families, snapshots, exposition, threads."""
+
+import json
+import threading
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.registry import (
+    BUCKET_BASE,
+    MAX_BUCKET_INDEX,
+    MIN_BUCKET_INDEX,
+    HistogramState,
+    bucket_index,
+)
+
+
+class TestBucketIndex:
+    def test_zero_and_negative_fall_into_none_bucket(self):
+        assert bucket_index(0.0) is None
+        assert bucket_index(-3.5) is None
+
+    def test_exact_power_belongs_to_its_own_bound(self):
+        # Bucket i covers (2^(i-1), 2^i]: a value exactly on a bound is
+        # counted under that bound, not the next one up.
+        assert bucket_index(1.0) == 0
+        assert bucket_index(2.0) == 1
+        assert bucket_index(8.0) == 3
+        assert bucket_index(BUCKET_BASE**10) == 10
+
+    def test_interior_values_round_up(self):
+        assert bucket_index(1.5) == 1
+        assert bucket_index(2.1) == 2
+        assert bucket_index(1000.0) == 10  # 2^9 < 1000 <= 2^10
+
+    def test_clamped_to_fixed_range(self):
+        assert bucket_index(1e-20) == MIN_BUCKET_INDEX
+        assert bucket_index(1e20) == MAX_BUCKET_INDEX
+
+    def test_bounds_partition_the_line(self):
+        # Every bucket's lower bound is excluded, upper bound included.
+        for index in (-3, 0, 5):
+            upper = BUCKET_BASE**index
+            assert bucket_index(upper) == index
+            assert bucket_index(upper * 1.0001) == index + 1
+
+
+class TestHistogramState:
+    def test_summaries(self):
+        state = HistogramState()
+        for value in (1.0, 4.0, 16.0):
+            state.observe(value)
+        assert state.count == 3
+        assert state.total == 21.0
+        assert state.min == 1.0
+        assert state.max == 16.0
+        assert state.mean == 7.0
+
+    def test_as_dict_materializes_le_bounds(self):
+        state = HistogramState()
+        state.observe(0.0)  # the <= 0 bucket
+        state.observe(3.0)  # bucket 2, le = 4
+        data = state.as_dict()
+        assert [b["le"] for b in data["buckets"]] == [0.0, 4.0]
+        assert all(b["count"] == 1 for b in data["buckets"])
+
+    def test_empty_histogram_is_json_safe(self):
+        data = HistogramState().as_dict()
+        assert data["count"] == 0 and data["min"] == 0.0 and data["max"] == 0.0
+        json.dumps(data)  # no inf leaks
+
+
+class TestFamilies:
+    def test_counters_accumulate_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.inc("ops", op="fw")
+        registry.inc("ops", 2, op="fw")
+        registry.inc("ops", op="bw")
+        assert registry.counter_value("ops", op="fw") == 3
+        assert registry.counter_value("ops", op="bw") == 1
+        assert registry.counter_value("ops", op="never") == 0
+
+    def test_gauges_keep_last_value(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("pool.hit_rate", 0.25)
+        registry.set_gauge("pool.hit_rate", 0.75)
+        assert registry.gauge_value("pool.hit_rate") == 0.75
+        assert registry.gauge_value("absent") is None
+
+    def test_callable_gauges_are_lazy(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def occupancy():
+            calls.append(1)
+            return 7.0
+
+        registry.gauge_fn("pool.occupancy", occupancy)
+        assert not calls  # registration alone never evaluates
+        assert registry.gauge_value("pool.occupancy") == 7.0
+        snap = registry.snapshot()
+        assert snap["gauges"]["pool.occupancy"][0]["value"] == 7.0
+        assert len(calls) == 2
+
+    def test_callable_gauge_may_publish_back_into_the_registry(self):
+        # Gauge fns run *outside* the registry lock, so a gauge reading
+        # a structure that itself publishes cannot deadlock.
+        registry = MetricsRegistry()
+
+        def nosy():
+            registry.inc("gauge.reads")
+            return 1.0
+
+        registry.gauge_fn("nosy", nosy)
+        assert registry.snapshot()["gauges"]["nosy"][0]["value"] == 1.0
+        assert registry.counter_value("gauge.reads") == 1
+
+    def test_histogram_accessor(self):
+        registry = MetricsRegistry()
+        registry.observe("span.pages", 5.0, op="fw")
+        registry.observe("span.pages", 11.0, op="fw")
+        state = registry.histogram("span.pages", op="fw")
+        assert state.count == 2 and state.total == 16.0
+        assert registry.histogram("span.pages", op="bw") is None
+
+
+class TestSnapshotRoundTrip:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.inc("ops", 3, op="fw")
+        registry.set_gauge("pool.hit_rate", 0.5)
+        registry.gauge_fn("pool.occupancy", lambda: 2.0)
+        for value in (0.0, 1.0, 3.0, 100.0):
+            registry.observe("op.latency_ms", value, kind="query")
+        return registry
+
+    def test_snapshot_is_json_able(self):
+        snap = self.build().snapshot()
+        json.dumps(snap)
+        assert snap["counters"]["ops"][0] == {"labels": {"op": "fw"}, "value": 3}
+
+    def test_from_snapshot_reproduces_the_exposition(self):
+        original = self.build()
+        restored = MetricsRegistry.from_snapshot(original.snapshot())
+        # Callable gauges come back as plain gauges with the same value,
+        # so the text exposition — the observable surface — matches.
+        assert restored.render_prometheus() == original.render_prometheus()
+        assert restored.counter_value("ops", op="fw") == 3
+        state = restored.histogram("op.latency_ms", kind="query")
+        assert state.count == 4 and state.total == 104.0
+
+    def test_from_snapshot_restores_bucket_indices(self):
+        original = MetricsRegistry()
+        original.observe("h", 0.0)
+        original.observe("h", 4.0)
+        restored = MetricsRegistry.from_snapshot(original.snapshot())
+        assert restored.histogram("h").buckets == original.histogram("h").buckets
+
+
+class TestPrometheus:
+    def test_counter_gauge_histogram_conventions(self):
+        registry = MetricsRegistry()
+        registry.inc("asr.lookups", 2, extension="full")
+        registry.set_gauge("pool.hit_rate", 0.5)
+        registry.observe("span.pages", 1.0)
+        registry.observe("span.pages", 3.0)
+        text = registry.render_prometheus()
+        assert '# TYPE repro_asr_lookups_total counter' in text
+        assert 'repro_asr_lookups_total{extension="full"} 2' in text
+        assert "repro_pool_hit_rate 0.5" in text
+        # Histogram buckets are cumulative and end with +Inf == count.
+        assert 'repro_span_pages_bucket{le="1.0"} 1' in text
+        assert 'repro_span_pages_bucket{le="4.0"} 2' in text
+        assert 'repro_span_pages_bucket{le="+Inf"} 2' in text
+        assert "repro_span_pages_sum 4.0" in text
+        assert "repro_span_pages_count 2" in text
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.inc("query.degraded-fallback")
+        text = registry.render_prometheus()
+        assert "repro_query_degraded_fallback_total 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestConcurrentPublishers:
+    def test_totals_are_exact_under_contention(self):
+        registry = MetricsRegistry()
+        workers, rounds = 8, 500
+
+        def publish(k):
+            for i in range(rounds):
+                registry.inc("ops", op="stress")
+                registry.observe("lat", float(i % 7 + 1), worker=str(k))
+                registry.set_gauge("last", float(i), worker=str(k))
+
+        threads = [
+            threading.Thread(target=publish, args=(k,)) for k in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_value("ops", op="stress") == workers * rounds
+        for k in range(workers):
+            state = registry.histogram("lat", worker=str(k))
+            assert state.count == rounds
+            assert sum(state.buckets.values()) == rounds
+            assert registry.gauge_value("last", worker=str(k)) == rounds - 1
+
+    def test_snapshot_during_publishing_never_tears(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def publish():
+            while not stop.is_set():
+                registry.observe("h", 2.0)
+
+        thread = threading.Thread(target=publish)
+        thread.start()
+        try:
+            for _ in range(50):
+                snap = registry.snapshot()
+                for entry in snap["histograms"].get("h", []):
+                    # count always equals the bucket total: one lock
+                    # covers both updates.
+                    assert sum(b["count"] for b in entry["buckets"]) == entry["count"]
+        finally:
+            stop.set()
+            thread.join()

@@ -1,8 +1,11 @@
 """The multi-client serve benchmark and its operation stream."""
 
 import json
+import math
 
-from repro.bench.serve import ServeConfig, run_serve, write_report
+import pytest
+
+from repro.bench.serve import SERVE_PROFILES, ServeConfig, run_serve, write_report
 from repro.costmodel.parameters import ApplicationProfile
 from repro.workload.generator import ChainGenerator
 from repro.workload.opstream import Operation, operation_stream
@@ -60,3 +63,67 @@ class TestServeBench:
         pool = report["pool"]
         assert pool["capacity"] == 64
         assert pool["hits"] + pool["misses"] > 0
+
+    def test_metrics_snapshot_embedded_and_consistent(self):
+        report = run_serve(TINY)
+        metrics = report["metrics"]
+        assert set(metrics) == {"counters", "gauges", "histograms"}
+        gauges = {
+            name: entries[0]["value"]
+            for name, entries in metrics["gauges"].items()
+            if entries and not entries[0]["labels"]
+        }
+        assert 0.0 <= gauges["pool.hit_rate"] <= 1.0
+        assert gauges["accounting.ok"] == 1.0
+        assert math.isfinite(gauges["drift.overall_geo_mean_ratio"])
+        # Latency histograms cover every executed operation.
+        latency_count = sum(
+            entry["count"] for entry in metrics["histograms"]["op.latency_ms"]
+        )
+        assert latency_count == TINY.ops
+
+    def test_drift_report_embedded(self):
+        report = run_serve(TINY)
+        drift = report["drift"]
+        assert drift["overall"]["count"] == TINY.ops
+        assert drift["overall"]["finite"] is True
+        for entry in drift["by_key"]:
+            assert {"extension", "decomposition", "op", "geo_mean_ratio"} <= set(entry)
+            assert math.isfinite(entry["geo_mean_ratio"])
+        # The acceptance criterion: a per-(extension, decomposition)
+        # predicted-vs-observed ratio is reported.
+        assert any(
+            entry["ratio"] is not None or entry["skipped"] == entry["count"]
+            for entry in drift["by_key"]
+        )
+
+    def test_stats_registry_round_trips_from_report(self):
+        from repro.telemetry import MetricsRegistry
+
+        report = run_serve(TINY)
+        restored = MetricsRegistry.from_snapshot(report["metrics"])
+        text = restored.render_prometheus()
+        assert "repro_pool_hit_rate" in text
+        assert "repro_op_latency_ms_count" in text
+
+
+class TestServeProfiles:
+    def test_known_profiles_resolve(self):
+        profile, mix = ServeConfig(profile="fig14").resolved_profile()
+        assert profile is SERVE_PROFILES["fig14"][0]
+        profile16, _ = ServeConfig(profile="fig16").resolved_profile()
+        assert len(profile16.c) == 6  # the n = 5 Figure 16 chain
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown serve profile"):
+            ServeConfig(profile="fig99").resolved_profile()
+
+    def test_fig16_serves_end_to_end(self):
+        config = ServeConfig(
+            clients=2, ops=16, seed=3, capacity=64, io_micros=20.0, profile="fig16"
+        )
+        report = run_serve(config)
+        assert report["config"]["profile"] == "fig16"
+        assert len(report["profile"]["c"]) == 6
+        assert report["accounting"]["ok"] is True
+        assert report["drift"]["overall"]["finite"] is True

@@ -213,7 +213,69 @@ class TestBenchServe:
         assert code == 0
         assert "speedup" in text
         assert "accounting consistent" in text
+        assert "cost-model drift" in text
+        assert "(finite)" in text
         report = json.loads(target.read_text())
         assert report["benchmark"] == "serve"
         assert report["accounting"]["ok"] is True
         assert all("p99_ms" in entry for entry in report["operations"].values())
+        assert "metrics" in report and "drift" in report
+
+    def test_serve_fig16_profile(self, tmp_path):
+        target = tmp_path / "BENCH_serve.json"
+        code, text = run_cli(
+            "bench", "serve",
+            "--clients", "2", "--ops", "12", "--io-micros", "20",
+            "--capacity", "64", "--profile", "fig16", "--out", str(target),
+        )
+        assert code == 0
+        report = json.loads(target.read_text())
+        assert report["config"]["profile"] == "fig16"
+        assert report["accounting"]["ok"] is True
+
+
+class TestStats:
+    @pytest.fixture(scope="class")
+    def report_path(self, tmp_path_factory):
+        """One serve report shared by every stats rendering test."""
+        target = tmp_path_factory.mktemp("serve") / "BENCH_serve.json"
+        code, _ = run_cli(
+            "bench", "serve",
+            "--clients", "2", "--ops", "16", "--io-micros", "20",
+            "--capacity", "64", "--out", str(target),
+        )
+        assert code == 0
+        return target
+
+    def test_human_table(self, report_path):
+        code, text = run_cli("stats", "--in", str(report_path))
+        assert code == 0
+        assert "accounting" in text
+        assert "drift" in text.lower()
+        assert "pool.hit_rate" in text
+        assert "op.latency_ms" in text
+
+    def test_json_output(self, report_path):
+        code, text = run_cli("stats", "--in", str(report_path), "--json")
+        assert code == 0
+        data = json.loads(text)
+        assert set(data) == {"metrics", "drift", "accounting"}
+        assert data["accounting"]["ok"] is True
+        assert data["drift"]["overall"]["finite"] is True
+
+    def test_prometheus_output(self, report_path):
+        code, text = run_cli("stats", "--in", str(report_path), "--prometheus")
+        assert code == 0
+        assert "# TYPE repro_pool_hit_rate gauge" in text
+        assert "repro_op_latency_ms_count" in text
+
+    def test_missing_file_errors(self, tmp_path):
+        code, text = run_cli("stats", "--in", str(tmp_path / "nope.json"))
+        assert code == 1
+
+    def test_report_without_telemetry_errors(self, tmp_path):
+        stale = tmp_path / "old.json"
+        stale.write_text(json.dumps({"benchmark": "serve"}))
+        code, text = run_cli("stats", "--in", str(stale))
+        assert code == 1
+        assert "no telemetry" in text

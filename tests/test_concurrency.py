@@ -25,6 +25,7 @@ from repro.errors import SimulatedCrash
 from repro.faults import FaultInjector
 from repro.query.evaluator import QueryEvaluator
 from repro.query.planner import Planner
+from repro.telemetry import MetricsRegistry
 from repro.workload.generator import ChainGenerator
 from repro.workload.opstream import apply_update, operation_stream
 from repro.workload.profiles import FIG14_MIX
@@ -157,11 +158,45 @@ class TestContextPool:
 
         run_threads(clients, worker)
         pool.pool.check_invariants()
+        # Released contexts are retired; the invariant is asserted through
+        # the accounting check (and published into the metrics registry).
+        registry = MetricsRegistry()
+        accounting = pool.check_accounting(registry)
+        assert accounting["ok"] is True
+        assert registry.gauge_value("accounting.ok") == 1.0
         shared = pool.stats.snapshot()
-        assert shared.page_reads == sum(c.stats.page_reads for c in pool.contexts)
-        assert shared.page_writes == sum(c.stats.page_writes for c in pool.contexts)
+        assert registry.gauge_value("accounting.shared_reads") == shared.page_reads
+        assert registry.gauge_value("accounting.worker_reads") == shared.page_reads
         assert pool.pool.hits + pool.pool.misses == clients * touches
         assert pool.pool.distinct_pages <= 32
+
+    def test_recycling_reuses_worker_scopes(self):
+        pool = ContextPool(16)
+        with pool.context() as context:
+            first_scope = context.current_buffer
+            first_scope.touch("page-A")
+        assert pool.recycled == 1
+        assert not pool.contexts  # retired, not live
+        with pool.context() as context:
+            # The WorkerScope object is recycled but its stats are fresh.
+            assert context.current_buffer is first_scope
+            assert context.stats.page_reads == 0
+            context.current_buffer.touch("page-B")
+        assert pool.reused == 1
+        assert pool.recycled == 2
+        # Retired totals still cover both generations' charges.
+        totals = pool.worker_totals()
+        assert totals.page_reads == pool.stats.snapshot().page_reads == 2
+        assert pool.check_accounting()["ok"] is True
+
+    def test_occupancy_gauge_tracks_live_contexts(self):
+        registry = MetricsRegistry()
+        pool = ContextPool(8, metrics=registry)
+        assert registry.gauge_value("pool.occupancy") == 0
+        with pool.context():
+            assert registry.gauge_value("pool.occupancy") == 1
+        assert registry.gauge_value("pool.occupancy") == 0
+        assert registry.gauge_value("pool.recycled") == 1
 
     def test_describe_is_json_able(self):
         import json
@@ -169,6 +204,52 @@ class TestContextPool:
         pool = ContextPool(4)
         pool.acquire().current_buffer.touch("p")
         assert json.loads(json.dumps(pool.describe()))["capacity"] == 4
+
+    def test_trace_export_under_concurrent_writers(self):
+        # Every worker runs traced operations against the shared pool
+        # while the others charge it concurrently, then exports its
+        # trace.  Per-worker spans must reflect only that worker's
+        # charges, and the global accounting invariant must hold when
+        # asserted through the metrics registry.
+        import json
+
+        registry = MetricsRegistry()
+        pool = ContextPool(48, metrics=registry)
+        clients, rounds = 6, 40
+        traces: dict[int, dict] = {}
+
+        def worker(k):
+            rng = random.Random(k)
+            with pool.context() as context:
+                for i in range(rounds):
+                    with context.operation(f"op-{k}") as buffer:
+                        buffer.touch(f"page-{rng.randrange(120)}")
+                        if rng.random() < 0.3:
+                            buffer.touch_write(f"page-{rng.randrange(120)}")
+                traces[k] = json.loads(context.to_json())
+
+        run_threads(clients, worker)
+        for k, trace in traces.items():
+            assert trace["op_counts"][f"op-{k}"] == rounds
+            assert len(trace["spans"]) == rounds
+            # The worker's headline totals equal the sum of its spans —
+            # concurrent charges by other workers never leak in.
+            assert trace["page_reads"] == sum(
+                s["page_reads"] for s in trace["spans"]
+            )
+            assert trace["page_writes"] == sum(
+                s["page_writes"] for s in trace["spans"]
+            )
+        accounting = pool.check_accounting(registry)
+        assert accounting["ok"] is True
+        assert registry.gauge_value("accounting.ok") == 1.0
+        # The registry's span histograms saw every operation.
+        total_spans = sum(
+            registry.histogram("span.pages", op=f"op-{k}").count
+            for k in range(clients)
+        )
+        assert total_spans == clients * rounds
+        assert registry.counter_value("ops", op="op-0") == rounds
 
 
 class TestParallelBuild:
@@ -226,9 +307,16 @@ class TestConcurrentServing:
         run_threads(clients, worker)
         manager.check_consistency()
         pool.pool.check_invariants()
+        # Client contexts are retired on release; the manager's context is
+        # still live.  Either way: shared totals == retired + Σ live.
+        registry = MetricsRegistry()
+        accounting = pool.check_accounting(registry)
+        assert accounting["ok"] is True
+        assert registry.gauge_value("accounting.ok") == 1.0
+        totals = pool.worker_totals()
         shared = pool.stats.snapshot()
-        assert shared.page_reads == sum(c.stats.page_reads for c in pool.contexts)
-        assert shared.page_writes == sum(c.stats.page_writes for c in pool.contexts)
+        assert shared.page_reads == totals.page_reads
+        assert shared.page_writes == totals.page_writes
         # Every query answer matches the (post-run) single-threaded oracle
         # for queries the updates could not have affected: re-ask them all
         # now that the graph is quiescent and supported == unsupported.

@@ -94,6 +94,80 @@ class TestSpans:
         assert context.current_buffer is ambient
 
 
+class TestSpanRing:
+    def test_max_spans_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="max_spans"):
+            ExecutionContext(max_spans=0)
+
+    def test_default_keeps_every_span(self):
+        context = ExecutionContext()
+        for i in range(10):
+            with context.operation(f"op{i}"):
+                pass
+        assert len(context.spans) == 10
+        assert context.spans_dropped == 0
+        assert context.max_spans is None
+
+    def test_ring_keeps_newest_and_counts_drops(self):
+        context = ExecutionContext(max_spans=4)
+        for i in range(6):
+            with context.operation(f"op{i}"):
+                pass
+        assert [span.name for span in context.spans] == [
+            "op2", "op3", "op4", "op5",
+        ]
+        assert context.spans_dropped == 2
+        # The trace says what it lost; op_counts still covers all ops.
+        trace = context.to_dict()
+        assert trace["max_spans"] == 4
+        assert trace["spans_dropped"] == 2
+        assert sum(context.op_counts.values()) == 6
+
+    def test_count_mirrors_into_registry(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        context = ExecutionContext(metrics=registry)
+        context.count("plan.supported")
+        context.count("plan.supported", 2)
+        assert context.op_counts["plan.supported"] == 3
+        assert registry.counter_value("ops", op="plan.supported") == 3
+
+    def test_spans_publish_histograms_and_drops(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        context = ExecutionContext(max_spans=1, metrics=registry)
+        for _ in range(3):
+            with context.operation("probe") as buffer:
+                buffer.touch("p")
+        assert registry.histogram("span.pages", op="probe").count == 3
+        assert registry.counter_value("spans.dropped") == 2
+        assert context.spans_dropped == 2
+
+    def test_snapshot_metrics_interleaves_with_trace(self):
+        from repro.telemetry import MetricsRegistry
+
+        context = ExecutionContext(metrics=MetricsRegistry())
+        entry = context.snapshot_metrics("start")
+        assert entry["at_span"] == 0 and entry["label"] == "start"
+        with context.operation("op"):
+            pass
+        context.snapshot_metrics("end")
+        trace = context.to_dict()
+        assert [s["at_span"] for s in trace["metric_snapshots"]] == [0, 1]
+        # The second snapshot already sees the completed span.
+        end = trace["metric_snapshots"][1]["metrics"]
+        assert end["counters"]["ops"][0]["value"] == 1
+
+    def test_snapshot_metrics_without_registry_is_a_noop(self):
+        context = ExecutionContext()
+        assert context.snapshot_metrics("ignored") is None
+        assert "metric_snapshots" not in context.to_dict()
+
+
 class TestLifetime:
     def test_exit_hooks_run_lifo_once(self):
         order = []
