@@ -149,7 +149,10 @@ class ASRManager:
         self._epoch = 0
         self._closed = False
         #: Readers-writer lock: queries share, maintenance is exclusive.
-        self.lock = RWLock()
+        #: Writer-preferring, so a saturating read stream cannot starve
+        #: flush/recover; writer queueing delays are published as the
+        #: ``lock.writer_wait_ms`` histogram of the registry in force.
+        self.lock = RWLock(metrics=self._metrics())
         db.subscribe(self._on_event)
         if context is not None:
             context.add_exit_hook(self.flush)

@@ -21,6 +21,15 @@ The headline report (``BENCH_serve.json``): throughput, speedup versus
 the single-client replay of the *same* stream, and per-operation
 p50/p95/p99 latencies, plus the shared pool's hit rate and the
 accounting invariant (shared totals == Σ per-worker totals).
+
+The benchmark and the long-lived daemon (:mod:`repro.server`) share the
+same machinery: :func:`build_world` assembles the generated database,
+ASR manager, context pool, and drift monitor into one
+:class:`ServeWorld`, and :func:`drive_operation` executes one bound
+operation against it (query through the planner, update under the
+manager's exclusive lock, simulated I/O outside locks, latency into the
+registry).  The benchmark replays the stream once and reports; the
+daemon replays it in a loop until signalled.
 """
 
 from __future__ import annotations
@@ -48,6 +57,11 @@ from repro.workload.profiles import FIG14_MIX, FIG16_MIX
 
 __all__ = [
     "ServeConfig",
+    "ServeWorld",
+    "OpSample",
+    "build_world",
+    "drive_operation",
+    "per_operation",
     "run_serve",
     "SMALL_PROFILE",
     "SMALL_FIG16_PROFILE",
@@ -94,6 +108,9 @@ class ServeConfig:
     build_workers: int = 4
     #: Which application shape to serve (a :data:`SERVE_PROFILES` key).
     profile: str = "fig14"
+    #: Per-context span-ring bound (``None`` keeps every span — fine for
+    #: one bench replay, set for long-lived daemon workers).
+    max_spans: int | None = None
 
     def resolved_profile(self) -> tuple[ApplicationProfile, object]:
         """The (generator profile, operation mix) pair of :attr:`profile`."""
@@ -107,7 +124,9 @@ class ServeConfig:
 
 
 @dataclass
-class _OpSample:
+class OpSample:
+    """One executed operation: what ran, how long, how many pages."""
+
     name: str
     kind: str
     latency_s: float
@@ -117,7 +136,7 @@ class _OpSample:
 @dataclass
 class _RunOutcome:
     wall_seconds: float
-    samples: list[_OpSample] = field(default_factory=list)
+    samples: list[OpSample] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -131,19 +150,81 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[index]
 
 
-def _build_world(
-    config: ServeConfig, registry: MetricsRegistry
-) -> tuple[GeneratedDatabase, ASRManager, ContextPool, DriftMonitor]:
+@dataclass
+class ServeWorld:
+    """Everything one serve run drives, bench replay or daemon loop."""
+
+    config: ServeConfig
+    registry: MetricsRegistry
+    generated: GeneratedDatabase
+    manager: ASRManager
+    pool: ContextPool
+    drift: DriftMonitor
+
+    def stream(self) -> list[Operation]:
+        """The seeded operation stream this world's config describes."""
+        _profile, mix = self.config.resolved_profile()
+        return operation_stream(
+            self.generated,
+            mix,
+            count=self.config.ops,
+            seed=self.config.seed,
+            query_fraction=self.config.query_fraction,
+        )
+
+
+def build_world(
+    config: ServeConfig, registry: MetricsRegistry | None = None
+) -> ServeWorld:
+    """Generate the chain database, build its ASR, wire pool and drift."""
+    registry = registry if registry is not None else MetricsRegistry()
     profile, _mix = config.resolved_profile()
     generated = ChainGenerator(config.seed).generate(profile)
-    pool = ContextPool(config.capacity, metrics=registry)
+    pool = ContextPool(config.capacity, metrics=registry, max_spans=config.max_spans)
     manager_context = pool.acquire()
     manager = ASRManager(generated.db, context=manager_context)
     manager.create(generated.path, Extension.FULL, workers=config.build_workers)
     # Drift predictions come from the *measured* profile of the world we
     # actually built, so the report isolates model error from input error.
     drift = DriftMonitor(CostModelPredictor(measure_profile(generated)), registry)
-    return generated, manager, pool, drift
+    return ServeWorld(config, registry, generated, manager, pool, drift)
+
+
+def drive_operation(
+    world: ServeWorld,
+    context,
+    planner: Planner,
+    evaluator: QueryEvaluator,
+    op: Operation,
+    io_seconds: float,
+) -> OpSample:
+    """Execute one bound operation against ``world`` and time it.
+
+    Queries run through the planner (read side of the manager's lock);
+    updates — the graph mutation plus its eager maintenance — are one
+    atomic unit under :meth:`~repro.asr.manager.ASRManager.exclusive`,
+    with pages read off the manager context's private stats (updates are
+    serialized by the write lock, so the delta is unambiguous).  Every
+    charged page sleeps ``io_seconds`` of simulated device latency
+    *after* the locks are released, and the latency lands in the
+    registry's ``op.latency_ms`` histogram.
+    """
+    manager, drift, registry = world.manager, world.drift, world.registry
+    start = time.perf_counter()
+    if op.kind == "query":
+        result = planner.execute(op.query, evaluator)
+        pages = result.total_pages
+    else:
+        with manager.exclusive():
+            before = manager.context.stats.snapshot()
+            apply_update(world.generated, op)
+            pages = manager.context.stats.delta_since(before).total
+        drift.observe_update(op.level, manager.asrs, pages)
+    if pages and io_seconds:
+        time.sleep(pages * io_seconds)  # simulated I/O, outside locks
+    latency = time.perf_counter() - start
+    registry.observe("op.latency_ms", latency * 1e3, op=op.name, kind=op.kind)
+    return OpSample(op.name, op.kind, latency, pages)
 
 
 def _run_clients(
@@ -151,50 +232,25 @@ def _run_clients(
     clients: int,
 ) -> tuple[_RunOutcome, dict, dict, MetricsRegistry, DriftMonitor]:
     """Replay the stream over ``clients`` threads against a fresh world."""
-    registry = MetricsRegistry()
-    generated, manager, pool, drift = _build_world(config, registry)
-    _profile, mix = config.resolved_profile()
-    stream = operation_stream(
-        generated,
-        mix,
-        count=config.ops,
-        seed=config.seed,
-        query_fraction=config.query_fraction,
-    )
+    world = build_world(config)
+    stream = world.stream()
     io_seconds = config.io_micros / 1e6
-    samples_per_client: list[list[_OpSample]] = [[] for _ in range(clients)]
+    samples_per_client: list[list[OpSample]] = [[] for _ in range(clients)]
     errors: list[BaseException] = []
-
-    def serve_one(context, planner, ops: list[Operation], out: list[_OpSample]) -> None:
-        evaluator = QueryEvaluator(generated.db, generated.store, context=context)
-        for op in ops:
-            start = time.perf_counter()
-            if op.kind == "query":
-                result = planner.execute(op.query, evaluator)
-                pages = result.total_pages
-            else:
-                # The mutation and its eager maintenance are one atomic
-                # unit; pages are read off the manager context's private
-                # stats (updates are serialized by the write lock, so
-                # the delta is unambiguous).
-                with manager.exclusive():
-                    before = manager.context.stats.snapshot()
-                    apply_update(generated, op)
-                    pages = manager.context.stats.delta_since(before).total
-                drift.observe_update(op.level, manager.asrs, pages)
-            if pages and io_seconds:
-                time.sleep(pages * io_seconds)  # simulated I/O, outside locks
-            latency = time.perf_counter() - start
-            registry.observe(
-                "op.latency_ms", latency * 1e3, op=op.name, kind=op.kind
-            )
-            out.append(_OpSample(op.name, op.kind, latency, pages))
 
     def client(k: int) -> None:
         try:
-            with pool.context() as context:
-                planner = Planner(manager, drift=drift)
-                serve_one(context, planner, stream[k::clients], samples_per_client[k])
+            with world.pool.context() as context:
+                planner = Planner(world.manager, drift=world.drift)
+                evaluator = QueryEvaluator(
+                    world.generated.db, world.generated.store, context=context
+                )
+                for op in stream[k::clients]:
+                    samples_per_client[k].append(
+                        drive_operation(
+                            world, context, planner, evaluator, op, io_seconds
+                        )
+                    )
         except BaseException as error:  # surfaced after join
             errors.append(error)
 
@@ -208,17 +264,18 @@ def _run_clients(
     if errors:
         raise errors[0]
 
-    manager.check_consistency()
-    pool.pool.check_invariants()
-    accounting = pool.check_accounting(registry)
-    drift.publish(registry)
-    pool_report = pool.describe()
-    manager.close()
+    world.manager.check_consistency()
+    world.pool.pool.check_invariants()
+    accounting = world.pool.check_accounting(world.registry)
+    world.drift.publish(world.registry)
+    pool_report = world.pool.describe()
+    world.manager.close()
     outcome = _RunOutcome(wall, [s for per in samples_per_client for s in per])
-    return outcome, pool_report, accounting, registry, drift
+    return outcome, pool_report, accounting, world.registry, world.drift
 
 
-def _per_operation(samples: list[_OpSample]) -> dict:
+def per_operation(samples: list[OpSample]) -> dict:
+    """Per-operation latency table: count and p50/p95/p99/mean in ms."""
     by_name: dict[str, list[float]] = {}
     for sample in samples:
         by_name.setdefault(sample.name, []).append(sample.latency_s)
@@ -278,7 +335,7 @@ def run_serve(config: ServeConfig | None = None) -> dict:
         },
         "pool": pool_report,
         "accounting": accounting,
-        "operations": _per_operation(multi.samples),
+        "operations": per_operation(multi.samples),
         "metrics": registry.snapshot(),
         "drift": drift.report(),
     }

@@ -48,6 +48,18 @@ Commands
     report embeds the run's metrics snapshot and cost-model drift
     report, which ``repro stats`` renders.
 
+``serve [--port P] [--clients N] [--profile fig14|fig16] [--ops K]
+[--drift-interval SEC] [--out BENCH_serve.json] [--addr-file F]``
+    Run the long-lived serving daemon (:mod:`repro.server`): client
+    threads replay the seeded operation stream in a loop while an HTTP
+    endpoint serves ``GET /metrics`` (live Prometheus exposition),
+    ``GET /healthz`` (accounting invariant + quarantine state +
+    hit-rate sanity as JSON; non-200 on violation), and ``GET /stats``
+    (the ``repro stats`` JSON payload).  Drift ratios are re-published
+    every ``--drift-interval`` seconds.  ``--port 0`` binds an
+    ephemeral port (written to ``--addr-file``); SIGINT/SIGTERM drain
+    gracefully and write a final report to ``--out``.
+
 ``stats [--in BENCH_serve.json] [--json] [--prometheus]``
     Render the telemetry embedded in a serve report: the accounting
     invariant, the cost-model drift table (observed vs predicted page
@@ -166,6 +178,61 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=Path("BENCH_serve.json"),
         help="where to write the JSON report",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="long-lived serving daemon with an HTTP metrics endpoint"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000, help="HTTP port (0 binds an ephemeral one)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    serve.add_argument("--clients", type=int, default=4, help="client threads")
+    serve.add_argument(
+        "--ops",
+        type=int,
+        default=200,
+        help="length of the seeded stream replayed in a loop",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--capacity", type=int, default=256, help="shared buffer pool pages"
+    )
+    serve.add_argument(
+        "--io-micros",
+        type=float,
+        default=150.0,
+        help="simulated device latency per charged page (microseconds)",
+    )
+    serve.add_argument(
+        "--profile",
+        choices=["fig14", "fig16"],
+        default="fig14",
+        help="application shape to serve (Figure 14 or Figure 16 mix)",
+    )
+    serve.add_argument(
+        "--drift-interval",
+        type=float,
+        default=5.0,
+        help="seconds between drift/accounting re-publications",
+    )
+    serve.add_argument(
+        "--max-spans",
+        type=int,
+        default=256,
+        help="per-context span-ring bound (long-lived workers stay bounded)",
+    )
+    serve.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_serve.json"),
+        help="where the final drain report is written",
+    )
+    serve.add_argument(
+        "--addr-file",
+        type=Path,
+        default=None,
+        help="write the bound host:port here once listening",
     )
 
     stats = commands.add_parser(
@@ -566,6 +633,29 @@ def _cmd_bench(args, out) -> int:
     return 0 if report["accounting"]["ok"] else 1
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.bench.serve import ServeConfig
+    from repro.server import ServeDaemon, ServerConfig
+
+    config = ServerConfig(
+        serve=ServeConfig(
+            clients=args.clients,
+            ops=args.ops,
+            seed=args.seed,
+            capacity=args.capacity,
+            io_micros=args.io_micros,
+            profile=args.profile,
+            max_spans=args.max_spans,
+        ),
+        host=args.host,
+        port=args.port,
+        drift_interval=args.drift_interval,
+        out=str(args.out),
+        addr_file=str(args.addr_file) if args.addr_file is not None else None,
+    )
+    return ServeDaemon(config).run(out=out)
+
+
 def _cmd_stats(args, out) -> int:
     from repro.telemetry import MetricsRegistry, format_stats
 
@@ -600,6 +690,7 @@ def _cmd_stats(args, out) -> int:
 _COMMANDS = {
     "figures": _cmd_figures,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "stats": _cmd_stats,
     "advise": _cmd_advise,
     "validate": _cmd_validate,

@@ -31,6 +31,7 @@ which the concurrency stress suite asserts after mixed traffic.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -46,7 +47,7 @@ __all__ = ["RWLock", "ContextPool"]
 
 
 class RWLock:
-    """A readers-writer lock with a reentrant writer.
+    """A readers-writer lock with a reentrant writer and writer preference.
 
     * Any number of threads may hold the read side at once.
     * The write side is exclusive against readers and other writers.
@@ -55,13 +56,29 @@ class RWLock:
       the read side while writing.
     * Upgrading (read held, write requested by the same thread) is
       refused with :class:`RuntimeError` instead of deadlocking.
+    * **Writers are preferred**: once a writer is queued, threads that do
+      not already hold the read (or write) side stop being admitted as
+      readers, so a saturating read stream cannot starve ``flush`` or
+      ``recover`` indefinitely — the queued writer acquires as soon as
+      the readers admitted before it drain.  Threads already holding the
+      read side may still re-acquire it (reentrant reads), otherwise a
+      waiting writer and a nested read would deadlock each other.
+
+    ``metrics`` (optional, also settable after construction) is a
+    :class:`~repro.telemetry.registry.MetricsRegistry` into which every
+    non-reentrant write acquisition publishes its queueing delay as the
+    ``lock.writer_wait_ms`` histogram — the update-latency tail the serve
+    benchmarks watch.  An uncontended acquisition observes 0.0 without
+    reading the clock, so the fast path stays wall-clock-free.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
         self._cond = threading.Condition()
         self._readers: dict[int, int] = {}
         self._writer: int | None = None
         self._write_depth = 0
+        self._writers_waiting = 0
+        self.metrics = metrics
 
     @contextmanager
     def read(self) -> Iterator[None]:
@@ -82,9 +99,19 @@ class RWLock:
     def acquire_read(self) -> None:
         me = threading.get_ident()
         with self._cond:
-            while self._writer is not None and self._writer != me:
+            while not self._may_read(me):
                 self._cond.wait()
             self._readers[me] = self._readers.get(me, 0) + 1
+
+    def _may_read(self, me: int) -> bool:
+        """Whether ``me`` may be admitted as a reader right now."""
+        if self._writer == me:
+            return True  # reading under one's own write lock
+        if self._writer is not None:
+            return False
+        # Writer preference: a queued writer blocks *new* readers, but a
+        # thread already holding the read side may re-enter.
+        return not self._writers_waiting or bool(self._readers.get(me))
 
     def release_read(self) -> None:
         me = threading.get_ident()
@@ -98,6 +125,7 @@ class RWLock:
 
     def acquire_write(self) -> None:
         me = threading.get_ident()
+        start = None
         with self._cond:
             if self._writer == me:
                 self._write_depth += 1
@@ -107,10 +135,23 @@ class RWLock:
                     "read->write upgrade is not supported: release the read "
                     "side before requesting the write side"
                 )
-            while self._writer is not None or self._readers:
-                self._cond.wait()
+            if self.metrics is not None and (
+                self._writer is not None or self._readers
+            ):
+                start = time.perf_counter()
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
             self._writer = me
             self._write_depth = 1
+        if self.metrics is not None:
+            waited_ms = (
+                0.0 if start is None else (time.perf_counter() - start) * 1e3
+            )
+            self.metrics.observe("lock.writer_wait_ms", waited_ms)
 
     def release_write(self) -> None:
         me = threading.get_ident()
@@ -126,6 +167,12 @@ class RWLock:
     def write_held(self) -> bool:
         """True when the *calling* thread holds the write side."""
         return self._writer == threading.get_ident()
+
+    @property
+    def writers_waiting(self) -> int:
+        """Writers currently queued (blocking new reader admissions)."""
+        with self._cond:
+            return self._writers_waiting
 
 
 class ContextPool:

@@ -1,0 +1,442 @@
+"""`repro serve` — a long-lived serving daemon with HTTP observability.
+
+Everything before this module runs and exits: the bench replays a
+stream once, writes ``BENCH_serve.json``, and the telemetry it gathered
+is only inspectable after the fact.  :class:`ServeDaemon` turns the same
+machinery (:func:`~repro.bench.serve.build_world` /
+:func:`~repro.bench.serve.drive_operation`) into a *service*: client
+threads replay the seeded operation stream in a loop over the shared
+:class:`~repro.concurrency.ContextPool`, while a stdlib
+:class:`~http.server.ThreadingHTTPServer` exposes the live registry:
+
+``GET /metrics``
+    The Prometheus text exposition of the live
+    :class:`~repro.telemetry.registry.MetricsRegistry` — scrape it.
+``GET /healthz``
+    The accounting invariant (shared totals == retired + Σ live
+    per-worker totals), quarantine state of every managed ASR, and a
+    hit-rate sanity check, as JSON.  Any violation turns the response
+    into a 503, so a liveness probe catches torn accounting the moment
+    it happens instead of at bench exit.
+``GET /stats``
+    The ``repro stats`` JSON payload (metrics snapshot + drift report +
+    accounting), computed fresh per request.
+
+A background publisher re-snapshots the
+:class:`~repro.telemetry.drift.DriftMonitor` (and the accounting gauges)
+every ``drift_interval`` seconds, so the predicted-vs-observed ratios a
+scrape sees are at most one interval old rather than frozen at startup.
+
+Health checks and the publisher compute accounting under the manager's
+*write* lock — the only quiescent point for the shared-vs-Σ-workers
+comparison while clients are mid-flight.  That is exactly the writer
+that the :class:`~repro.concurrency.RWLock` starvation fix protects: a
+saturating read stream can no longer park ``/healthz`` forever.
+
+SIGINT/SIGTERM (or :meth:`ServeDaemon.shutdown`) trigger a graceful
+drain: stop admitting operations, join the clients, flush the ASR
+manager's batched maintenance queues, retire every pool context, and
+write a final ``BENCH_serve.json``-shaped report — ``repro stats``
+renders it like any bench report.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.asr.journal import ASRState
+from repro.bench.serve import (
+    OpSample,
+    ServeConfig,
+    ServeWorld,
+    build_world,
+    drive_operation,
+    per_operation,
+    write_report,
+)
+from repro.query.evaluator import QueryEvaluator
+from repro.query.planner import Planner
+from repro.workload.opstream import Operation
+
+__all__ = ["ServerConfig", "ServeDaemon"]
+
+
+@dataclass
+class ServerConfig:
+    """Knobs of one daemon (all reachable from ``repro serve``)."""
+
+    #: The replayed workload and world shape (stream length ``ops`` is
+    #: the *period* of the replay loop, not a total).
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    host: str = "127.0.0.1"
+    #: TCP port for the endpoint; 0 binds an ephemeral one.
+    port: int = 8000
+    #: Seconds between drift/accounting re-publications.
+    drift_interval: float = 5.0
+    #: Where the final drain report is written.
+    out: str = "BENCH_serve.json"
+    #: Optional file the daemon writes ``host:port`` into once bound —
+    #: how tests and the CI smoke job discover an ephemeral port.
+    addr_file: str | None = None
+    #: Newest operation samples kept for the final latency table (the
+    #: registry histograms cover *every* operation regardless).
+    max_samples: int = 10_000
+
+
+class ServeDaemon:
+    """The long-lived serving process behind ``repro serve``.
+
+    Lifecycle: :meth:`start` builds the world and launches the client,
+    publisher, and HTTP threads; :meth:`shutdown` drains and writes the
+    final report; :meth:`run` is the blocking CLI entry point that wires
+    SIGINT/SIGTERM between the two.  Tests drive start/shutdown
+    directly.
+    """
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.world: ServeWorld | None = None
+        self._io_seconds = self.config.serve.io_micros / 1e6
+        self._stop = threading.Event()
+        self._samples: deque[OpSample] = deque(maxlen=self.config.max_samples)
+        self._samples_lock = threading.Lock()
+        self._ops_served = 0
+        self._op_index = 0
+        self._index_lock = threading.Lock()
+        self._stream: list[Operation] = []
+        self._clients: list[threading.Thread] = []
+        self._publisher: threading.Thread | None = None
+        self._httpd: ThreadingHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self._errors: list[BaseException] = []
+        self._report: dict | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ServeDaemon":
+        """Build the world, bind the endpoint, launch every thread."""
+        config = self.config
+        self.world = build_world(config.serve)
+        self._stream = self.world.stream()
+        self._started_at = time.perf_counter()
+        self.world.registry.gauge_fn(
+            "serve.uptime_seconds",
+            lambda: time.perf_counter() - self._started_at,
+        )
+        self.world.registry.gauge_fn(
+            "serve.live_clients",
+            lambda: sum(thread.is_alive() for thread in self._clients),
+        )
+        self._httpd = ThreadingHTTPServer(
+            (config.host, config.port), _make_handler(self)
+        )
+        self._httpd.daemon_threads = True
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True
+        )
+        self._http_thread.start()
+        if config.addr_file:
+            host, port = self.address
+            with open(config.addr_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host}:{port}\n")
+        self._clients = [
+            threading.Thread(
+                target=self._client_loop,
+                args=(k,),
+                name=f"serve-client-{k}",
+                daemon=True,
+            )
+            for k in range(config.serve.clients)
+        ]
+        for thread in self._clients:
+            thread.start()
+        self._publisher = threading.Thread(
+            target=self._publisher_loop, name="serve-publisher", daemon=True
+        )
+        self._publisher.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``--port 0``."""
+        if self._httpd is None:
+            raise RuntimeError("daemon not started")
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def ops_served(self) -> int:
+        """Operations completed so far (all clients)."""
+        with self._samples_lock:
+            return self._ops_served
+
+    def request_stop(self) -> None:
+        """Stop admitting operations (signal handlers land here)."""
+        self._stop.set()
+
+    def shutdown(self) -> dict:
+        """Graceful drain; returns (and writes) the final report.
+
+        Drain order: stop admitting ops → join clients and publisher →
+        flush the manager's batched maintenance queues → verify
+        consistency → close the manager and retire every pool context →
+        final drift publication and accounting check → write the report
+        → stop the HTTP endpoint.  Idempotent.
+        """
+        if self._report is not None:
+            return self._report
+        self._stop.set()
+        for thread in self._clients:
+            thread.join()
+        if self._publisher is not None:
+            self._publisher.join()
+        world = self.world
+        flushed_rows = world.manager.flush()
+        world.manager.check_consistency()
+        world.manager.close()
+        world.pool.close()
+        world.drift.publish(world.registry)
+        accounting = world.pool.check_accounting(world.registry)
+        uptime = time.perf_counter() - self._started_at
+        with self._samples_lock:
+            samples = list(self._samples)
+            ops_served = self._ops_served
+        host, port = self.address
+        config = self.config
+        self._report = {
+            "benchmark": "serve",
+            "mode": "daemon",
+            "config": {
+                "clients": config.serve.clients,
+                "ops": config.serve.ops,
+                "seed": config.serve.seed,
+                "capacity": config.serve.capacity,
+                "io_micros": config.serve.io_micros,
+                "query_fraction": config.serve.query_fraction,
+                "profile": config.serve.profile,
+                "max_spans": config.serve.max_spans,
+                "host": host,
+                "port": port,
+                "drift_interval": config.drift_interval,
+            },
+            "uptime_seconds": round(uptime, 3),
+            "ops_served": ops_served,
+            "throughput_ops_per_s": round(ops_served / uptime, 2) if uptime else 0.0,
+            "operations": per_operation(samples),
+            "sampled_operations": len(samples),
+            "drained": {
+                "flushed_rows": flushed_rows,
+                "errors": [repr(error) for error in self._errors],
+            },
+            "pool": world.pool.describe(),
+            "accounting": accounting,
+            "metrics": world.registry.snapshot(),
+            "drift": world.drift.report(),
+        }
+        write_report(self._report, self.config.out)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._http_thread.join()
+        return self._report
+
+    def run(self, out=None) -> int:
+        """Serve until SIGINT/SIGTERM, then drain.  The CLI entry point."""
+        out = out or sys.stdout
+        self.start()
+        host, port = self.address
+        print(
+            f"serving on http://{host}:{port}  "
+            f"(GET /metrics /healthz /stats; drift republished every "
+            f"{self.config.drift_interval:g}s; SIGTERM drains)",
+            file=out,
+            flush=True,
+        )
+        self._install_signal_handlers()
+        try:
+            while not self._stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:
+            self._stop.set()
+        report = self.shutdown()
+        drained = report["drained"]
+        print(
+            f"drained after {report['uptime_seconds']:g}s: "
+            f"{report['ops_served']} op(s) served "
+            f"({report['throughput_ops_per_s']:g} ops/s), "
+            f"{drained['flushed_rows']} maintenance row(s) flushed, "
+            f"accounting "
+            f"{'consistent' if report['accounting']['ok'] else 'INCONSISTENT'} "
+            f"-> {self.config.out}",
+            file=out,
+            flush=True,
+        )
+        return 0 if report["accounting"]["ok"] and not drained["errors"] else 1
+
+    def _install_signal_handlers(self) -> None:
+        def handle(_signum, _frame) -> None:
+            self.request_stop()
+
+        try:
+            signal.signal(signal.SIGINT, handle)
+            signal.signal(signal.SIGTERM, handle)
+        except ValueError:  # pragma: no cover - not on the main thread
+            pass
+
+    # ------------------------------------------------------------------
+    # the replay loop
+    # ------------------------------------------------------------------
+
+    def _next_op(self) -> Operation | None:
+        """The next operation of the cyclic replay, None once draining."""
+        if self._stop.is_set():
+            return None
+        with self._index_lock:
+            index = self._op_index
+            self._op_index += 1
+        return self._stream[index % len(self._stream)]
+
+    def _client_loop(self, k: int) -> None:
+        world = self.world
+        try:
+            with world.pool.context() as context:
+                planner = Planner(world.manager, drift=world.drift)
+                evaluator = QueryEvaluator(
+                    world.generated.db, world.generated.store, context=context
+                )
+                while True:
+                    op = self._next_op()
+                    if op is None:
+                        return
+                    sample = drive_operation(
+                        world, context, planner, evaluator, op, self._io_seconds
+                    )
+                    with self._samples_lock:
+                        self._samples.append(sample)
+                        self._ops_served += 1
+                    world.registry.inc("serve.ops", op=op.name, kind=op.kind)
+        except BaseException as error:  # noqa: BLE001 - reported in the drain
+            self._errors.append(error)
+            self._stop.set()
+
+    def _publisher_loop(self) -> None:
+        interval = max(self.config.drift_interval, 0.05)
+        while not self._stop.wait(interval):
+            self.republish()
+
+    def republish(self) -> None:
+        """One drift + accounting re-publication (the scrape freshener)."""
+        world = self.world
+        with world.manager.exclusive():
+            world.pool.check_accounting(world.registry)
+        world.drift.publish(world.registry)
+        world.registry.inc("serve.drift_republished")
+
+    # ------------------------------------------------------------------
+    # endpoint payloads
+    # ------------------------------------------------------------------
+
+    def health(self) -> tuple[bool, dict]:
+        """The ``/healthz`` verdict and payload.
+
+        Computed under the manager's write lock — the quiescent point at
+        which the accounting comparison and the ASR states are exact.
+        """
+        world = self.world
+        with world.manager.exclusive():
+            accounting = world.pool.check_accounting(world.registry)
+            asrs = [
+                {
+                    "path": str(asr.path),
+                    "extension": asr.extension.value,
+                    "state": asr.state.value,
+                }
+                for asr in world.manager.asrs
+            ]
+        hit_rate = world.pool.pool.hit_rate
+        hit_rate_ok = 0.0 <= hit_rate <= 1.0
+        quarantined = [
+            entry["path"]
+            for entry in asrs
+            if entry["state"] != ASRState.CONSISTENT.value
+        ]
+        ok = bool(accounting["ok"]) and hit_rate_ok and not quarantined
+        payload = {
+            "ok": ok,
+            "status": "draining" if self._stop.is_set() else "serving",
+            "uptime_seconds": round(time.perf_counter() - self._started_at, 3),
+            "ops_served": self.ops_served,
+            "accounting": accounting,
+            "hit_rate": round(hit_rate, 4),
+            "hit_rate_ok": hit_rate_ok,
+            "quarantined": quarantined,
+            "asrs": asrs,
+        }
+        return ok, payload
+
+    def stats_payload(self) -> dict:
+        """The ``/stats`` payload — the ``repro stats --json`` triple."""
+        world = self.world
+        with world.manager.exclusive():
+            accounting = world.pool.check_accounting(world.registry)
+        return {
+            "metrics": world.registry.snapshot(),
+            "drift": world.drift.report(),
+            "accounting": accounting,
+        }
+
+
+def _make_handler(daemon: ServeDaemon) -> type:
+    """A request handler class closed over ``daemon``."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-serve/1.0"
+
+        def log_message(self, *_args) -> None:  # keep the daemon's stdout clean
+            pass
+
+        def _send(self, status: int, content_type: str, body: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_json(self, status: int, payload: dict) -> None:
+            self._send(status, "application/json", json.dumps(payload, indent=2))
+
+        def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            try:
+                if self.path == "/metrics":
+                    self._send(
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        daemon.world.registry.render_prometheus(),
+                    )
+                elif self.path == "/healthz":
+                    ok, payload = daemon.health()
+                    self._send_json(200 if ok else 503, payload)
+                elif self.path == "/stats":
+                    self._send_json(200, daemon.stats_payload())
+                else:
+                    self._send_json(
+                        404,
+                        {
+                            "error": f"unknown path {self.path!r}",
+                            "endpoints": ["/metrics", "/healthz", "/stats"],
+                        },
+                    )
+            except Exception as error:  # noqa: BLE001 - surfaced to the client
+                self._send_json(500, {"error": repr(error)})
+
+    return Handler

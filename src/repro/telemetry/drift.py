@@ -225,23 +225,32 @@ class DriftMonitor:
     def observe_update(self, level: int, asrs, observed_pages: float) -> None:
         """Record one ``ins_level`` and its measured maintenance pages.
 
-        The measured delta covers every maintained ASR at once, so the
-        prediction sums the per-ASR maintenance terms; the drift key
-        names the first ASR's shape (serve runs maintain exactly one).
+        The measured delta covers every maintained ASR at once, but one
+        (extension, decomposition) key must not absorb another's pages:
+        the delta is apportioned per ASR by its share of the summed
+        per-ASR predictions (evenly when the model predicts zero for
+        all), and one sample is recorded per ASR under its own key.
+        With a single maintained ASR this is exactly the whole delta
+        against the whole prediction.
         """
         if self.predictor is None or not asrs:
             return
         predictions = [self.predictor.predict_update(level, asr) for asr in asrs]
         if any(p is None for p in predictions):
             return
-        first = asrs[0]
-        self.record(
-            first.extension.value,
-            str(type_decomposition(first)),
-            f"ins_{level}",
-            sum(predictions),
-            observed_pages,
-        )
+        total_predicted = sum(predictions)
+        for asr, predicted in zip(asrs, predictions):
+            if total_predicted > 0:
+                share = observed_pages * (predicted / total_predicted)
+            else:
+                share = observed_pages / len(asrs)
+            self.record(
+                asr.extension.value,
+                str(type_decomposition(asr)),
+                f"ins_{level}",
+                predicted,
+                share,
+            )
 
     # ------------------------------------------------------------------
     # reporting

@@ -62,6 +62,22 @@ def _sanitize(name: str) -> str:
     return cleaned
 
 
+def _escape_label_value(value) -> str:
+    """A label value escaped per the Prometheus text exposition spec.
+
+    Inside a quoted label value, backslash, double-quote, and line feed
+    must appear as ``\\\\``, ``\\"``, and ``\\n`` — otherwise a value
+    like ``dec("a")`` terminates the quote early and the whole sample
+    line becomes unparseable.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def bucket_index(value: float) -> int | None:
     """The fixed log-scale bucket holding ``value``.
 
@@ -287,7 +303,8 @@ class MetricsRegistry:
             if not merged:
                 return ""
             inner = ",".join(
-                f'{_sanitize(k)}="{v}"' for k, v in sorted(merged.items())
+                f'{_sanitize(k)}="{_escape_label_value(v)}"'
+                for k, v in sorted(merged.items())
             )
             return "{" + inner + "}"
 

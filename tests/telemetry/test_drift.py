@@ -190,6 +190,42 @@ class TestDriftMonitor:
         assert entry["op"] == "ins_1"
         assert entry["predicted_pages"] == pytest.approx(2 * single, abs=0.01)
 
+    def test_observe_update_apportions_across_distinct_asrs(self):
+        # Two ASRs of different extensions over the same path: one
+        # measured page delta must split per ASR by prediction share and
+        # land under per-ASR keys — not all on the first ASR.
+        generated = ChainGenerator(seed=9).generate(SMALL)
+        manager = ASRManager(generated.db)
+        manager.create(generated.path, Extension.FULL)
+        manager.create(generated.path, Extension.LEFT)
+        full, left = manager.asrs
+        assert full.extension is not left.extension
+        predictor = CostModelPredictor(SMALL)
+        monitor = DriftMonitor(predictor)
+        predictions = {
+            asr.extension.value: predictor.predict_update(1, asr)
+            for asr in (full, left)
+        }
+        observed = 30.0
+        monitor.observe_update(1, [full, left], observed_pages=observed)
+
+        entries = {e["extension"]: e for e in monitor.report()["by_key"]}
+        assert set(entries) == {"full", "left"}
+        total_predicted = sum(predictions.values())
+        for name, entry in entries.items():
+            assert entry["op"] == "ins_1"
+            # Each key carries its *own* prediction...
+            assert entry["predicted_pages"] == pytest.approx(
+                predictions[name], abs=0.01
+            )
+            # ...and its proportional share of the one observed delta.
+            assert entry["observed_pages"] == pytest.approx(
+                observed * predictions[name] / total_predicted, abs=0.01
+            )
+        assert sum(e["observed_pages"] for e in entries.values()) == pytest.approx(
+            observed, abs=0.02
+        )
+
     def test_observe_without_predictor_is_a_noop(self, world):
         _generated, manager = world
         monitor = DriftMonitor()

@@ -1,6 +1,7 @@
 """MetricsRegistry: buckets, families, snapshots, exposition, threads."""
 
 import json
+import re
 import threading
 
 from repro.telemetry import MetricsRegistry
@@ -181,6 +182,56 @@ class TestPrometheus:
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
+
+    def test_label_values_escaped_per_exposition_format(self):
+        # The text format requires \\, \", and \n escapes inside label
+        # values — anything else corrupts the whole scrape.
+        registry = MetricsRegistry()
+        hostile = 'quote:" backslash:\\ newline:\n end'
+        registry.inc("ops", path=hostile)
+        text = registry.render_prometheus()
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("repro_ops_total{")
+        )
+        assert '\\"' in line
+        assert "\\\\" in line
+        assert "\\n" in line
+        assert "\n" not in line  # the raw newline must not split the line
+
+    def test_hostile_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        hostile = {
+            "a": 'x="1"',
+            "b": "back\\slash",
+            "c": "multi\nline\nvalue",
+            "d": 'all three: \\ " \n!',
+        }
+        for key, value in hostile.items():
+            registry.inc("ops", key=key, payload=value)
+        text = registry.render_prometheus()
+
+        def unescape(value: str) -> str:
+            out, i = [], 0
+            while i < len(value):
+                if value[i] == "\\" and i + 1 < len(value):
+                    out.append(
+                        {"n": "\n", "\\": "\\", '"': '"'}[value[i + 1]]
+                    )
+                    i += 2
+                else:
+                    out.append(value[i])
+                    i += 1
+            return "".join(out)
+
+        recovered = {}
+        for line in text.splitlines():
+            if not line.startswith("repro_ops_total{"):
+                continue
+            labels = dict(
+                re.findall(r'(\w+)="((?:[^"\\]|\\.)*)"', line)
+            )
+            recovered[unescape(labels["key"])] = unescape(labels["payload"])
+        assert recovered == hostile
 
 
 class TestConcurrentPublishers:

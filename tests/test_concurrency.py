@@ -114,6 +114,141 @@ class TestRWLock:
             lock.release_write()
 
 
+class TestWriterPreference:
+    """A queued writer must not starve behind a saturating read stream."""
+
+    def wait_for(self, predicate, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.001)
+        return predicate()
+
+    def test_queued_writer_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()  # main thread holds a read lock
+        writer_in = threading.Event()
+        writer_release = threading.Event()
+        late_reader_in = threading.Event()
+
+        def writer_target():
+            lock.acquire_write()
+            writer_in.set()
+            writer_release.wait(timeout=5)
+            lock.release_write()
+
+        def late_reader_target():
+            lock.acquire_read()
+            late_reader_in.set()
+            lock.release_read()
+
+        writer = threading.Thread(target=writer_target)
+        writer.start()
+        assert self.wait_for(lambda: lock.writers_waiting == 1)
+
+        late_reader = threading.Thread(target=late_reader_target)
+        late_reader.start()
+        # The late reader queues behind the waiting writer instead of
+        # joining the current read phase.
+        time.sleep(0.05)
+        assert not late_reader_in.is_set()
+        assert not writer_in.is_set()
+
+        lock.release_read()
+        # The writer wins the race for the released lock.
+        assert writer_in.wait(timeout=5)
+        assert not late_reader_in.is_set()
+        writer_release.set()
+        assert late_reader_in.wait(timeout=5)
+        writer.join()
+        late_reader.join()
+
+    def test_writer_acquires_under_saturating_readers(self):
+        lock = RWLock()
+        stop = threading.Event()
+        acquired = threading.Event()
+
+        def reader(_k):
+            while not stop.is_set():
+                with lock.read():
+                    time.sleep(0.001)
+
+        readers = [threading.Thread(target=reader, args=(k,)) for k in range(6)]
+        for thread in readers:
+            thread.start()
+
+        def writer():
+            with lock.write():
+                acquired.set()
+
+        thread = threading.Thread(target=writer)
+        try:
+            thread.start()
+            # Under reader-preference this times out: with six readers
+            # overlapping, the reader count never reaches zero.
+            assert acquired.wait(timeout=5.0), "writer starved by readers"
+        finally:
+            stop.set()
+            thread.join()
+            for reader_thread in readers:
+                reader_thread.join()
+
+    def test_reentrant_read_admitted_while_writer_waits(self):
+        # A thread that already reads must be allowed to read again even
+        # with a writer queued, else it deadlocks against itself.
+        lock = RWLock()
+        lock.acquire_read()
+        writer = threading.Thread(target=lambda: (lock.acquire_write(),
+                                                  lock.release_write()))
+        writer.start()
+        assert self.wait_for(lambda: lock.writers_waiting == 1)
+        with lock.read():  # must not block
+            pass
+        lock.release_read()
+        writer.join()
+
+    def test_writer_wait_histogram_published(self):
+        registry = MetricsRegistry()
+        lock = RWLock(metrics=registry)
+        release = threading.Event()
+        reader_in = threading.Event()
+
+        def reader():
+            with lock.read():
+                reader_in.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert reader_in.wait(timeout=5)
+
+        def writer():
+            with lock.write():
+                pass
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        assert self.wait_for(lambda: lock.writers_waiting == 1)
+        time.sleep(0.01)  # make the contended wait measurable
+        release.set()
+        writer_thread.join()
+        thread.join()
+
+        histogram = registry.histogram("lock.writer_wait_ms")
+        assert histogram is not None and histogram.count >= 1
+        assert histogram.total > 0.0
+
+    def test_uncontended_write_records_zero_wait(self):
+        registry = MetricsRegistry()
+        lock = RWLock(metrics=registry)
+        with lock.write():
+            pass
+        histogram = registry.histogram("lock.writer_wait_ms")
+        assert histogram is not None and histogram.count == 1
+        assert histogram.total == 0.0
+
+
 class TestContextPool:
     def test_capacity_validated(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,234 @@
+"""The long-lived serve daemon: endpoints, health, graceful drain, CLI."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.bench.serve import ServeConfig
+from repro.server import ServeDaemon, ServerConfig
+from repro.workload.opstream import apply_update, operation_stream
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def tiny_config(tmp_path, **overrides) -> ServerConfig:
+    defaults = dict(
+        serve=ServeConfig(
+            clients=2, ops=24, seed=7, capacity=64, io_micros=20.0, max_spans=64
+        ),
+        port=0,
+        drift_interval=0.1,
+        out=str(tmp_path / "BENCH_serve.json"),
+    )
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+def get(daemon: ServeDaemon, path: str):
+    """GET an endpoint; returns (status, content_type, body) even on 5xx."""
+    host, port = daemon.address
+    try:
+        with urllib.request.urlopen(f"http://{host}:{port}{path}", timeout=10) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type"), error.read().decode()
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    instance = ServeDaemon(tiny_config(tmp_path))
+    instance.start()
+    assert wait_until(lambda: instance.ops_served > 0), "no operation completed"
+    yield instance
+    instance.shutdown()
+
+
+def serve_ops_total(exposition: str) -> float:
+    return sum(
+        float(line.rsplit(" ", 1)[1])
+        for line in exposition.splitlines()
+        if line.startswith("repro_serve_ops_total")
+    )
+
+
+class TestEndpoints:
+    def test_metrics_serves_live_prometheus_exposition(self, daemon):
+        status, content_type, body = get(daemon, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "# TYPE repro_pool_hit_rate gauge" in body
+        assert "repro_op_latency_ms_count" in body
+        # The manager's lock publishes its writer queueing delays.
+        assert "repro_lock_writer_wait_ms" in body
+
+    def test_metrics_counters_are_monotone_across_scrapes(self, daemon):
+        _, _, first = get(daemon, "/metrics")
+        assert wait_until(
+            lambda: daemon.ops_served > serve_ops_total(first), timeout=10
+        )
+        _, _, second = get(daemon, "/metrics")
+        assert serve_ops_total(second) > serve_ops_total(first) > 0
+
+    def test_healthz_reports_ok_while_serving(self, daemon):
+        status, content_type, body = get(daemon, "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert content_type == "application/json"
+        assert payload["ok"] is True
+        assert payload["status"] == "serving"
+        assert payload["accounting"]["ok"] is True
+        assert payload["hit_rate_ok"] is True
+        assert payload["quarantined"] == []
+        assert payload["asrs"] and all(
+            entry["state"] == "consistent" for entry in payload["asrs"]
+        )
+
+    def test_healthz_non_200_when_accounting_violated(self, daemon):
+        # Fake a torn charge: the retired accumulator gains a read the
+        # shared pool never saw, so worker totals != shared totals.
+        daemon.world.pool.retired.read(3)
+        status, _, body = get(daemon, "/healthz")
+        payload = json.loads(body)
+        assert status == 503
+        assert payload["ok"] is False
+        assert payload["accounting"]["ok"] is False
+
+    def test_stats_payload_matches_repro_stats_shape(self, daemon):
+        status, _, body = get(daemon, "/stats")
+        payload = json.loads(body)
+        assert status == 200
+        assert set(payload) == {"metrics", "drift", "accounting"}
+        assert set(payload["metrics"]) == {"counters", "gauges", "histograms"}
+        assert payload["accounting"]["ok"] is True
+        # Rendered exactly like a written report, via the shared backend.
+        from repro.telemetry import format_stats
+
+        assert "accounting" in format_stats(
+            payload["metrics"], payload["drift"], payload["accounting"]
+        )
+
+    def test_unknown_path_is_404_with_directory(self, daemon):
+        status, _, body = get(daemon, "/nope")
+        assert status == 404
+        assert "/metrics" in json.loads(body)["endpoints"]
+
+    def test_drift_republished_on_interval(self, daemon):
+        registry = daemon.world.registry
+
+        def republished():
+            return registry.counter_value("serve.drift_republished")
+
+        first = republished()
+        assert wait_until(lambda: republished() > first, timeout=10)
+        # The re-publication refreshes the ratio gauges, not just a counter.
+        assert registry.gauge_value("drift.overall_geo_mean_ratio") is not None
+
+
+class TestGracefulDrain:
+    def test_shutdown_flushes_batched_maintenance_and_writes_report(self, tmp_path):
+        config = tiny_config(tmp_path)
+        daemon = ServeDaemon(config).start()
+        assert wait_until(lambda: daemon.ops_served > 0)
+        manager = daemon.world.manager
+        # Leave maintenance pending at the drain boundary: open a batch
+        # (never exited) and mutate the graph under the write lock.
+        batch = manager.batch()
+        batch.__enter__()
+        update = next(
+            op
+            for op in operation_stream(
+                daemon.world.generated,
+                config.serve.resolved_profile()[1],
+                count=40,
+                seed=3,
+                query_fraction=0.0,
+            )
+            if op.kind == "update"
+        )
+        with manager.exclusive():
+            apply_update(daemon.world.generated, update)
+
+        report = daemon.shutdown()
+        assert manager.pending_regions == 0, "drain did not flush batched queues"
+        assert manager.closed
+        assert daemon.world.pool.contexts == []  # every context retired
+        assert report["accounting"]["ok"] is True
+        assert report["drained"]["errors"] == []
+        written = json.loads(Path(config.out).read_text())
+        assert written["benchmark"] == "serve"
+        assert written["mode"] == "daemon"
+        assert written["ops_served"] > 0
+        assert written["operations"], "per-operation latency table missing"
+        batch.__exit__(None, None, None)
+
+    def test_shutdown_is_idempotent(self, tmp_path):
+        daemon = ServeDaemon(tiny_config(tmp_path)).start()
+        first = daemon.shutdown()
+        assert daemon.shutdown() is first
+
+    def test_stop_admission_precedes_drain(self, tmp_path):
+        daemon = ServeDaemon(tiny_config(tmp_path)).start()
+        daemon.request_stop()
+        report = daemon.shutdown()
+        # Once stopped, no further ops are admitted.
+        assert report["ops_served"] == daemon.ops_served
+
+
+class TestServeCLI:
+    def test_daemon_serves_and_drains_on_sigterm(self, tmp_path):
+        addr_file = tmp_path / "serve.addr"
+        out = tmp_path / "BENCH_serve.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--clients", "2", "--ops", "24",
+                "--io-micros", "20", "--drift-interval", "0.2",
+                "--addr-file", str(addr_file), "--out", str(out),
+            ],
+            cwd=tmp_path,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            assert wait_until(addr_file.exists, timeout=30), "daemon never bound"
+            addr = addr_file.read_text().strip()
+            with urllib.request.urlopen(f"http://{addr}/healthz", timeout=10) as resp:
+                assert resp.status == 200
+                assert json.load(resp)["ok"] is True
+            with urllib.request.urlopen(f"http://{addr}/metrics", timeout=10) as resp:
+                assert b"repro_serve_ops_total" in resp.read()
+            process.send_signal(signal.SIGTERM)
+            stdout, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stdout
+        assert "serving on http://" in stdout
+        assert "drained after" in stdout
+        report = json.loads(out.read_text())
+        assert report["mode"] == "daemon"
+        assert report["accounting"]["ok"] is True
