@@ -27,7 +27,13 @@ from repro.errors import (
     StorageError,
     TypingError,
 )
-from repro.concurrency import ContextPool, RWLock
+from repro.concurrency import ContextPool, RWLock, ThreadLocalContexts
+from repro.device import (
+    DeviceModel,
+    FixedLatency,
+    LognormalLatency,
+    parse_io_dist,
+)
 from repro.context import ExecutionContext, Span
 from repro.errors import ExitHookError
 from repro.faults import FaultInjector
@@ -97,6 +103,12 @@ __all__ = [
     "FaultInjector",
     "ContextPool",
     "RWLock",
+    "ThreadLocalContexts",
+    # simulated device
+    "DeviceModel",
+    "FixedLatency",
+    "LognormalLatency",
+    "parse_io_dist",
     # object model
     "NULL",
     "OID",

@@ -571,6 +571,18 @@ class ASRManager:
 
         ``asr`` restricts recovery to one relation (it need not be
         quarantined — recovering a consistent ASR is a no-op).
+
+        **Lock discipline**: each retry *attempt* runs under the write
+        lock, but the backoff sleeps between attempts happen with the
+        lock released — readers keep making progress through the retry
+        ladder (planners route around the still-quarantined ASR), and a
+        saturating read stream cannot be stalled for the whole
+        exponential backoff total.  When recovery runs nested inside a
+        frame that already holds the write side (the auto-recover path
+        inside a flush, or ``verify(repair=True)``), the reentrant lock
+        stays held across the sleeps by the *outer* frames; that ladder
+        is capped at ``max_retries`` sleeps of
+        ``retry_backoff * 2**k`` seconds.
         """
         with self.lock.write():
             targets = (
@@ -579,97 +591,112 @@ class ASRManager:
                 else [a for a in self.asrs if a.state is not ASRState.CONSISTENT]
             )
             targets = [a for a in targets if a.state is not ASRState.CONSISTENT]
-            if not targets:
-                return 0
-            retries = self.DEFAULT_MAX_RETRIES if max_retries is None else max_retries
-            injector = self._injector()
-            target = context if context is not None else self._charge_target()
-            recovered = 0
-            if isinstance(target, ExecutionContext):
-                with target.operation("asr.recover") as scope:
-                    for one in targets:
-                        self._recover_one(one, scope, injector, retries)
-                        recovered += 1
-            else:
+        if not targets:
+            return 0
+        retries = self.DEFAULT_MAX_RETRIES if max_retries is None else max_retries
+        injector = self._injector()
+        target = context if context is not None else self._charge_target()
+        recovered = 0
+        if isinstance(target, ExecutionContext):
+            with target.operation("asr.recover") as scope:
                 for one in targets:
-                    self._recover_one(one, target, injector, retries)
+                    self._recover_one(one, scope, injector, retries)
                     recovered += 1
-            return recovered
+        else:
+            for one in targets:
+                self._recover_one(one, target, injector, retries)
+                recovered += 1
+        return recovered
 
     def _recover_one(self, asr, scope, injector, max_retries: int) -> None:
         # Duck-typed registrants (e.g. the nested-index baseline) have no
         # partitions to reload selectively; they recover via rebuild().
         partitions = getattr(asr, "partitions", None)
-        if partitions is not None and any(p.shared for p in partitions):
-            # A shared partition aggregates witnesses from *other* ASRs:
-            # reloading it wholesale from this ASR's extension would drop
-            # theirs.  Sharing is set up by repro.asr.sharing after the
-            # manager is out of the picture, so refuse loudly.
-            raise RecoveryError(
-                f"cannot recover {asr.path} [{asr.extension.value}]: it has "
-                "shared partitions; rebuild the sharing group instead"
-            )
-        journal = self.journal_for(asr)
+        with self.lock.write():
+            if partitions is not None and any(p.shared for p in partitions):
+                # A shared partition aggregates witnesses from *other*
+                # ASRs: reloading it wholesale from this ASR's extension
+                # would drop theirs.  Sharing is set up by
+                # repro.asr.sharing after the manager is out of the
+                # picture, so refuse loudly.
+                raise RecoveryError(
+                    f"cannot recover {asr.path} [{asr.extension.value}]: it "
+                    "has shared partitions; rebuild the sharing group instead"
+                )
         last_fault: InjectedFault | None = None
         for attempt in range(max(1, max_retries)):
             self._count("asr.recover.attempt")
             if attempt and self.retry_backoff:
+                # Backoff with the write lock released (unless an outer
+                # frame holds it reentrantly — see :meth:`recover`): the
+                # ASR stays quarantined while we sleep, so concurrent
+                # readers proceed and planners route around it.
                 time.sleep(self.retry_backoff * 2 ** (attempt - 1))
-            try:
-                reach(injector, "asr.recover.replay")
-                if journal is not None and partitions is not None:
-                    added, removed = neighbourhood_delta(
-                        self.db,
-                        asr.path,
-                        asr.extension,
-                        asr.extension_relation,
-                        journal.region,
-                    )
-                    # Heal the logical relation only; the (possibly torn)
-                    # trees are replaced wholesale below.
-                    for row in removed:
-                        asr.extension_relation.discard(row)
-                    for row in added:
-                        asr.extension_relation.add(row)
-                reach(injector, "asr.recover.reload")
-                if partitions is None:
-                    asr.rebuild(self.db)
+            with self.lock.write():
+                if asr.state is ASRState.CONSISTENT:
+                    # Another thread healed it during our backoff.
+                    self._count("asr.recover.ok")
+                    return
+                # Re-fetch per attempt: updates absorbed while the lock
+                # was released widen the journal we must replay.
+                journal = self.journal_for(asr)
+                try:
+                    reach(injector, "asr.recover.replay")
+                    if journal is not None and partitions is not None:
+                        added, removed = neighbourhood_delta(
+                            self.db,
+                            asr.path,
+                            asr.extension,
+                            asr.extension_relation,
+                            journal.region,
+                        )
+                        # Heal the logical relation only; the (possibly
+                        # torn) trees are replaced wholesale below.
+                        for row in removed:
+                            asr.extension_relation.discard(row)
+                        for row in added:
+                            asr.extension_relation.add(row)
+                    reach(injector, "asr.recover.reload")
+                    if partitions is None:
+                        asr.rebuild(self.db)
+                    else:
+                        rows = asr.extension_relation.rows
+                        for partition in partitions:
+                            partition.load_from_extension(rows)
+                except SimulatedCrash:
+                    self._mark_quarantined(asr)
+                    raise
+                except InjectedFault as fault:
+                    last_fault = fault
+                    self._mark_quarantined(asr)
+                    continue
                 else:
-                    rows = asr.extension_relation.rows
-                    for partition in partitions:
-                        partition.load_from_extension(rows)
-            except SimulatedCrash:
-                self._mark_quarantined(asr)
-                raise
-            except InjectedFault as fault:
-                last_fault = fault
-                self._mark_quarantined(asr)
-                continue
-            else:
-                self._journals.pop(id(asr), None)
-                self._mark_consistent(asr)
-                self._count("asr.recover.ok")
-                return
+                    self._journals.pop(id(asr), None)
+                    self._mark_consistent(asr)
+                    self._count("asr.recover.ok")
+                    return
         # Retries exhausted: a from-scratch rebuild is the last resort.
-        was_quarantined = asr.state is ASRState.QUARANTINED
-        try:
-            asr.rebuild(self.db)
-        except (InjectedFault, SimulatedCrash) as err:
-            self._mark_quarantined(asr)
-            raise RecoveryError(
-                f"recovery of {asr.path} [{asr.extension.value}] failed after "
-                f"{max_retries} replay attempt(s) and a rebuild attempt"
-            ) from err
-        if was_quarantined:
-            # rebuild() reset the state itself; count the exit here.
-            self._metric_inc(
-                "asr.quarantine.exited",
-                extension=getattr(asr.extension, "value", str(asr.extension)),
-            )
-        self._journals.pop(id(asr), None)
-        self._count("asr.recover.rebuilt")
-        if last_fault is not None:
-            self._count("asr.recover.retries-exhausted")
+        with self.lock.write():
+            was_quarantined = asr.state is ASRState.QUARANTINED
+            try:
+                asr.rebuild(self.db)
+            except (InjectedFault, SimulatedCrash) as err:
+                self._mark_quarantined(asr)
+                raise RecoveryError(
+                    f"recovery of {asr.path} [{asr.extension.value}] failed "
+                    f"after {max_retries} replay attempt(s) and a rebuild "
+                    "attempt"
+                ) from err
+            if was_quarantined:
+                # rebuild() reset the state itself; count the exit here.
+                self._metric_inc(
+                    "asr.quarantine.exited",
+                    extension=getattr(asr.extension, "value", str(asr.extension)),
+                )
+            self._journals.pop(id(asr), None)
+            self._count("asr.recover.rebuilt")
+            if last_fault is not None:
+                self._count("asr.recover.retries-exhausted")
 
     def verify(self, repair: bool = False) -> dict:
         """Inspect (and optionally repair) every managed ASR.

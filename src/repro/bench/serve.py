@@ -2,48 +2,63 @@
 
 The paper's evaluation is single-client: one operation at a time, page
 accesses as the cost measure.  This driver measures the *serving*
-dimension instead: ``clients`` worker threads replay a seeded operation
-stream (:mod:`repro.workload.opstream`) against one chain database, each
-through its own :class:`~repro.context.ExecutionContext` drawn from a
-:class:`~repro.concurrency.ContextPool`, all sharing one bounded LRU
-pool and the ASR manager's readers-writer lock — queries proceed
+dimension instead: a seeded operation stream (:mod:`repro.workload.opstream`)
+replayed against one chain database through a
+:class:`~repro.concurrency.ContextPool`, all workers sharing one bounded
+LRU pool and the ASR manager's readers-writer lock — queries proceed
 concurrently, updates (graph mutation plus eager ASR maintenance) run
 under :meth:`~repro.asr.manager.ASRManager.exclusive`.
 
 Page accesses are still the cost *model*; wall-clock needs an I/O model
-on top.  Every charged page is priced at ``io_micros`` of simulated
-device latency, slept **after** the operation releases its locks — so
-stalls overlap across clients exactly as asynchronous I/O would, and
-the multi-client throughput gain over a single client is real rather
-than a GIL artifact.
+on top.  Every operation's charged pages are priced by a
+:class:`~repro.device.DeviceModel` **after** the operation releases its
+locks, in one of two mechanisms:
+
+* **threaded** — ``clients`` worker threads each replay a slice of the
+  stream and block in :meth:`~repro.device.DeviceModel.charge`; stalls
+  overlap across threads, so in-flight operations are capped at
+  ``clients``.
+* **async** (``--async``) — one asyncio event loop admits up to
+  ``max_inflight`` concurrent operations; each offloads its CPU-bound
+  plan evaluation to a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+  of ``clients`` threads (:func:`execute_operation`, which keeps the
+  exact lock discipline of the threaded path) and then *awaits*
+  :meth:`~repro.device.DeviceModel.acharge` on the loop — so the
+  simulated device waits cost no thread at all, and in-flight operations
+  are bounded by ``max_inflight`` instead of ``clients``.
 
 The headline report (``BENCH_serve.json``): throughput, speedup versus
-the single-client replay of the *same* stream, and per-operation
-p50/p95/p99 latencies, plus the shared pool's hit rate and the
-accounting invariant (shared totals == Σ per-worker totals).
+the single-client replay of the *same* stream (and, in async mode,
+versus the threaded replay at equal ``clients``), per-operation
+p50/p95/p99 latencies, the shared pool's hit rate, and the accounting
+invariant (shared totals == retired + Σ live per-worker totals).
 
 The benchmark and the long-lived daemon (:mod:`repro.server`) share the
 same machinery: :func:`build_world` assembles the generated database,
 ASR manager, context pool, and drift monitor into one
-:class:`ServeWorld`, and :func:`drive_operation` executes one bound
-operation against it (query through the planner, update under the
-manager's exclusive lock, simulated I/O outside locks, latency into the
-registry).  The benchmark replays the stream once and reports; the
-daemon replays it in a loop until signalled.
+:class:`ServeWorld`; :func:`execute_operation` executes one bound
+operation's lock-disciplined core; :func:`drive_operation` /
+:func:`drive_operation_async` add the device charge and latency
+accounting on the thread / event-loop side respectively.  The benchmark
+replays the stream once and reports; the daemon replays it in a loop
+until signalled.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import math
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.asr.extensions import Extension
 from repro.asr.manager import ASRManager
-from repro.concurrency import ContextPool
+from repro.concurrency import ContextPool, ThreadLocalContexts
 from repro.costmodel.parameters import ApplicationProfile
+from repro.device import DeviceModel, LatencyModel, parse_io_dist
 from repro.query.evaluator import QueryEvaluator
 from repro.query.planner import Planner
 from repro.telemetry import CostModelPredictor, DriftMonitor, MetricsRegistry
@@ -59,8 +74,11 @@ __all__ = [
     "ServeConfig",
     "ServeWorld",
     "OpSample",
+    "ExecutorWorkers",
     "build_world",
+    "execute_operation",
     "drive_operation",
+    "drive_operation_async",
     "per_operation",
     "run_serve",
     "SMALL_PROFILE",
@@ -102,8 +120,12 @@ class ServeConfig:
     ops: int = 200
     seed: int = 0
     capacity: int = 256
-    #: Simulated device latency per charged page, in microseconds.
+    #: Simulated device latency per charged page, in microseconds
+    #: (the median, for jittered distributions).
     io_micros: float = 150.0
+    #: Latency distribution spec (see :func:`repro.device.parse_io_dist`):
+    #: ``fixed``, ``lognormal[:SIGMA]``, or a device class preset.
+    io_dist: str = "fixed"
     query_fraction: float = 0.8
     build_workers: int = 4
     #: Which application shape to serve (a :data:`SERVE_PROFILES` key).
@@ -111,6 +133,12 @@ class ServeConfig:
     #: Per-context span-ring bound (``None`` keeps every span — fine for
     #: one bench replay, set for long-lived daemon workers).
     max_spans: int | None = None
+    #: Serve on an asyncio event loop with executor offload instead of
+    #: one blocking thread per client.
+    use_async: bool = False
+    #: Async mode: concurrent in-flight operation bound (the admission
+    #: limit); threaded mode ignores it — ``clients`` is the bound there.
+    max_inflight: int = 1024
 
     def resolved_profile(self) -> tuple[ApplicationProfile, object]:
         """The (generator profile, operation mix) pair of :attr:`profile`."""
@@ -121,6 +149,14 @@ class ServeConfig:
                 f"unknown serve profile {self.profile!r}; "
                 f"known: {sorted(SERVE_PROFILES)}"
             ) from None
+
+    def latency_model(self) -> LatencyModel:
+        """The latency distribution :attr:`io_dist` describes."""
+        return parse_io_dist(self.io_dist, self.io_micros, self.seed)
+
+    def device(self, registry: MetricsRegistry | None = None) -> DeviceModel:
+        """A fresh :class:`~repro.device.DeviceModel` for one run."""
+        return DeviceModel(self.latency_model(), registry)
 
 
 @dataclass
@@ -137,6 +173,7 @@ class OpSample:
 class _RunOutcome:
     wall_seconds: float
     samples: list[OpSample] = field(default_factory=list)
+    peak_inflight: int = 0
 
     @property
     def throughput(self) -> float:
@@ -190,41 +227,140 @@ def build_world(
     return ServeWorld(config, registry, generated, manager, pool, drift)
 
 
+def execute_operation(
+    world: ServeWorld,
+    context,
+    planner: Planner,
+    evaluator: QueryEvaluator,
+    op: Operation,
+) -> int:
+    """Execute one bound operation's lock-disciplined core; return pages.
+
+    Queries run through the planner (read side of the manager's lock);
+    updates — the graph mutation plus its eager maintenance — are one
+    atomic unit under :meth:`~repro.asr.manager.ASRManager.exclusive`,
+    with pages read off the manager context's private stats (updates are
+    serialized by the write lock, so the delta is unambiguous).  This is
+    the CPU-bound half of an operation: no simulated device latency is
+    charged here, so it is safe to run on an executor thread while the
+    event loop prices the returned pages asynchronously.
+    """
+    manager, drift = world.manager, world.drift
+    if op.kind == "query":
+        result = planner.execute(op.query, evaluator)
+        return result.total_pages
+    with manager.exclusive():
+        before = manager.context.stats.snapshot()
+        apply_update(world.generated, op)
+        pages = manager.context.stats.delta_since(before).total
+    drift.observe_update(op.level, manager.asrs, pages)
+    return pages
+
+
 def drive_operation(
     world: ServeWorld,
     context,
     planner: Planner,
     evaluator: QueryEvaluator,
     op: Operation,
-    io_seconds: float,
+    device: DeviceModel,
 ) -> OpSample:
     """Execute one bound operation against ``world`` and time it.
 
-    Queries run through the planner (read side of the manager's lock);
-    updates — the graph mutation plus its eager maintenance — are one
-    atomic unit under :meth:`~repro.asr.manager.ASRManager.exclusive`,
-    with pages read off the manager context's private stats (updates are
-    serialized by the write lock, so the delta is unambiguous).  Every
-    charged page sleeps ``io_seconds`` of simulated device latency
-    *after* the locks are released, and the latency lands in the
+    The threaded drive path: :func:`execute_operation` under the lock
+    discipline, then the charged pages sleep their simulated device
+    latency on *this* thread (:meth:`~repro.device.DeviceModel.charge`,
+    outside all locks), and the end-to-end latency lands in the
     registry's ``op.latency_ms`` histogram.
     """
-    manager, drift, registry = world.manager, world.drift, world.registry
     start = time.perf_counter()
-    if op.kind == "query":
-        result = planner.execute(op.query, evaluator)
-        pages = result.total_pages
-    else:
-        with manager.exclusive():
-            before = manager.context.stats.snapshot()
-            apply_update(world.generated, op)
-            pages = manager.context.stats.delta_since(before).total
-        drift.observe_update(op.level, manager.asrs, pages)
-    if pages and io_seconds:
-        time.sleep(pages * io_seconds)  # simulated I/O, outside locks
+    pages = execute_operation(world, context, planner, evaluator, op)
+    if pages:
+        device.charge(pages)  # simulated I/O, outside locks
     latency = time.perf_counter() - start
-    registry.observe("op.latency_ms", latency * 1e3, op=op.name, kind=op.kind)
+    world.registry.observe("op.latency_ms", latency * 1e3, op=op.name, kind=op.kind)
     return OpSample(op.name, op.kind, latency, pages)
+
+
+async def drive_operation_async(
+    world: ServeWorld,
+    workers: "ExecutorWorkers",
+    op: Operation,
+    device: DeviceModel,
+) -> OpSample:
+    """The async drive path: executor offload, then an awaited charge.
+
+    The CPU-bound core runs on ``workers``' bounded executor (where the
+    RWLock/ContextPool accounting stays on real threads, exactly as in
+    the threaded path); the simulated device latency is awaited on the
+    event loop, so an operation in its I/O phase holds no thread.
+    """
+    loop = asyncio.get_running_loop()
+    start = time.perf_counter()
+    pages = await loop.run_in_executor(workers.executor, workers.execute, op)
+    if pages:
+        await device.acharge(pages)  # simulated I/O, on the loop
+    latency = time.perf_counter() - start
+    world.registry.observe("op.latency_ms", latency * 1e3, op=op.name, kind=op.kind)
+    return OpSample(op.name, op.kind, latency, pages)
+
+
+class ExecutorWorkers:
+    """A bounded executor whose threads each own a pooled serve context.
+
+    The async serving core offloads :func:`execute_operation` calls
+    here.  Each executor thread lazily acquires its own
+    :class:`~repro.context.ExecutionContext` from the world's pool (via
+    :class:`~repro.concurrency.ThreadLocalContexts`) plus a planner and
+    evaluator bound to it — the same per-worker state a threaded client
+    owns — so the pool's accounting invariant (shared == retired + Σ
+    live) holds identically in both modes.  :meth:`close` shuts the
+    executor down and retires every thread's context.
+    """
+
+    def __init__(self, world: ServeWorld, max_workers: int) -> None:
+        self.world = world
+        self.max_workers = max(1, max_workers)
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="serve-exec"
+        )
+        self._contexts = ThreadLocalContexts(world.pool)
+        self._local = threading.local()
+
+    def _state(self) -> tuple:
+        state = getattr(self._local, "state", None)
+        context = self._contexts.get()
+        if state is None or state[0] is not context:
+            planner = Planner(self.world.manager, drift=self.world.drift)
+            evaluator = QueryEvaluator(
+                self.world.generated.db,
+                self.world.generated.store,
+                context=context,
+            )
+            state = (context, planner, evaluator)
+            self._local.state = state
+        return state
+
+    def execute(self, op: Operation) -> int:
+        """Run one operation's core on the calling executor thread."""
+        context, planner, evaluator = self._state()
+        return execute_operation(self.world, context, planner, evaluator, op)
+
+    def close(self) -> None:
+        """Drain the executor, then retire every thread's context."""
+        self.executor.shutdown(wait=True)
+        self._contexts.release_all()
+
+
+def _teardown_world(world: ServeWorld) -> tuple[dict, dict]:
+    """Close a finished run's world; return (pool report, accounting)."""
+    world.manager.check_consistency()
+    world.pool.pool.check_invariants()
+    accounting = world.pool.check_accounting(world.registry)
+    world.drift.publish(world.registry)
+    pool_report = world.pool.describe()
+    world.manager.close()
+    return pool_report, accounting
 
 
 def _run_clients(
@@ -234,7 +370,7 @@ def _run_clients(
     """Replay the stream over ``clients`` threads against a fresh world."""
     world = build_world(config)
     stream = world.stream()
-    io_seconds = config.io_micros / 1e6
+    device = config.device(world.registry)
     samples_per_client: list[list[OpSample]] = [[] for _ in range(clients)]
     errors: list[BaseException] = []
 
@@ -248,7 +384,7 @@ def _run_clients(
                 for op in stream[k::clients]:
                     samples_per_client[k].append(
                         drive_operation(
-                            world, context, planner, evaluator, op, io_seconds
+                            world, context, planner, evaluator, op, device
                         )
                     )
         except BaseException as error:  # surfaced after join
@@ -264,13 +400,58 @@ def _run_clients(
     if errors:
         raise errors[0]
 
-    world.manager.check_consistency()
-    world.pool.pool.check_invariants()
-    accounting = world.pool.check_accounting(world.registry)
-    world.drift.publish(world.registry)
-    pool_report = world.pool.describe()
-    world.manager.close()
-    outcome = _RunOutcome(wall, [s for per in samples_per_client for s in per])
+    pool_report, accounting = _teardown_world(world)
+    outcome = _RunOutcome(
+        wall,
+        [s for per in samples_per_client for s in per],
+        peak_inflight=min(clients, len(stream)),
+    )
+    return outcome, pool_report, accounting, world.registry, world.drift
+
+
+def _run_async(
+    config: ServeConfig,
+    clients: int,
+) -> tuple[_RunOutcome, dict, dict, MetricsRegistry, DriftMonitor]:
+    """Replay the stream on one event loop with ``clients`` executor threads.
+
+    Admission is bounded by ``config.max_inflight`` concurrent
+    operations (the benchmark *waits* at the bound rather than shedding
+    — every stream operation must run for the comparison to be fair; the
+    daemon's admission queue is where overload sheds).
+    """
+    world = build_world(config)
+    stream = world.stream()
+    device = config.device(world.registry)
+    workers = ExecutorWorkers(world, clients)
+    samples: list[OpSample] = []
+    inflight = {"now": 0, "peak": 0}
+
+    async def main() -> None:
+        gate = asyncio.Semaphore(max(1, config.max_inflight))
+
+        async def one(op: Operation) -> None:
+            async with gate:
+                inflight["now"] += 1
+                inflight["peak"] = max(inflight["peak"], inflight["now"])
+                try:
+                    samples.append(
+                        await drive_operation_async(world, workers, op, device)
+                    )
+                finally:
+                    inflight["now"] -= 1
+
+        await asyncio.gather(*(one(op) for op in stream))
+
+    started = time.perf_counter()
+    try:
+        asyncio.run(main())
+        wall = time.perf_counter() - started
+    finally:
+        workers.close()
+
+    pool_report, accounting = _teardown_world(world)
+    outcome = _RunOutcome(wall, samples, peak_inflight=inflight["peak"])
     return outcome, pool_report, accounting, world.registry, world.drift
 
 
@@ -295,18 +476,50 @@ def per_operation(samples: list[OpSample]) -> dict:
 def run_serve(config: ServeConfig | None = None) -> dict:
     """Run the serve benchmark; returns the JSON-able report.
 
-    The report embeds the multi-client run's full metrics snapshot
+    The report embeds the headline run's full metrics snapshot
     (``metrics``) and the cost-model drift report (``drift``) — the data
-    behind ``repro stats``.
+    behind ``repro stats``.  In async mode three replays of the same
+    stream run back to back — single-client threaded, ``clients``-thread
+    threaded, and the async event loop — so the report carries both the
+    classic ``speedup_vs_single_client`` and the async-vs-threaded
+    speedup at equal ``clients`` and device model.
     """
     config = config or ServeConfig()
     profile, _mix = config.resolved_profile()
     single, _, _, _, _ = _run_clients(config, clients=1)
-    multi, pool_report, accounting, registry, drift = _run_clients(
+    threaded, pool_report, accounting, registry, drift = _run_clients(
         config, clients=config.clients
     )
-    speedup = multi.throughput / single.throughput if single.throughput else 0.0
-    return {
+    threaded_section = {
+        "clients": config.clients,
+        "wall_seconds": round(threaded.wall_seconds, 4),
+        "throughput_ops_per_s": round(threaded.throughput, 2),
+        "speedup_vs_single_client": round(
+            threaded.throughput / single.throughput if single.throughput else 0.0, 3
+        ),
+    }
+    if config.use_async:
+        headline, pool_report, accounting, registry, drift = _run_async(
+            config, clients=config.clients
+        )
+    else:
+        headline = threaded
+    speedup = headline.throughput / single.throughput if single.throughput else 0.0
+    serve_section = {
+        "mode": "async" if config.use_async else "threaded",
+        "clients": config.clients,
+        "wall_seconds": round(headline.wall_seconds, 4),
+        "throughput_ops_per_s": round(headline.throughput, 2),
+        "speedup_vs_single_client": round(speedup, 3),
+        "peak_inflight": headline.peak_inflight,
+    }
+    if config.use_async:
+        serve_section["max_inflight"] = config.max_inflight
+        serve_section["speedup_vs_threaded"] = round(
+            headline.throughput / threaded.throughput if threaded.throughput else 0.0,
+            3,
+        )
+    report = {
         "benchmark": "serve",
         "config": {
             "clients": config.clients,
@@ -314,10 +527,14 @@ def run_serve(config: ServeConfig | None = None) -> dict:
             "seed": config.seed,
             "capacity": config.capacity,
             "io_micros": config.io_micros,
+            "io_dist": config.io_dist,
             "query_fraction": config.query_fraction,
             "build_workers": config.build_workers,
             "profile": config.profile,
+            "async": config.use_async,
+            "max_inflight": config.max_inflight,
         },
+        "device": config.latency_model().describe(),
         "profile": {
             "c": list(profile.c),
             "d": list(profile.d),
@@ -327,18 +544,16 @@ def run_serve(config: ServeConfig | None = None) -> dict:
             "wall_seconds": round(single.wall_seconds, 4),
             "throughput_ops_per_s": round(single.throughput, 2),
         },
-        "serve": {
-            "clients": config.clients,
-            "wall_seconds": round(multi.wall_seconds, 4),
-            "throughput_ops_per_s": round(multi.throughput, 2),
-            "speedup_vs_single_client": round(speedup, 3),
-        },
+        "serve": serve_section,
         "pool": pool_report,
         "accounting": accounting,
-        "operations": per_operation(multi.samples),
+        "operations": per_operation(headline.samples),
         "metrics": registry.snapshot(),
         "drift": drift.report(),
     }
+    if config.use_async:
+        report["threaded"] = threaded_section
+    return report
 
 
 def write_report(report: dict, path: str) -> None:

@@ -40,25 +40,36 @@ Commands
     a path over it.
 
 ``bench serve [--clients N] [--ops K] [--seed S] [--io-micros U]
-[--capacity C] [--profile fig14|fig16] [--out BENCH_serve.json]``
-    Serve a seeded operation mix from ``N`` concurrent client threads
-    over one shared bounded buffer pool and one ASR-managed chain
-    database; report throughput, speedup over a single client, and
-    per-operation p50/p95/p99 latency (:mod:`repro.bench.serve`).  The
-    report embeds the run's metrics snapshot and cost-model drift
-    report, which ``repro stats`` renders.
+[--io-dist D] [--async] [--max-inflight M] [--capacity C]
+[--profile fig14|fig16] [--out BENCH_serve.json]``
+    Serve a seeded operation mix over one shared bounded buffer pool
+    and one ASR-managed chain database; report throughput, speedup over
+    a single client, and per-operation p50/p95/p99 latency
+    (:mod:`repro.bench.serve`).  Threaded by default (``N`` blocking
+    client threads); with ``--async`` the same stream runs on an
+    asyncio event loop — up to ``--max-inflight`` concurrent operations
+    awaiting their simulated device charges
+    (:mod:`repro.device`, distribution picked by ``--io-dist``) while
+    CPU-bound plan evaluation is offloaded to ``N`` executor threads —
+    and the report adds the async-vs-threaded speedup.  The report
+    embeds the run's metrics snapshot and cost-model drift report,
+    which ``repro stats`` renders.
 
-``serve [--port P] [--clients N] [--profile fig14|fig16] [--ops K]
-[--drift-interval SEC] [--out BENCH_serve.json] [--addr-file F]``
-    Run the long-lived serving daemon (:mod:`repro.server`): client
-    threads replay the seeded operation stream in a loop while an HTTP
-    endpoint serves ``GET /metrics`` (live Prometheus exposition),
-    ``GET /healthz`` (accounting invariant + quarantine state +
-    hit-rate sanity as JSON; non-200 on violation), and ``GET /stats``
-    (the ``repro stats`` JSON payload).  Drift ratios are re-published
-    every ``--drift-interval`` seconds.  ``--port 0`` binds an
-    ephemeral port (written to ``--addr-file``); SIGINT/SIGTERM drain
-    gracefully and write a final report to ``--out``.
+``serve [--port P] [--clients N] [--async] [--max-inflight M]
+[--io-dist D] [--profile fig14|fig16] [--ops K] [--drift-interval SEC]
+[--out BENCH_serve.json] [--addr-file F]``
+    Run the long-lived serving daemon (:mod:`repro.server`): the seeded
+    operation stream replays in a loop — on client threads, or with
+    ``--async`` on an event loop behind a bounded admission queue that
+    sheds (counting ``admission.rejected``) instead of queueing
+    unboundedly — while an HTTP endpoint serves ``GET /metrics`` (live
+    Prometheus exposition), ``GET /healthz`` (accounting invariant +
+    quarantine state + hit-rate sanity as JSON; non-200 on violation),
+    and ``GET /stats`` (the ``repro stats`` JSON payload).  Drift
+    ratios are re-published every ``--drift-interval`` seconds.
+    ``--port 0`` binds an ephemeral port (written to ``--addr-file``);
+    SIGINT/SIGTERM drain gracefully and write a final report to
+    ``--out``.
 
 ``stats [--in BENCH_serve.json] [--json] [--prometheus]``
     Render the telemetry embedded in a serve report: the accounting
@@ -97,6 +108,92 @@ from repro.costmodel import (
 from repro.errors import ReproError
 from repro.query import BackwardQuery, QueryEvaluator
 from repro.workload import ChainGenerator, FIG14_MIX, measure_profile
+
+
+def _io_dist_spec(spec: str) -> str:
+    """Argparse type for ``--io-dist``: validate early, keep the string."""
+    from repro.device import parse_io_dist
+
+    try:
+        parse_io_dist(spec, io_micros=150.0)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return spec
+
+
+def _add_serve_workload_options(parser, *, ops_help: str, out_help: str) -> None:
+    """The workload/device options ``bench serve`` and ``serve`` share.
+
+    One definition for both subcommands, so a new knob (``--io-dist``,
+    ``--async``, ``--max-inflight``, …) cannot drift between them.
+    """
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="client threads (async mode: CPU executor threads)",
+    )
+    parser.add_argument("--ops", type=int, default=200, help=ops_help)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--capacity", type=int, default=256, help="shared buffer pool pages"
+    )
+    parser.add_argument(
+        "--io-micros",
+        type=float,
+        default=150.0,
+        help="simulated device latency per charged page, microseconds "
+        "(the median for jittered distributions)",
+    )
+    parser.add_argument(
+        "--io-dist",
+        type=_io_dist_spec,
+        default="fixed",
+        help="device latency distribution: fixed (default), "
+        "lognormal[:SIGMA], or a device class (nvme, ssd, disk)",
+    )
+    parser.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve on an asyncio event loop (awaitable device charges, "
+        "CPU work offloaded to a bounded executor) instead of one "
+        "blocking thread per client",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=1024,
+        help="async mode: bound on concurrent in-flight operations "
+        "(the admission limit; the daemon sheds beyond it)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=["fig14", "fig16"],
+        default="fig14",
+        help="application shape to serve (Figure 14 or Figure 16 mix)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_serve.json"), help=out_help
+    )
+
+
+def _serve_config_from(args) -> "object":
+    """The :class:`~repro.bench.serve.ServeConfig` an argparse bundle names."""
+    from repro.bench.serve import ServeConfig
+
+    return ServeConfig(
+        clients=args.clients,
+        ops=args.ops,
+        seed=args.seed,
+        capacity=args.capacity,
+        io_micros=args.io_micros,
+        io_dist=args.io_dist,
+        profile=args.profile,
+        use_async=args.use_async,
+        max_inflight=args.max_inflight,
+        max_spans=getattr(args, "max_spans", None),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -155,29 +252,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench", help="runtime benchmarks (beyond the paper's page counts)"
     )
     bench.add_argument("action", choices=["serve"], help="which benchmark")
-    bench.add_argument("--clients", type=int, default=4, help="client threads")
-    bench.add_argument("--ops", type=int, default=200, help="operations to replay")
-    bench.add_argument("--seed", type=int, default=0)
-    bench.add_argument(
-        "--io-micros",
-        type=float,
-        default=150.0,
-        help="simulated device latency per charged page (microseconds)",
-    )
-    bench.add_argument(
-        "--capacity", type=int, default=256, help="shared buffer pool pages"
-    )
-    bench.add_argument(
-        "--profile",
-        choices=["fig14", "fig16"],
-        default="fig14",
-        help="application shape to serve (Figure 14 or Figure 16 mix)",
-    )
-    bench.add_argument(
-        "--out",
-        type=Path,
-        default=Path("BENCH_serve.json"),
-        help="where to write the JSON report",
+    _add_serve_workload_options(
+        bench,
+        ops_help="operations to replay",
+        out_help="where to write the JSON report",
     )
 
     serve = commands.add_parser(
@@ -187,28 +265,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=8000, help="HTTP port (0 binds an ephemeral one)"
     )
     serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
-    serve.add_argument("--clients", type=int, default=4, help="client threads")
-    serve.add_argument(
-        "--ops",
-        type=int,
-        default=200,
-        help="length of the seeded stream replayed in a loop",
-    )
-    serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument(
-        "--capacity", type=int, default=256, help="shared buffer pool pages"
-    )
-    serve.add_argument(
-        "--io-micros",
-        type=float,
-        default=150.0,
-        help="simulated device latency per charged page (microseconds)",
-    )
-    serve.add_argument(
-        "--profile",
-        choices=["fig14", "fig16"],
-        default="fig14",
-        help="application shape to serve (Figure 14 or Figure 16 mix)",
+    _add_serve_workload_options(
+        serve,
+        ops_help="length of the seeded stream replayed in a loop",
+        out_help="where the final drain report is written",
     )
     serve.add_argument(
         "--drift-interval",
@@ -221,12 +281,6 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="per-context span-ring bound (long-lived workers stay bounded)",
-    )
-    serve.add_argument(
-        "--out",
-        type=Path,
-        default=Path("BENCH_serve.json"),
-        help="where the final drain report is written",
     )
     serve.add_argument(
         "--addr-file",
@@ -589,27 +643,30 @@ def _cmd_doctor(args, out) -> int:
 
 
 def _cmd_bench(args, out) -> int:
-    from repro.bench.serve import ServeConfig, run_serve, write_report
+    from repro.bench.serve import run_serve, write_report
 
-    config = ServeConfig(
-        clients=args.clients,
-        ops=args.ops,
-        seed=args.seed,
-        capacity=args.capacity,
-        io_micros=args.io_micros,
-        profile=args.profile,
-    )
+    config = _serve_config_from(args)
     report = run_serve(config)
     write_report(report, str(args.out))
     serve = report["serve"]
     single = report["single_client"]
     print(
-        f"served {args.ops} ops ({args.profile}) with {serve['clients']} "
-        f"client(s): {serve['throughput_ops_per_s']:.0f} ops/s "
+        f"served {args.ops} ops ({args.profile}, {serve['mode']} core) with "
+        f"{serve['clients']} client(s): {serve['throughput_ops_per_s']:.0f} ops/s "
         f"(single client {single['throughput_ops_per_s']:.0f} ops/s, "
         f"speedup {serve['speedup_vs_single_client']:.2f}x)",
         file=out,
     )
+    if "threaded" in report:
+        threaded = report["threaded"]
+        print(
+            f"async vs threaded at {serve['clients']} client(s): "
+            f"{serve['speedup_vs_threaded']:.2f}x "
+            f"({threaded['throughput_ops_per_s']:.0f} -> "
+            f"{serve['throughput_ops_per_s']:.0f} ops/s, "
+            f"peak inflight {serve['peak_inflight']})",
+            file=out,
+        )
     print(
         f"pool: {report['pool']['hit_rate'] * 100:.1f}% hit rate over "
         f"{report['pool']['capacity']} pages; accounting "
@@ -634,19 +691,10 @@ def _cmd_bench(args, out) -> int:
 
 
 def _cmd_serve(args, out) -> int:
-    from repro.bench.serve import ServeConfig
     from repro.server import ServeDaemon, ServerConfig
 
     config = ServerConfig(
-        serve=ServeConfig(
-            clients=args.clients,
-            ops=args.ops,
-            seed=args.seed,
-            capacity=args.capacity,
-            io_micros=args.io_micros,
-            profile=args.profile,
-            max_spans=args.max_spans,
-        ),
+        serve=_serve_config_from(args),
         host=args.host,
         port=args.port,
         drift_interval=args.drift_interval,

@@ -43,7 +43,7 @@ from repro.storage.stats import (
     WorkerScope,
 )
 
-__all__ = ["RWLock", "ContextPool"]
+__all__ = ["RWLock", "ContextPool", "ThreadLocalContexts"]
 
 
 class RWLock:
@@ -390,3 +390,71 @@ class ContextPool:
             "recycled": self.recycled,
             "reused": self.reused,
         }
+
+
+class ThreadLocalContexts:
+    """Hands each calling thread one pooled context, lazily.
+
+    The executor-offload serving path (DESIGN §12) runs CPU-bound plan
+    evaluation on a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+    whose threads the event loop reuses for arbitrary operations — so a
+    context cannot be scoped to one operation the way
+    :meth:`ContextPool.context` scopes it to one client thread's whole
+    replay.  This helper pins a pool context to each *thread* instead:
+    the first :meth:`get` on a thread acquires from the pool, later calls
+    return the same context, and :meth:`release_all` retires every
+    handed-out context at once.
+
+    :meth:`release_all` is for the coordinator thread *after* the worker
+    threads are done (e.g. after ``executor.shutdown(wait=True)``):
+    releasing a context still in use by a live thread would tear its
+    accounting mid-charge.
+    """
+
+    def __init__(self, pool: ContextPool) -> None:
+        self.pool = pool
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._handed_out: list[ExecutionContext] = []
+        #: Bumped by :meth:`release_all` so a surviving thread never
+        #: resurrects a context that was already retired under it.
+        self._generation = 0
+
+    def get(self) -> ExecutionContext:
+        """This thread's context, acquiring one on first use."""
+        entry = getattr(self._local, "entry", None)
+        if entry is not None:
+            context, generation = entry
+            if generation == self._generation:
+                return context
+        with self._lock:
+            generation = self._generation
+        context = self.pool.acquire()
+        self._local.entry = (context, generation)
+        with self._lock:
+            if generation == self._generation:
+                self._handed_out.append(context)
+                return context
+        # A release_all raced our acquisition: retire immediately.
+        self._local.entry = None
+        self.pool.release(context)
+        return self.get()
+
+    @property
+    def live(self) -> int:
+        """Contexts currently handed out and not yet released."""
+        with self._lock:
+            return len(self._handed_out)
+
+    def release_all(self) -> None:
+        """Retire every handed-out context back into the pool.
+
+        Call only once the owning threads are quiescent (executor shut
+        down); a thread that calls :meth:`get` afterwards acquires a
+        fresh context.
+        """
+        with self._lock:
+            contexts, self._handed_out = self._handed_out, []
+            self._generation += 1
+        for context in contexts:
+            self.pool.release(context)

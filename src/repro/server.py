@@ -4,10 +4,28 @@ Everything before this module runs and exits: the bench replays a
 stream once, writes ``BENCH_serve.json``, and the telemetry it gathered
 is only inspectable after the fact.  :class:`ServeDaemon` turns the same
 machinery (:func:`~repro.bench.serve.build_world` /
-:func:`~repro.bench.serve.drive_operation`) into a *service*: client
-threads replay the seeded operation stream in a loop over the shared
-:class:`~repro.concurrency.ContextPool`, while a stdlib
-:class:`~http.server.ThreadingHTTPServer` exposes the live registry:
+:func:`~repro.bench.serve.drive_operation`) into a *service*, in one of
+two serving cores sharing the same lock discipline:
+
+* **threaded** (default): ``clients`` threads replay the seeded
+  operation stream in a loop over the shared
+  :class:`~repro.concurrency.ContextPool`, each blocking in the
+  :class:`~repro.device.DeviceModel` for its simulated I/O — in-flight
+  operations are capped at ``clients``.
+* **async** (``--async``, DESIGN §12): one asyncio event loop runs an
+  *admission loop* feeding a bounded queue (capacity ``--max-inflight``)
+  drained by up to ``max_inflight`` concurrent operations.  Each
+  operation offloads its CPU-bound core
+  (:func:`~repro.bench.serve.execute_operation`, locks and pool
+  accounting on real executor threads) to a bounded
+  ``ThreadPoolExecutor`` of ``clients`` threads, then *awaits* its
+  device charge on the loop.  When the admission queue is full the
+  arrival is **shed** — counted in ``admission.rejected`` — instead of
+  queueing unboundedly; ``queue.depth``, ``queue.wait_ms``, and
+  ``inflight`` expose the loop's state to every scrape.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` exposes the live
+registry either way:
 
 ``GET /metrics``
     The Prometheus text exposition of the live
@@ -34,14 +52,17 @@ that the :class:`~repro.concurrency.RWLock` starvation fix protects: a
 saturating read stream can no longer park ``/healthz`` forever.
 
 SIGINT/SIGTERM (or :meth:`ServeDaemon.shutdown`) trigger a graceful
-drain: stop admitting operations, join the clients, flush the ASR
-manager's batched maintenance queues, retire every pool context, and
-write a final ``BENCH_serve.json``-shaped report — ``repro stats``
-renders it like any bench report.
+drain: stop admitting operations, quiesce the serving core (join the
+client threads, or let the admission loop stop and the queued
+operations finish before the event loop and executor wind down), flush
+the ASR manager's batched maintenance queues, retire every pool
+context, and write a final ``BENCH_serve.json``-shaped report —
+``repro stats`` renders it like any bench report.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import signal
 import sys
@@ -53,11 +74,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.asr.journal import ASRState
 from repro.bench.serve import (
+    ExecutorWorkers,
     OpSample,
     ServeConfig,
     ServeWorld,
     build_world,
     drive_operation,
+    drive_operation_async,
     per_operation,
     write_report,
 )
@@ -100,10 +123,15 @@ class ServeDaemon:
     directly.
     """
 
+    #: Seconds the async admission loop backs off after shedding an
+    #: arrival into a full queue (bounds the shed rate without blocking
+    #: the loop).
+    SHED_BACKOFF = 0.001
+
     def __init__(self, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
         self.world: ServeWorld | None = None
-        self._io_seconds = self.config.serve.io_micros / 1e6
+        self._device = None
         self._stop = threading.Event()
         self._samples: deque[OpSample] = deque(maxlen=self.config.max_samples)
         self._samples_lock = threading.Lock()
@@ -118,15 +146,23 @@ class ServeDaemon:
         self._started_at: float | None = None
         self._errors: list[BaseException] = []
         self._report: dict | None = None
+        # --- async serving core state (``--async`` mode only) ---
+        self._workers: ExecutorWorkers | None = None
+        self._loop_thread: threading.Thread | None = None
+        #: Operations currently executing on the loop (mutated only from
+        #: the loop thread; read by gauge scrapes — a plain int is safe).
+        self._inflight = 0
+        self._queue: asyncio.Queue | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
     def start(self) -> "ServeDaemon":
-        """Build the world, bind the endpoint, launch every thread."""
+        """Build the world, bind the endpoint, launch the serving core."""
         config = self.config
         self.world = build_world(config.serve)
+        self._device = config.serve.device(self.world.registry)
         self._stream = self.world.stream()
         self._started_at = time.perf_counter()
         self.world.registry.gauge_fn(
@@ -149,22 +185,39 @@ class ServeDaemon:
             host, port = self.address
             with open(config.addr_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{host}:{port}\n")
-        self._clients = [
-            threading.Thread(
-                target=self._client_loop,
-                args=(k,),
-                name=f"serve-client-{k}",
-                daemon=True,
-            )
-            for k in range(config.serve.clients)
-        ]
-        for thread in self._clients:
-            thread.start()
+        if config.serve.use_async:
+            self._start_async_core()
+        else:
+            self._clients = [
+                threading.Thread(
+                    target=self._client_loop,
+                    args=(k,),
+                    name=f"serve-client-{k}",
+                    daemon=True,
+                )
+                for k in range(config.serve.clients)
+            ]
+            for thread in self._clients:
+                thread.start()
         self._publisher = threading.Thread(
             target=self._publisher_loop, name="serve-publisher", daemon=True
         )
         self._publisher.start()
         return self
+
+    def _start_async_core(self) -> None:
+        """Launch the event-loop serving core (``--async`` mode)."""
+        registry = self.world.registry
+        registry.gauge_fn("inflight", lambda: self._inflight)
+        registry.gauge_fn(
+            "queue.depth",
+            lambda: self._queue.qsize() if self._queue is not None else 0,
+        )
+        self._workers = ExecutorWorkers(self.world, self.config.serve.clients)
+        self._loop_thread = threading.Thread(
+            target=self._async_loop_main, name="serve-loop", daemon=True
+        )
+        self._loop_thread.start()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -187,17 +240,24 @@ class ServeDaemon:
     def shutdown(self) -> dict:
         """Graceful drain; returns (and writes) the final report.
 
-        Drain order: stop admitting ops → join clients and publisher →
-        flush the manager's batched maintenance queues → verify
-        consistency → close the manager and retire every pool context →
-        final drift publication and accounting check → write the report
-        → stop the HTTP endpoint.  Idempotent.
+        Drain order: stop admitting ops → quiesce the serving core
+        (threaded: join the client threads; async: the admission loop
+        stops, every already-queued operation completes, the loop and
+        executor wind down, and the executor threads' contexts retire)
+        → join the publisher → flush the manager's batched maintenance
+        queues → verify consistency → close the manager and retire every
+        pool context → final drift publication and accounting check →
+        write the report → stop the HTTP endpoint.  Idempotent.
         """
         if self._report is not None:
             return self._report
         self._stop.set()
         for thread in self._clients:
             thread.join()
+        if self._loop_thread is not None:
+            self._loop_thread.join()
+        if self._workers is not None:
+            self._workers.close()
         if self._publisher is not None:
             self._publisher.join()
         world = self.world
@@ -216,12 +276,16 @@ class ServeDaemon:
         self._report = {
             "benchmark": "serve",
             "mode": "daemon",
+            "core": "async" if config.serve.use_async else "threaded",
             "config": {
                 "clients": config.serve.clients,
                 "ops": config.serve.ops,
                 "seed": config.serve.seed,
                 "capacity": config.serve.capacity,
                 "io_micros": config.serve.io_micros,
+                "io_dist": config.serve.io_dist,
+                "async": config.serve.use_async,
+                "max_inflight": config.serve.max_inflight,
                 "query_fraction": config.serve.query_fraction,
                 "profile": config.serve.profile,
                 "max_spans": config.serve.max_spans,
@@ -229,6 +293,10 @@ class ServeDaemon:
                 "port": port,
                 "drift_interval": config.drift_interval,
             },
+            "device": config.serve.latency_model().describe(),
+            "admission_rejected": int(
+                world.registry.counter_value("admission.rejected")
+            ),
             "uptime_seconds": round(uptime, 3),
             "ops_served": ops_served,
             "throughput_ops_per_s": round(ops_served / uptime, 2) if uptime else 0.0,
@@ -254,8 +322,9 @@ class ServeDaemon:
         out = out or sys.stdout
         self.start()
         host, port = self.address
+        core = "async" if self.config.serve.use_async else "threaded"
         print(
-            f"serving on http://{host}:{port}  "
+            f"serving on http://{host}:{port} [{core} core]  "
             f"(GET /metrics /healthz /stats; drift republished every "
             f"{self.config.drift_interval:g}s; SIGTERM drains)",
             file=out,
@@ -318,15 +387,100 @@ class ServeDaemon:
                     if op is None:
                         return
                     sample = drive_operation(
-                        world, context, planner, evaluator, op, self._io_seconds
+                        world, context, planner, evaluator, op, self._device
                     )
-                    with self._samples_lock:
-                        self._samples.append(sample)
-                        self._ops_served += 1
-                    world.registry.inc("serve.ops", op=op.name, kind=op.kind)
+                    self._record(sample, op)
         except BaseException as error:  # noqa: BLE001 - reported in the drain
             self._errors.append(error)
             self._stop.set()
+
+    def _record(self, sample: OpSample, op: Operation) -> None:
+        with self._samples_lock:
+            self._samples.append(sample)
+            self._ops_served += 1
+        self.world.registry.inc("serve.ops", op=op.name, kind=op.kind)
+
+    # ------------------------------------------------------------------
+    # the async serving core (DESIGN §12)
+    # ------------------------------------------------------------------
+
+    def _async_loop_main(self) -> None:
+        """Thread target: run the event loop until the drain completes."""
+        try:
+            asyncio.run(self._async_serve())
+        except BaseException as error:  # noqa: BLE001 - reported in the drain
+            self._errors.append(error)
+            self._stop.set()
+
+    async def _async_serve(self) -> None:
+        """Admission loop + bounded worker tasks, until stop, then drain.
+
+        The admission queue (capacity ``max_inflight``) is the overload
+        boundary: a full queue sheds the arrival with a counted
+        rejection instead of queueing unboundedly.  ``max_inflight``
+        worker tasks drain it, each offloading the CPU-bound core to the
+        bounded executor and awaiting the device charge on the loop.  On
+        stop the admission loop exits first, every *already admitted*
+        operation completes (``queue.join``), and only then are the idle
+        workers cancelled — so a drain under a saturated queue loses no
+        admitted work.
+        """
+        limit = max(1, self.config.serve.max_inflight)
+        queue: asyncio.Queue = asyncio.Queue(maxsize=limit)
+        self._queue = queue
+        workers = [
+            asyncio.create_task(self._async_worker(queue)) for _ in range(limit)
+        ]
+        try:
+            await self._admission_loop(queue)
+            await queue.join()
+        finally:
+            for task in workers:
+                task.cancel()
+            await asyncio.gather(*workers, return_exceptions=True)
+
+    async def _admission_loop(self, queue: asyncio.Queue) -> None:
+        """Admit replayed operations until stopped; shed when full."""
+        registry = self.world.registry
+        while True:
+            op = self._next_op()
+            if op is None:
+                return
+            try:
+                queue.put_nowait((op, time.perf_counter()))
+            except asyncio.QueueFull:
+                registry.inc("admission.rejected")
+                await asyncio.sleep(self.SHED_BACKOFF)
+            else:
+                # Yield so workers run between admissions; the replay is
+                # a closed loop, so without this the pump would fill the
+                # queue before any operation starts.
+                await asyncio.sleep(0)
+
+    async def _async_worker(self, queue: asyncio.Queue) -> None:
+        """One in-flight operation slot: dequeue, execute, charge, record."""
+        world = self.world
+        while True:
+            op, admitted = await queue.get()
+            try:
+                world.registry.observe(
+                    "queue.wait_ms", (time.perf_counter() - admitted) * 1e3
+                )
+                self._inflight += 1
+                try:
+                    sample = await drive_operation_async(
+                        world, self._workers, op, self._device
+                    )
+                finally:
+                    self._inflight -= 1
+                self._record(sample, op)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:  # noqa: BLE001 - drain reports
+                self._errors.append(error)
+                self._stop.set()
+            finally:
+                queue.task_done()
 
     def _publisher_loop(self) -> None:
         interval = max(self.config.drift_interval, 0.05)
@@ -373,8 +527,15 @@ class ServeDaemon:
         payload = {
             "ok": ok,
             "status": "draining" if self._stop.is_set() else "serving",
+            "core": "async" if self.config.serve.use_async else "threaded",
             "uptime_seconds": round(time.perf_counter() - self._started_at, 3),
             "ops_served": self.ops_served,
+            # Overload shedding is healthy behaviour, not a failure: the
+            # admission counters are informational here.
+            "inflight": self._inflight,
+            "admission_rejected": int(
+                world.registry.counter_value("admission.rejected")
+            ),
             "accounting": accounting,
             "hit_rate": round(hit_rate, 4),
             "hit_rate_ok": hit_rate_ok,

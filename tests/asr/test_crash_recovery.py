@@ -8,6 +8,9 @@ property test replays random update streams, chunked into transactions,
 with a crash armed at every flush boundary, for all four extensions.
 """
 
+import threading
+import time
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -211,6 +214,61 @@ class TestTransientFaults:
         if asr.quarantined:
             manager.recover()
         assert asr.state is ASRState.CONSISTENT
+        manager.check_consistency()
+
+
+class TestBackoffLockDiscipline:
+    def test_reader_progresses_during_recovery_backoff(self):
+        """The retry ladder's sleeps release the write lock for readers.
+
+        Regression test: ``_recover_one`` used to sleep its exponential
+        backoff *inside* the manager's exclusive lock, stalling every
+        reader for the whole ladder.  Now each attempt takes the lock
+        individually and the sleeps run unlocked, so a concurrent reader
+        acquires the read side promptly while recovery is backing off.
+        """
+        db, path, parts, sets, prods, injector, manager = managed_world(
+            auto_recover=False
+        )
+        manager.context = ExecutionContext()
+        asr = manager.create(path, Extension.FULL)
+        seed_rows(db, parts, sets, prods)
+        injector.fault_at("asr.apply.mid-delta", times=1)
+        db.set_insert(sets[0], parts[5])
+        assert asr.quarantined
+        # Two transient replay faults force two backoff sleeps (0.25s,
+        # then 0.5s) before the third attempt heals the ASR.
+        injector.fault_at("asr.recover.replay", times=2)
+        manager.retry_backoff = 0.25
+        worker = threading.Thread(target=manager.recover)
+        worker.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while injector.hits.get("asr.recover.replay", 0) < 1:
+                if time.monotonic() > deadline:
+                    pytest.fail("recovery never reached its first attempt")
+                time.sleep(0.005)
+            # From here the recovery thread is in its backoff ladder
+            # (~0.75s of sleeping total).  Readers must get through far
+            # faster than any single backoff step: with the old
+            # hold-the-lock-while-sleeping behaviour this acquisition
+            # blocked for the remainder of the whole ladder.
+            acquisitions = 0
+            while worker.is_alive() and acquisitions < 3:
+                t0 = time.monotonic()
+                with manager.lock.read():
+                    acquired_in = time.monotonic() - t0
+                assert acquired_in < 0.2, (
+                    f"reader blocked {acquired_in:.3f}s during recovery backoff"
+                )
+                acquisitions += 1
+                time.sleep(0.01)
+            assert acquisitions >= 1
+        finally:
+            worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        assert asr.state is ASRState.CONSISTENT
+        assert manager.context.op_counts["asr.recover.attempt"] == 3
         manager.check_consistency()
 
 

@@ -107,6 +107,60 @@ class TestServeBench:
         assert "repro_op_latency_ms_count" in text
 
 
+class TestAsyncServeBench:
+    #: Small pool + slow device: operations fault real pages, so the
+    #: async core has device waits to overlap past ``clients``.
+    TINY_ASYNC = ServeConfig(
+        clients=2,
+        ops=24,
+        seed=7,
+        capacity=16,
+        io_micros=2000.0,
+        use_async=True,
+        max_inflight=16,
+    )
+
+    def test_async_report_shape_and_accounting(self, tmp_path):
+        report = run_serve(self.TINY_ASYNC)
+        serve = report["serve"]
+        assert serve["mode"] == "async"
+        assert serve["max_inflight"] == 16
+        assert "speedup_vs_threaded" in serve
+        assert report["threaded"]["clients"] == 2
+        assert report["config"]["async"] is True
+        assert report["device"] == {"dist": "fixed", "io_micros": 2000.0}
+        assert report["accounting"]["ok"] is True
+        assert report["drift"]["overall"]["finite"] is True
+        out = tmp_path / "BENCH_serve.json"
+        write_report(report, out)
+        assert json.loads(out.read_text())["serve"]["mode"] == "async"
+
+    def test_async_overlaps_more_inflight_than_clients(self):
+        report = run_serve(self.TINY_ASYNC)
+        # The event loop holds more operations in flight than the
+        # threaded core's hard cap of one per client thread — that
+        # surplus is the whole point of the async core.
+        assert report["serve"]["peak_inflight"] > self.TINY_ASYNC.clients
+        assert report["serve"]["speedup_vs_threaded"] > 1.0
+
+    def test_io_dist_flows_into_device_section(self):
+        config = ServeConfig(
+            clients=2,
+            ops=12,
+            seed=7,
+            capacity=64,
+            io_micros=100.0,
+            io_dist="lognormal:0.3",
+            use_async=True,
+            max_inflight=8,
+        )
+        report = run_serve(config)
+        assert report["config"]["io_dist"] == "lognormal:0.3"
+        assert report["device"]["dist"] == "lognormal"
+        assert report["device"]["sigma"] == 0.3
+        assert report["accounting"]["ok"] is True
+
+
 class TestServeProfiles:
     def test_known_profiles_resolve(self):
         profile, mix = ServeConfig(profile="fig14").resolved_profile()

@@ -221,6 +221,28 @@ class TestBenchServe:
         assert all("p99_ms" in entry for entry in report["operations"].values())
         assert "metrics" in report and "drift" in report
 
+    def test_serve_async_flags(self, tmp_path):
+        target = tmp_path / "BENCH_serve.json"
+        code, text = run_cli(
+            "bench", "serve",
+            "--clients", "2", "--ops", "16", "--capacity", "16",
+            "--io-micros", "1000", "--io-dist", "lognormal:0.3",
+            "--async", "--max-inflight", "32", "--out", str(target),
+        )
+        assert code == 0
+        assert "async core" in text
+        assert "async vs threaded" in text
+        report = json.loads(target.read_text())
+        assert report["config"]["async"] is True
+        assert report["config"]["io_dist"] == "lognormal:0.3"
+        assert report["device"]["dist"] == "lognormal"
+        assert report["serve"]["mode"] == "async"
+        assert report["accounting"]["ok"] is True
+
+    def test_bad_io_dist_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            run_cli("bench", "serve", "--io-dist", "tape")
+
     def test_serve_fig16_profile(self, tmp_path):
         target = tmp_path / "BENCH_serve.json"
         code, text = run_cli(

@@ -19,7 +19,7 @@ import pytest
 from repro.asr.extensions import Extension
 from repro.asr.journal import ASRState
 from repro.asr.manager import ASRManager
-from repro.concurrency import ContextPool, RWLock
+from repro.concurrency import ContextPool, RWLock, ThreadLocalContexts
 from repro.costmodel.parameters import ApplicationProfile
 from repro.errors import SimulatedCrash
 from repro.faults import FaultInjector
@@ -385,6 +385,58 @@ class TestContextPool:
         )
         assert total_spans == clients * rounds
         assert registry.counter_value("ops", op="op-0") == rounds
+
+
+class TestThreadLocalContexts:
+    def test_one_context_per_thread_stable_across_calls(self):
+        pool = ContextPool(16)
+        contexts = ThreadLocalContexts(pool)
+        assert contexts.get() is contexts.get()
+        seen = {}
+
+        def worker(k):
+            first = contexts.get()
+            assert contexts.get() is first
+            seen[k] = first
+
+        run_threads(4, worker)
+        # Four worker threads, four distinct contexts (plus this one).
+        assert len({id(c) for c in seen.values()}) == 4
+        assert contexts.live == 5
+        contexts.release_all()
+        assert contexts.live == 0
+        assert pool.check_accounting()["ok"] is True
+
+    def test_executor_threads_charge_under_accounting_invariant(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = ContextPool(32)
+        contexts = ThreadLocalContexts(pool)
+
+        def touch(k):
+            context = contexts.get()
+            context.current_buffer.touch(f"page-{k % 40}")
+
+        with ThreadPoolExecutor(max_workers=4) as executor:
+            list(executor.map(touch, range(200)))
+        contexts.release_all()
+        accounting = pool.check_accounting()
+        assert accounting["ok"] is True
+        assert pool.stats.snapshot().page_reads == pool.pool.misses
+
+    def test_get_after_release_all_acquires_fresh_context(self):
+        pool = ContextPool(8)
+        contexts = ThreadLocalContexts(pool)
+        first = contexts.get()
+        first.current_buffer.touch("page-A")
+        contexts.release_all()
+        # The retired context must not be resurrected: a later get() on
+        # the same thread starts a fresh pool generation.
+        second = contexts.get()
+        assert second.stats.page_reads == 0
+        assert contexts.live == 1
+        contexts.release_all()
+        assert pool.check_accounting()["ok"] is True
 
 
 class TestParallelBuild:

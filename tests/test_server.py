@@ -68,6 +68,36 @@ def serve_ops_total(exposition: str) -> float:
     )
 
 
+def prom_value(exposition: str, name: str):
+    """The first sample of ``name`` in a Prometheus exposition, if any."""
+    for line in exposition.splitlines():
+        if line.startswith(f"{name} ") or line.startswith(f"{name}{{"):
+            return float(line.rsplit(" ", 1)[1])
+    return None
+
+
+def async_config(tmp_path, **serve_overrides) -> ServerConfig:
+    """An async-core daemon config whose device waits dominate.
+
+    The cold 16-page pool makes operations fault real pages and the
+    slow fixed device prices them at milliseconds each — so in-flight
+    operations pile up well past ``clients`` and a small admission
+    queue saturates, which is exactly what these tests observe.
+    """
+    serve = dict(
+        clients=2,
+        ops=24,
+        seed=7,
+        capacity=16,
+        io_micros=4000.0,
+        max_spans=64,
+        use_async=True,
+        max_inflight=8,
+    )
+    serve.update(serve_overrides)
+    return tiny_config(tmp_path, serve=ServeConfig(**serve))
+
+
 class TestEndpoints:
     def test_metrics_serves_live_prometheus_exposition(self, daemon):
         status, content_type, body = get(daemon, "/metrics")
@@ -191,6 +221,80 @@ class TestGracefulDrain:
         assert report["ops_served"] == daemon.ops_served
 
 
+class TestAsyncCore:
+    def test_async_daemon_serves_beyond_clients_inflight(self, tmp_path):
+        daemon = ServeDaemon(async_config(tmp_path)).start()
+        try:
+            assert wait_until(lambda: daemon.ops_served > 0)
+            status, _, body = get(daemon, "/healthz")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["core"] == "async"
+            assert payload["ok"] is True
+
+            # With 8 admission slots over 2 executor threads and a slow
+            # device, a scrape catches more operations in flight than
+            # the threaded core could ever hold (> clients).
+            def inflight_exceeds_clients():
+                _, _, exposition = get(daemon, "/metrics")
+                inflight = prom_value(exposition, "repro_inflight")
+                return inflight is not None and inflight > 2
+
+            assert wait_until(inflight_exceeds_clients, timeout=20)
+            _, _, exposition = get(daemon, "/metrics")
+            assert prom_value(exposition, "repro_queue_depth") is not None
+            assert "repro_queue_wait_ms" in exposition
+        finally:
+            report = daemon.shutdown()
+        assert report["core"] == "async"
+        assert report["accounting"]["ok"] is True
+        assert report["drained"]["errors"] == []
+
+    def test_overload_sheds_counted_and_healthz_stays_200(self, tmp_path):
+        # Two admission slots, both glued to multi-ms device waits: the
+        # replay pump saturates the queue and must shed, not queue
+        # unboundedly — and shedding is *healthy*, not a 503.
+        daemon = ServeDaemon(async_config(tmp_path, max_inflight=2)).start()
+        try:
+            registry = daemon.world.registry
+
+            def rejected():
+                return registry.counter_value("admission.rejected")
+
+            assert wait_until(lambda: rejected() > 0, timeout=20)
+            status, _, body = get(daemon, "/healthz")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["ok"] is True
+            assert payload["admission_rejected"] > 0
+            _, _, exposition = get(daemon, "/metrics")
+            assert prom_value(exposition, "repro_admission_rejected_total") > 0
+        finally:
+            report = daemon.shutdown()
+        assert report["admission_rejected"] > 0
+        assert report["accounting"]["ok"] is True
+
+    def test_drain_under_saturated_queue_loses_nothing(self, tmp_path):
+        config = async_config(tmp_path, max_inflight=2)
+        daemon = ServeDaemon(config).start()
+        registry = daemon.world.registry
+        assert wait_until(
+            lambda: registry.counter_value("admission.rejected") > 0, timeout=20
+        )
+        # Drain while the admission queue is provably saturated.
+        manager = daemon.world.manager
+        report = daemon.shutdown()
+        assert manager.pending_regions == 0, "drain lost batched maintenance"
+        assert manager.closed
+        assert daemon.world.pool.contexts == []  # every context retired
+        assert report["ops_served"] > 0
+        assert report["accounting"]["ok"] is True
+        assert report["drained"]["errors"] == []
+        written = json.loads(Path(config.out).read_text())
+        assert written["core"] == "async"
+        assert written["config"]["async"] is True
+
+
 class TestServeCLI:
     def test_daemon_serves_and_drains_on_sigterm(self, tmp_path):
         addr_file = tmp_path / "serve.addr"
@@ -231,4 +335,45 @@ class TestServeCLI:
         assert "drained after" in stdout
         report = json.loads(out.read_text())
         assert report["mode"] == "daemon"
+        assert report["accounting"]["ok"] is True
+
+    def test_async_daemon_drains_on_sigterm(self, tmp_path):
+        addr_file = tmp_path / "serve.addr"
+        out = tmp_path / "BENCH_serve.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--clients", "2", "--ops", "24",
+                "--capacity", "16", "--io-micros", "4000",
+                "--async", "--max-inflight", "8",
+                "--drift-interval", "0.2",
+                "--addr-file", str(addr_file), "--out", str(out),
+            ],
+            cwd=tmp_path,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            assert wait_until(addr_file.exists, timeout=30), "daemon never bound"
+            addr = addr_file.read_text().strip()
+            with urllib.request.urlopen(f"http://{addr}/healthz", timeout=10) as resp:
+                payload = json.load(resp)
+                assert payload["ok"] is True
+                assert payload["core"] == "async"
+            process.send_signal(signal.SIGTERM)
+            stdout, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stdout
+        assert "[async core]" in stdout
+        report = json.loads(out.read_text())
+        assert report["core"] == "async"
         assert report["accounting"]["ok"] is True
