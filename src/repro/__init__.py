@@ -75,6 +75,14 @@ from repro.costmodel import (
     UpdateCostModel,
     UpdateSpec,
 )
+from repro.resilience import (
+    BreakerBoard,
+    ChaosConfig,
+    ChaosController,
+    CircuitBreaker,
+    HealerLoop,
+    RecoveryPolicy,
+)
 from repro.telemetry import CostModelPredictor, DriftMonitor, MetricsRegistry
 
 __version__ = "1.0.0"
@@ -147,4 +155,11 @@ __all__ = [
     "MetricsRegistry",
     "DriftMonitor",
     "CostModelPredictor",
+    # resilience
+    "RecoveryPolicy",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "ChaosConfig",
+    "ChaosController",
+    "HealerLoop",
 ]

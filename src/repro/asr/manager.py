@@ -55,9 +55,11 @@ resort), and :meth:`verify` is the ``repro doctor`` backend.
 
 from __future__ import annotations
 
+import random
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from dataclasses import replace
+from typing import Callable, Iterator
 
 from repro.asr.asr import AccessSupportRelation
 from repro.asr.decomposition import Decomposition
@@ -81,6 +83,7 @@ from repro.faults import reach
 from repro.gom.database import ObjectBase
 from repro.gom.events import Event
 from repro.gom.paths import PathExpression
+from repro.resilience.policy import RecoveryPolicy
 
 
 class ASRManager:
@@ -115,12 +118,10 @@ class ASRManager:
         the context trace is mirrored into the ``ops`` counter family.
     """
 
-    #: Bounded-retry defaults for :meth:`recover`.
+    #: Bounded-retry default seeding the manager's
+    #: :class:`~repro.resilience.policy.RecoveryPolicy` (kept as a class
+    #: constant for callers that size their own retry ladders off it).
     DEFAULT_MAX_RETRIES = 3
-    #: Base of the exponential backoff between recovery retries, in
-    #: seconds.  Zero keeps the simulator (and the test suite) fast
-    #: while still counting the retries in the context trace.
-    retry_backoff = 0.0
 
     def __init__(
         self,
@@ -129,8 +130,18 @@ class ASRManager:
         fault_injector=None,
         auto_recover: bool = True,
         metrics=None,
+        policy: RecoveryPolicy | None = None,
     ) -> None:
         self.db = db
+        #: The retry/backoff contract every recovery path follows —
+        #: shared verbatim with ``repro doctor --repair`` and the
+        #: :class:`~repro.resilience.healer.HealerLoop`.
+        self.policy = policy or RecoveryPolicy(max_retries=self.DEFAULT_MAX_RETRIES)
+        #: Seeded jitter source for the policy's backoff ladder.
+        self._backoff_rng = random.Random(0)
+        #: ``fn(asr, "quarantined"|"consistent")`` callbacks fired on
+        #: every quarantine transition (see :meth:`add_state_listener`).
+        self._state_listeners: list[Callable] = []
         self.asrs: list[AccessSupportRelation] = []
         self._suspended = 0
         #: Optional page-access buffer charged for tree maintenance
@@ -156,6 +167,33 @@ class ASRManager:
         db.subscribe(self._on_event)
         if context is not None:
             context.add_exit_hook(self.flush)
+
+    @property
+    def retry_backoff(self) -> float:
+        """Back-compat alias for ``policy.backoff_s`` (read and write)."""
+        return self.policy.backoff_s
+
+    @retry_backoff.setter
+    def retry_backoff(self, value: float) -> None:
+        self.policy = replace(self.policy, backoff_s=float(value))
+
+    def add_state_listener(self, listener: Callable) -> None:
+        """Subscribe to quarantine transitions of the managed ASRs.
+
+        ``listener(asr, state)`` is called with ``"quarantined"`` on
+        every quarantine entry and ``"consistent"`` on every exit,
+        *while the write lock is held* — listeners must be fast, must
+        not sleep, and must not take the manager's lock (the breaker
+        board qualifies: it uses its own).
+        """
+        self._state_listeners.append(listener)
+
+    def _notify_state(self, asr, state: str) -> None:
+        for listener in self._state_listeners:
+            try:
+                listener(asr, state)
+            except Exception:  # pragma: no cover - listeners must not
+                pass  # break maintenance; they are observability glue
 
     # ------------------------------------------------------------------
     # registration
@@ -293,6 +331,9 @@ class ASRManager:
                 "asr.quarantine.entered",
                 extension=getattr(asr.extension, "value", str(asr.extension)),
             )
+            asr.state = ASRState.QUARANTINED
+            self._notify_state(asr, "quarantined")
+            return
         asr.state = ASRState.QUARANTINED
 
     def _mark_consistent(self, asr) -> None:
@@ -302,6 +343,9 @@ class ASRManager:
                 "asr.quarantine.exited",
                 extension=getattr(asr.extension, "value", str(asr.extension)),
             )
+            asr.state = ASRState.CONSISTENT
+            self._notify_state(asr, "consistent")
+            return
         asr.state = ASRState.CONSISTENT
 
     def _on_event(self, event: Event) -> None:
@@ -496,7 +540,7 @@ class ASRManager:
                 self._count(f"{stage}.fault")
                 if self.auto_recover:
                     try:
-                        self._recover_one(asr, scope, injector, self.DEFAULT_MAX_RETRIES)
+                        self._recover_one(asr, scope, injector, self.policy.max_retries)
                     except (InjectedFault, RecoveryError):
                         self._count(f"{stage}.quarantined")
                     else:
@@ -563,11 +607,14 @@ class ASRManager:
         for arbitrarily torn trees, and idempotent because the recompute
         derives the correct post-state instead of redoing half-applied
         operations.  Transient :class:`InjectedFault`\\ s are retried up
-        to ``max_retries`` times with exponential backoff
-        (``retry_backoff`` seconds base; zero by default).  When retries
-        are exhausted a full :meth:`~AccessSupportRelation.rebuild` is
-        the last resort; if even that faults, :class:`RecoveryError` is
-        raised and the ASR stays quarantined.
+        to ``max_retries`` times (default: the manager's
+        :class:`~repro.resilience.policy.RecoveryPolicy`), with the
+        policy's exponential backoff + seeded jitter between attempts.
+        When retries are exhausted a full
+        :meth:`~AccessSupportRelation.rebuild` is the last resort
+        (unless ``policy.rebuild_fallback`` is off); if even that
+        faults, :class:`RecoveryError` is raised and the ASR stays
+        quarantined.
 
         ``asr`` restricts recovery to one relation (it need not be
         quarantined — recovering a consistent ASR is a no-op).
@@ -581,8 +628,8 @@ class ASRManager:
         frame that already holds the write side (the auto-recover path
         inside a flush, or ``verify(repair=True)``), the reentrant lock
         stays held across the sleeps by the *outer* frames; that ladder
-        is capped at ``max_retries`` sleeps of
-        ``retry_backoff * 2**k`` seconds.
+        is capped at ``max_retries`` sleeps of ``policy.delay(k)``
+        seconds.
         """
         with self.lock.write():
             targets = (
@@ -593,7 +640,7 @@ class ASRManager:
             targets = [a for a in targets if a.state is not ASRState.CONSISTENT]
         if not targets:
             return 0
-        retries = self.DEFAULT_MAX_RETRIES if max_retries is None else max_retries
+        retries = self.policy.max_retries if max_retries is None else max_retries
         injector = self._injector()
         target = context if context is not None else self._charge_target()
         recovered = 0
@@ -626,12 +673,13 @@ class ASRManager:
         last_fault: InjectedFault | None = None
         for attempt in range(max(1, max_retries)):
             self._count("asr.recover.attempt")
-            if attempt and self.retry_backoff:
+            delay = self.policy.delay(attempt, self._backoff_rng)
+            if delay:
                 # Backoff with the write lock released (unless an outer
                 # frame holds it reentrantly — see :meth:`recover`): the
                 # ASR stays quarantined while we sleep, so concurrent
                 # readers proceed and planners route around it.
-                time.sleep(self.retry_backoff * 2 ** (attempt - 1))
+                time.sleep(delay)
             with self.lock.write():
                 if asr.state is ASRState.CONSISTENT:
                     # Another thread healed it during our backoff.
@@ -676,6 +724,12 @@ class ASRManager:
                     self._count("asr.recover.ok")
                     return
         # Retries exhausted: a from-scratch rebuild is the last resort.
+        if not self.policy.rebuild_fallback:
+            raise RecoveryError(
+                f"recovery of {asr.path} [{asr.extension.value}] failed after "
+                f"{max_retries} replay attempt(s); rebuild fallback disabled "
+                "by policy"
+            ) from last_fault
         with self.lock.write():
             was_quarantined = asr.state is ASRState.QUARANTINED
             try:
@@ -693,6 +747,7 @@ class ASRManager:
                     "asr.quarantine.exited",
                     extension=getattr(asr.extension, "value", str(asr.extension)),
                 )
+                self._notify_state(asr, "consistent")
             self._journals.pop(id(asr), None)
             self._count("asr.recover.rebuilt")
             if last_fault is not None:
@@ -722,7 +777,7 @@ class ASRManager:
                 if repair and asr.state is not ASRState.CONSISTENT:
                     try:
                         self._recover_one(
-                            asr, None, self._injector(), self.DEFAULT_MAX_RETRIES
+                            asr, None, self._injector(), self.policy.max_retries
                         )
                     except (RecoveryError, InjectedFault) as err:
                         entry["repair"] = f"failed: {err}"

@@ -61,6 +61,7 @@ from repro.costmodel.parameters import ApplicationProfile
 from repro.device import DeviceModel, LatencyModel, parse_io_dist
 from repro.query.evaluator import QueryEvaluator
 from repro.query.planner import Planner
+from repro.resilience import BreakerBoard
 from repro.telemetry import CostModelPredictor, DriftMonitor, MetricsRegistry
 from repro.workload.generator import (
     ChainGenerator,
@@ -139,6 +140,18 @@ class ServeConfig:
     #: Async mode: concurrent in-flight operation bound (the admission
     #: limit); threaded mode ignores it — ``clients`` is the bound there.
     max_inflight: int = 1024
+    #: Async daemon: queue entries older than this many milliseconds at
+    #: dequeue time are shed unexecuted (``deadline.shed``, counted
+    #: separately from admission rejects).  ``None`` disables deadlines.
+    op_deadline_ms: float | None = None
+    #: Async daemon: admission-pump backoff after shedding into a full
+    #: queue, in milliseconds (jittered ±50% from the run's seed).
+    shed_backoff_ms: float = 1.0
+    #: Per-ASR circuit breaker: consecutive fault evidence before the
+    #: breaker opens (see :mod:`repro.resilience.breaker`).
+    breaker_threshold: int = 3
+    #: Seconds an open breaker waits before half-open probing.
+    breaker_cooldown_s: float = 2.0
 
     def resolved_profile(self) -> tuple[ApplicationProfile, object]:
         """The (generator profile, operation mix) pair of :attr:`profile`."""
@@ -197,6 +210,7 @@ class ServeWorld:
     manager: ASRManager
     pool: ContextPool
     drift: DriftMonitor
+    breakers: BreakerBoard
 
     def stream(self) -> list[Operation]:
         """The seeded operation stream this world's config describes."""
@@ -224,7 +238,15 @@ def build_world(
     # Drift predictions come from the *measured* profile of the world we
     # actually built, so the report isolates model error from input error.
     drift = DriftMonitor(CostModelPredictor(measure_profile(generated)), registry)
-    return ServeWorld(config, registry, generated, manager, pool, drift)
+    # Per-ASR circuit breakers, fed by the manager's quarantine
+    # transitions; the planners below filter candidates through them.
+    breakers = BreakerBoard(
+        threshold=config.breaker_threshold,
+        cooldown_s=config.breaker_cooldown_s,
+        registry=registry,
+    )
+    manager.add_state_listener(breakers.on_asr_state)
+    return ServeWorld(config, registry, generated, manager, pool, drift, breakers)
 
 
 def execute_operation(
@@ -331,7 +353,11 @@ class ExecutorWorkers:
         state = getattr(self._local, "state", None)
         context = self._contexts.get()
         if state is None or state[0] is not context:
-            planner = Planner(self.world.manager, drift=self.world.drift)
+            planner = Planner(
+                self.world.manager,
+                drift=self.world.drift,
+                breakers=self.world.breakers,
+            )
             evaluator = QueryEvaluator(
                 self.world.generated.db,
                 self.world.generated.store,
@@ -377,7 +403,9 @@ def _run_clients(
     def client(k: int) -> None:
         try:
             with world.pool.context() as context:
-                planner = Planner(world.manager, drift=world.drift)
+                planner = Planner(
+                    world.manager, drift=world.drift, breakers=world.breakers
+                )
                 evaluator = QueryEvaluator(
                     world.generated.db, world.generated.store, context=context
                 )

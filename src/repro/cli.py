@@ -55,8 +55,24 @@ Commands
     embeds the run's metrics snapshot and cost-model drift report,
     which ``repro stats`` renders.
 
+``bench chaos [--chaos-rate R] [--chaos-burst B]
+[--chaos-crash-points P1,P2:crash] [--async] [--op-deadline-ms D]
+[--soak-ops K] [--min-recoveries R] [--out BENCH_chaos.json]``
+    The SLO-gated chaos soak (:mod:`repro.bench.chaos`): one daemon
+    serves the seeded stream while a :class:`ChaosController` arms
+    fault points from the live op stream and the background
+    :class:`HealerLoop` races it.  Four phases — storm (until
+    ``--soak-ops`` served *and* ``--min-recoveries`` heals), settle
+    (chaos off, quarantine drains), healthz probe over real HTTP,
+    graceful drain.  ``BENCH_chaos.json`` records p50/p95/p99 latency,
+    strike/fault/recovery counts, MTTR, breaker transitions, and the
+    end state; exit 0 iff the end state is consistent, accounting
+    holds, and ``/healthz`` answered 200.
+
 ``serve [--port P] [--clients N] [--async] [--max-inflight M]
 [--io-dist D] [--profile fig14|fig16] [--ops K] [--drift-interval SEC]
+[--chaos-rate R] [--op-deadline-ms D] [--shed-backoff-ms B]
+[--healer-interval SEC] [--no-healer]
 [--out BENCH_serve.json] [--addr-file F]``
     Run the long-lived serving daemon (:mod:`repro.server`): the seeded
     operation stream replays in a loop — on client threads, or with
@@ -69,7 +85,14 @@ Commands
     ratios are re-published every ``--drift-interval`` seconds.
     ``--port 0`` binds an ephemeral port (written to ``--addr-file``);
     SIGINT/SIGTERM drain gracefully and write a final report to
-    ``--out``.
+    ``--out``.  A background healer retries quarantined ASRs with
+    exponential backoff (``--no-healer`` disables it); ``--chaos-rate``
+    arms seeded fault injection against the live stream; in the async
+    core ``--op-deadline-ms`` sheds queue entries whose deadline passed
+    before execution and ``--shed-backoff-ms`` paces the admission pump
+    after a full-queue shed.  Per-ASR circuit breakers open after
+    repeated faults and route queries to the degraded GOM traversal
+    until a half-open probe heals them (:mod:`repro.resilience`).
 
 ``stats [--in BENCH_serve.json] [--json] [--prometheus]``
     Render the telemetry embedded in a serve report: the accounting
@@ -119,6 +142,71 @@ def _io_dist_spec(spec: str) -> str:
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
     return spec
+
+
+def _chaos_points_spec(spec: str) -> str:
+    """Argparse type for ``--chaos-crash-points``: validate, keep the string."""
+    from repro.resilience.chaos import parse_chaos_points
+
+    try:
+        parse_chaos_points(spec)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return spec
+
+
+def _add_resilience_options(parser) -> None:
+    """The resilience knobs ``bench chaos`` and ``serve`` share."""
+    parser.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.0,
+        help="per-operation probability of arming a chaos fault point "
+        "(0 disables chaos; strikes are seeded and replayable)",
+    )
+    parser.add_argument(
+        "--chaos-burst",
+        type=int,
+        default=0,
+        help="strikes per burst storm (a strike may expand into this "
+        "many consecutive strikes; 0 disables storms)",
+    )
+    parser.add_argument(
+        "--chaos-crash-points",
+        type=_chaos_points_spec,
+        default="asr.apply.mid-delta,asr.recover.replay",
+        help="comma-separated fault points to strike; append ':crash' "
+        "for a non-retryable SimulatedCrash instead of a transient fault",
+    )
+    parser.add_argument(
+        "--op-deadline-ms",
+        type=float,
+        default=None,
+        help="async core: shed queue entries older than this at dequeue "
+        "time, unexecuted (counted in deadline.shed, separately from "
+        "admission rejects)",
+    )
+    parser.add_argument(
+        "--shed-backoff-ms",
+        type=float,
+        default=1.0,
+        help="async core: admission-pump backoff after shedding into a "
+        "full queue (jittered +-50%% from the run's seed)",
+    )
+    parser.add_argument(
+        "--healer-interval",
+        type=float,
+        default=0.25,
+        help="seconds between background healer sweeps of the "
+        "quarantine set",
+    )
+    parser.add_argument(
+        "--no-healer",
+        dest="healer",
+        action="store_false",
+        help="disable the background healer (quarantined ASRs then wait "
+        "for 'repro doctor --repair')",
+    )
 
 
 def _add_serve_workload_options(parser, *, ops_help: str, out_help: str) -> None:
@@ -193,6 +281,23 @@ def _serve_config_from(args) -> "object":
         use_async=args.use_async,
         max_inflight=args.max_inflight,
         max_spans=getattr(args, "max_spans", None),
+        op_deadline_ms=getattr(args, "op_deadline_ms", None),
+        shed_backoff_ms=getattr(args, "shed_backoff_ms", 1.0),
+    )
+
+
+def _chaos_config_from(args) -> "object | None":
+    """The :class:`~repro.resilience.ChaosConfig` an argparse bundle names."""
+    from repro.resilience import ChaosConfig
+    from repro.resilience.chaos import parse_chaos_points
+
+    if args.chaos_rate <= 0.0:
+        return None
+    return ChaosConfig(
+        rate=args.chaos_rate,
+        burst=args.chaos_burst,
+        points=parse_chaos_points(args.chaos_crash_points),
+        seed=args.seed,
     )
 
 
@@ -251,11 +356,37 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench", help="runtime benchmarks (beyond the paper's page counts)"
     )
-    bench.add_argument("action", choices=["serve"], help="which benchmark")
+    bench.add_argument("action", choices=["serve", "chaos"], help="which benchmark")
     _add_serve_workload_options(
         bench,
-        ops_help="operations to replay",
-        out_help="where to write the JSON report",
+        ops_help="operations to replay (chaos: per client-loop pass)",
+        out_help="where to write the JSON report "
+        "(chaos default: BENCH_chaos.json)",
+    )
+    _add_resilience_options(bench)
+    bench.add_argument(
+        "--soak-ops",
+        type=int,
+        default=400,
+        help="bench chaos: operations the storm phase must serve",
+    )
+    bench.add_argument(
+        "--min-recoveries",
+        type=int,
+        default=1,
+        help="bench chaos: healer recoveries the storm phase waits for",
+    )
+    bench.add_argument(
+        "--soak-seconds",
+        type=float,
+        default=60.0,
+        help="bench chaos: wall-clock cap on the storm phase",
+    )
+    bench.add_argument(
+        "--settle-seconds",
+        type=float,
+        default=10.0,
+        help="bench chaos: wall-clock cap on the settle (heal) phase",
     )
 
     serve = commands.add_parser(
@@ -288,6 +419,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the bound host:port here once listening",
     )
+    _add_resilience_options(serve)
 
     stats = commands.add_parser(
         "stats", help="render the telemetry embedded in a serve report"
@@ -642,7 +774,89 @@ def _cmd_doctor(args, out) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_bench_chaos(args, out) -> int:
+    from repro.bench.chaos import ChaosBenchConfig, run_chaos, write_report
+    from repro.resilience import ChaosConfig
+
+    out_path = args.out
+    if out_path == Path("BENCH_serve.json"):  # the shared default
+        out_path = Path("BENCH_chaos.json")
+    # A soak with no chaos is pointless; default to a real storm.
+    chaos = _chaos_config_from(args) or ChaosConfig(rate=0.25, seed=args.seed)
+    config = ChaosBenchConfig(
+        serve=_serve_config_from(args),
+        chaos=chaos,
+        healer_interval=args.healer_interval,
+        soak_ops=args.soak_ops,
+        min_recoveries=args.min_recoveries,
+        soak_seconds=args.soak_seconds,
+        settle_seconds=args.settle_seconds,
+        out=str(out_path),
+    )
+    report = run_chaos(config)
+    write_report(report, str(out_path))
+    soak = report["soak"]
+    chaos_report = report["chaos"] or {}
+    healer = report["healer"] or {}
+    mttr = healer.get("mttr_ms", {})
+    breakers = report["breakers"]
+    latency = report["latency_ms"]
+    end = report["end_state"]
+    healthz = report["healthz"]
+    print(
+        f"chaos soak ({report['daemon']['core']} core, rate {chaos.rate:g}): "
+        f"{soak['ops_served']} ops in {soak['storm_seconds']:.1f}s storm "
+        f"({soak['throughput_ops_per_s']:.0f} ops/s)",
+        file=out,
+    )
+    print(
+        f"chaos: {chaos_report.get('strikes', 0)} strike(s) "
+        f"({chaos_report.get('bursts', 0)} burst(s)), "
+        f"{chaos_report.get('faults_injected', 0)} fault(s) and "
+        f"{chaos_report.get('crashes_injected', 0)} crash(es) injected, "
+        f"{report['chaos_casualties']} client casualt(ies)",
+        file=out,
+    )
+    print(
+        f"healer: {healer.get('recoveries', 0)} recover(ies), "
+        f"{healer.get('failures', 0)} failed attempt(s), MTTR mean "
+        f"{mttr.get('mean_ms', 0.0):.1f}ms max {mttr.get('max_ms', 0.0):.1f}ms",
+        file=out,
+    )
+    print(
+        f"breakers: {breakers['total_transitions']} transition(s), "
+        f"open at drain: {', '.join(breakers['open']) or 'none'}",
+        file=out,
+    )
+    print(
+        f"latency: p50={latency['p50_ms']:.2f}ms p95={latency['p95_ms']:.2f}ms "
+        f"p99={latency['p99_ms']:.2f}ms over {latency['count']} sampled op(s); "
+        f"hit rate {report['hit_rate'] * 100:.1f}%; "
+        f"deadline sheds {report['deadline_shed']}, "
+        f"admission rejects {report['admission']['rejected']}",
+        file=out,
+    )
+    end_ok = bool(end["consistent"]) and bool(end["accounting_ok"])
+    print(
+        f"healthz {healthz['status']}; end state "
+        f"{'consistent' if end['consistent'] else 'QUARANTINED: ' + str(end['quarantined'])}; "
+        f"accounting {'consistent' if end['accounting_ok'] else 'INCONSISTENT'}",
+        file=out,
+    )
+    print(f"report -> {out_path}", file=out)
+    return 0 if end_ok and healthz["status"] == 200 else 1
+
+
 def _cmd_bench(args, out) -> int:
+    if args.action == "chaos":
+        return _cmd_bench_chaos(args, out)
+    if args.chaos_rate > 0.0:
+        print(
+            "error: chaos injection applies to 'bench chaos' and 'serve', "
+            "not 'bench serve'",
+            file=out,
+        )
+        return 2
     from repro.bench.serve import run_serve, write_report
 
     config = _serve_config_from(args)
@@ -700,6 +914,9 @@ def _cmd_serve(args, out) -> int:
         drift_interval=args.drift_interval,
         out=str(args.out),
         addr_file=str(args.addr_file) if args.addr_file is not None else None,
+        healer=args.healer,
+        healer_interval=args.healer_interval,
+        chaos=_chaos_config_from(args),
     )
     return ServeDaemon(config).run(out=out)
 

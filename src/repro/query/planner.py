@@ -13,6 +13,13 @@ their trees may be torn, so the planner degrades to another applicable
 decomposition or to the unsupported evaluation — results stay correct,
 only the page profile suffers.  Degraded decisions are counted in the
 context trace under ``plan.degraded-fallback``.
+
+With a :class:`~repro.resilience.breaker.BreakerBoard` attached, an ASR
+whose circuit breaker is **open** is filtered out the same way even
+while nominally consistent (``plan.breaker-open`` in the trace): a
+relation that keeps faulting gets a cooldown before queries trust it
+again, and a half-open breaker admits exactly one probe query —
+:meth:`Planner.execute` reports the probe's outcome back to the board.
 """
 
 from __future__ import annotations
@@ -32,6 +39,9 @@ class Plan:
     query: Query
     asr: AccessSupportRelation | None
     estimated_pages: float
+    #: Applicable, consistent ASRs the breaker board vetoed (open
+    #: breakers) while this plan was chosen.
+    breaker_blocked: int = 0
 
     @property
     def supported(self) -> bool:
@@ -56,9 +66,13 @@ class Planner:
     prediction, feeding the live drift report.
     """
 
-    def __init__(self, manager: ASRManager, drift=None) -> None:
+    def __init__(self, manager: ASRManager, drift=None, breakers=None) -> None:
         self.manager = manager
         self.drift = drift
+        #: Optional :class:`~repro.resilience.breaker.BreakerBoard`
+        #: (duck-typed: ``allow_query`` / ``record_success`` /
+        #: ``record_failure``) filtering candidates and fed by probes.
+        self.breakers = breakers
 
     def applicable(self, query: Query) -> list[AccessSupportRelation]:
         """All registered ASRs that may answer ``query`` per Eq. 35.
@@ -91,10 +105,14 @@ class Planner:
             ]
 
     def _count_degraded(self, query: Query, plan: Plan, context) -> None:
-        """Trace a degraded decision (support lost to quarantine)."""
+        """Trace a degraded decision (quarantine or an open breaker)."""
         if context is None:
             return
-        if plan.asr is None and self.quarantined_applicable(query):
+        if plan.breaker_blocked:
+            context.count("plan.breaker-open", plan.breaker_blocked)
+        if plan.asr is None and (
+            plan.breaker_blocked or self.quarantined_applicable(query)
+        ):
             context.count("plan.degraded-fallback")
 
     def estimate_supported_pages(
@@ -128,12 +146,24 @@ class Planner:
         """The cheapest plan for ``query`` among ASRs and the fallback."""
         with self.manager.lock.read():
             candidates = self.applicable(query)
+            blocked = 0
+            if self.breakers is not None and candidates:
+                admitted = [
+                    asr for asr in candidates if self.breakers.allow_query(asr)
+                ]
+                blocked = len(candidates) - len(admitted)
+                candidates = admitted
             if not candidates:
-                return Plan(query, None, float("inf"))
+                return Plan(query, None, float("inf"), breaker_blocked=blocked)
             best = min(
                 candidates, key=lambda asr: self.estimate_supported_pages(query, asr)
             )
-            return Plan(query, best, self.estimate_supported_pages(query, best))
+            return Plan(
+                query,
+                best,
+                self.estimate_supported_pages(query, best),
+                breaker_blocked=blocked,
+            )
 
     def execute(self, query: Query, evaluator: QueryEvaluator) -> EvaluationResult:
         """Plan and evaluate in one step.
@@ -148,7 +178,17 @@ class Planner:
             if plan.asr is None:
                 result = evaluator.evaluate_unsupported(query)
             else:
-                result = evaluator.evaluate_supported(query, plan.asr)
+                try:
+                    result = evaluator.evaluate_supported(query, plan.asr)
+                except Exception:
+                    # A supported evaluation blowing up is breaker
+                    # evidence (a half-open probe failing re-opens).
+                    if self.breakers is not None:
+                        self.breakers.record_failure(plan.asr)
+                    raise
+                else:
+                    if self.breakers is not None:
+                        self.breakers.record_success(plan.asr)
         if self.drift is not None:
             self.drift.observe_query(query, plan.asr, result.total_pages)
         return result

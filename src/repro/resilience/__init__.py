@@ -1,0 +1,47 @@
+"""Self-healing resilience layer (DESIGN §13).
+
+The crash-consistency machinery of :mod:`repro.asr` makes faults
+*survivable*: a torn delta quarantines its ASR behind an intent journal
+and :meth:`~repro.asr.manager.ASRManager.recover` can heal it.  This
+package makes faults *routine* — the serving daemon keeps meeting its
+SLOs while faults fire, heal, and fire again:
+
+* :class:`~repro.resilience.policy.RecoveryPolicy` — the single
+  retry/backoff contract shared by ``ASRManager.recover``, ``repro
+  doctor --repair``, and the healer (exponential backoff with seeded
+  jitter, attempt caps, rebuild fallback).
+* :class:`~repro.resilience.healer.HealerLoop` — a background task
+  watching the manager's quarantine set and driving ``recover()`` under
+  the policy, publishing ``healer.recoveries`` / ``healer.failures`` /
+  ``healer.mttr_ms``.
+* :class:`~repro.resilience.chaos.ChaosController` — attaches the
+  existing :class:`~repro.faults.FaultInjector` to the live operation
+  stream at seeded rates (including burst storms), so the healer is
+  continuously exercised in production shape.
+* :class:`~repro.resilience.breaker.CircuitBreaker` /
+  :class:`~repro.resilience.breaker.BreakerBoard` — a per-ASR breaker
+  that opens after repeated faults and routes queries to the degraded
+  GOM-traversal fallback (Litwin's stored-vs-inherited duality: the
+  answer stays derivable from the base objects) until a half-open probe
+  proves the stored relation stable again.
+
+Import discipline: :mod:`repro.asr.manager` imports
+:mod:`repro.resilience.policy`, so nothing in this package may import
+from :mod:`repro.asr` at module level — the healer and the board treat
+managers and ASRs duck-typed (``manager.quarantined``,
+``asr.state.value``).
+"""
+
+from repro.resilience.breaker import BreakerBoard, CircuitBreaker
+from repro.resilience.chaos import ChaosConfig, ChaosController
+from repro.resilience.healer import HealerLoop
+from repro.resilience.policy import RecoveryPolicy
+
+__all__ = [
+    "BreakerBoard",
+    "ChaosConfig",
+    "ChaosController",
+    "CircuitBreaker",
+    "HealerLoop",
+    "RecoveryPolicy",
+]

@@ -51,19 +51,33 @@ comparison while clients are mid-flight.  That is exactly the writer
 that the :class:`~repro.concurrency.RWLock` starvation fix protects: a
 saturating read stream can no longer park ``/healthz`` forever.
 
+The daemon carries the self-healing resilience layer of DESIGN §13
+(:mod:`repro.resilience`): a background :class:`HealerLoop` recovers
+quarantined ASRs under the shared :class:`RecoveryPolicy`, an optional
+:class:`ChaosController` (``--chaos-rate``) strikes the fault injector
+from the live op stream so that healing is continuously exercised,
+per-ASR circuit breakers route queries to the degraded GOM-traversal
+fallback while a relation keeps faulting, and ``--op-deadline-ms``
+sheds queue entries whose deadline expired before execution.
+``/healthz`` stays 200 while the healer is actively retrying a
+quarantined ASR and degrades to 503 only when it gave up (or is absent).
+
 SIGINT/SIGTERM (or :meth:`ServeDaemon.shutdown`) trigger a graceful
-drain: stop admitting operations, quiesce the serving core (join the
-client threads, or let the admission loop stop and the queued
-operations finish before the event loop and executor wind down), flush
-the ASR manager's batched maintenance queues, retire every pool
-context, and write a final ``BENCH_serve.json``-shaped report —
-``repro stats`` renders it like any bench report.
+drain: disarm chaos, stop admitting operations, quiesce the serving
+core (join the client threads, or let the admission loop stop and the
+queued operations finish before the event loop and executor wind down),
+run the healer's final forced sweep, flush the ASR manager's batched
+maintenance queues, retire every pool context, and write a final
+``BENCH_serve.json``-shaped report — ``repro stats`` renders it like
+any bench report, and its ``resilience`` section records healer MTTR,
+chaos strikes, breaker transitions, and the end-state quarantine set.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import signal
 import sys
 import threading
@@ -84,8 +98,11 @@ from repro.bench.serve import (
     per_operation,
     write_report,
 )
+from repro.errors import InjectedFault, RecoveryError, SimulatedCrash
+from repro.faults import FaultInjector
 from repro.query.evaluator import QueryEvaluator
 from repro.query.planner import Planner
+from repro.resilience import ChaosConfig, ChaosController, HealerLoop, RecoveryPolicy
 from repro.workload.opstream import Operation
 
 __all__ = ["ServerConfig", "ServeDaemon"]
@@ -111,6 +128,18 @@ class ServerConfig:
     #: Newest operation samples kept for the final latency table (the
     #: registry histograms cover *every* operation regardless).
     max_samples: int = 10_000
+    #: The retry/backoff contract applied to the world's ASR manager
+    #: and the healer (see :mod:`repro.resilience.policy`).
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    #: Run a background :class:`~repro.resilience.healer.HealerLoop`
+    #: that recovers quarantined ASRs without an operator.
+    healer: bool = True
+    #: Seconds between healer sweeps of the quarantine set.
+    healer_interval: float = 0.25
+    #: Live chaos injection regime (``None`` or rate 0 disables).  When
+    #: enabled the manager's ``auto_recover`` is turned off so the
+    #: healer — not the flush path — owns every recovery.
+    chaos: ChaosConfig | None = None
 
 
 class ServeDaemon:
@@ -122,11 +151,6 @@ class ServeDaemon:
     SIGINT/SIGTERM between the two.  Tests drive start/shutdown
     directly.
     """
-
-    #: Seconds the async admission loop backs off after shedding an
-    #: arrival into a full queue (bounds the shed rate without blocking
-    #: the loop).
-    SHED_BACKOFF = 0.001
 
     def __init__(self, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
@@ -153,6 +177,14 @@ class ServeDaemon:
         #: the loop thread; read by gauge scrapes — a plain int is safe).
         self._inflight = 0
         self._queue: asyncio.Queue | None = None
+        # --- resilience layer (DESIGN §13) ---
+        self._healer: HealerLoop | None = None
+        self._chaos: ChaosController | None = None
+        #: Consecutive admission sheds (mutated only on the loop thread;
+        #: read by gauges).
+        self._shed_streak = 0
+        self._max_shed_streak = 0
+        self._shed_rng = random.Random(self.config.serve.seed)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -164,6 +196,7 @@ class ServeDaemon:
         self.world = build_world(config.serve)
         self._device = config.serve.device(self.world.registry)
         self._stream = self.world.stream()
+        self._wire_resilience()
         self._started_at = time.perf_counter()
         self.world.registry.gauge_fn(
             "serve.uptime_seconds",
@@ -205,6 +238,42 @@ class ServeDaemon:
         self._publisher.start()
         return self
 
+    def _wire_resilience(self) -> None:
+        """Apply the recovery policy; arm chaos; launch the healer."""
+        config = self.config
+        manager = self.world.manager
+        registry = self.world.registry
+        manager.policy = config.recovery
+        if config.chaos is not None and config.chaos.enabled:
+            # Chaos arms *named* maintenance/recovery points on a
+            # dedicated injector — not page-level fault rates, which
+            # would escape from arbitrary query evaluation and kill
+            # client loops instead of quarantining ASRs.
+            injector = FaultInjector(seed=config.chaos.seed)
+            manager.fault_injector = injector
+            # The healer, not the flush path, owns recovery under
+            # chaos — otherwise every fault heals in-place before the
+            # resilience layer ever sees it.
+            manager.auto_recover = False
+            self._chaos = ChaosController(injector, config.chaos, registry)
+        if config.healer:
+            self._healer = HealerLoop(
+                manager,
+                policy=config.recovery,
+                interval=config.healer_interval,
+                registry=registry,
+                breakers=self.world.breakers,
+                seed=config.serve.seed,
+            ).start()
+
+    @property
+    def healer(self) -> HealerLoop | None:
+        return self._healer
+
+    @property
+    def chaos(self) -> ChaosController | None:
+        return self._chaos
+
     def _start_async_core(self) -> None:
         """Launch the event-loop serving core (``--async`` mode)."""
         registry = self.world.registry
@@ -212,6 +281,13 @@ class ServeDaemon:
         registry.gauge_fn(
             "queue.depth",
             lambda: self._queue.qsize() if self._queue is not None else 0,
+        )
+        # Overload visibility: how long the current run of consecutive
+        # sheds is, and the worst streak seen — a collapsing daemon
+        # shows a growing streak, not just a rising reject counter.
+        registry.gauge_fn("admission.shed_streak", lambda: self._shed_streak)
+        registry.gauge_fn(
+            "admission.max_shed_streak", lambda: self._max_shed_streak
         )
         self._workers = ExecutorWorkers(self.world, self.config.serve.clients)
         self._loop_thread = threading.Thread(
@@ -240,17 +316,23 @@ class ServeDaemon:
     def shutdown(self) -> dict:
         """Graceful drain; returns (and writes) the final report.
 
-        Drain order: stop admitting ops → quiesce the serving core
-        (threaded: join the client threads; async: the admission loop
-        stops, every already-queued operation completes, the loop and
-        executor wind down, and the executor threads' contexts retire)
-        → join the publisher → flush the manager's batched maintenance
-        queues → verify consistency → close the manager and retire every
+        Drain order: disarm chaos (no new faults land past this point)
+        → stop admitting ops → quiesce the serving core (threaded: join
+        the client threads; async: the admission loop stops, every
+        already-queued operation completes, the loop and executor wind
+        down, and the executor threads' contexts retire) → stop the
+        healer with one final forced sweep (chaos is gone, so every
+        reachable recovery succeeds — rebuild fallback included) → join
+        the publisher → flush the manager's batched maintenance queues →
+        verify consistency (skipped, and recorded as a drain error, for
+        any ASR still quarantined) → close the manager and retire every
         pool context → final drift publication and accounting check →
         write the report → stop the HTTP endpoint.  Idempotent.
         """
         if self._report is not None:
             return self._report
+        if self._chaos is not None:
+            self._chaos.stop()
         self._stop.set()
         for thread in self._clients:
             thread.join()
@@ -258,11 +340,21 @@ class ServeDaemon:
             self._loop_thread.join()
         if self._workers is not None:
             self._workers.close()
+        if self._healer is not None:
+            self._healer.stop(final_sweep=True)
         if self._publisher is not None:
             self._publisher.join()
         world = self.world
         flushed_rows = world.manager.flush()
-        world.manager.check_consistency()
+        end_quarantined = [str(asr.path) for asr in world.manager.quarantined]
+        if end_quarantined:
+            self._errors.append(
+                RecoveryError(
+                    f"drained with quarantined ASR(s): {end_quarantined}"
+                )
+            )
+        else:
+            world.manager.check_consistency()
         world.manager.close()
         world.pool.close()
         world.drift.publish(world.registry)
@@ -289,6 +381,8 @@ class ServeDaemon:
                 "query_fraction": config.serve.query_fraction,
                 "profile": config.serve.profile,
                 "max_spans": config.serve.max_spans,
+                "op_deadline_ms": config.serve.op_deadline_ms,
+                "shed_backoff_ms": config.serve.shed_backoff_ms,
                 "host": host,
                 "port": port,
                 "drift_interval": config.drift_interval,
@@ -308,6 +402,28 @@ class ServeDaemon:
             },
             "pool": world.pool.describe(),
             "accounting": accounting,
+            "resilience": {
+                "healer": self._healer.describe() if self._healer else None,
+                "chaos": self._chaos.describe() if self._chaos else None,
+                "breakers": world.breakers.describe(),
+                "deadline_shed": int(
+                    world.registry.counter_value("deadline.shed")
+                ),
+                "chaos_casualties": int(
+                    world.registry.counter_value("chaos.casualties")
+                ),
+                "admission": {
+                    "rejected": int(
+                        world.registry.counter_value("admission.rejected")
+                    ),
+                    "max_shed_streak": self._max_shed_streak,
+                    "shed_backoff_ms": config.serve.shed_backoff_ms,
+                },
+                "end_state": {
+                    "quarantined": end_quarantined,
+                    "consistent": not end_quarantined,
+                },
+            },
             "metrics": world.registry.snapshot(),
             "drift": world.drift.report(),
         }
@@ -378,7 +494,9 @@ class ServeDaemon:
         world = self.world
         try:
             with world.pool.context() as context:
-                planner = Planner(world.manager, drift=world.drift)
+                planner = Planner(
+                    world.manager, drift=world.drift, breakers=world.breakers
+                )
                 evaluator = QueryEvaluator(
                     world.generated.db, world.generated.store, context=context
                 )
@@ -386,9 +504,21 @@ class ServeDaemon:
                     op = self._next_op()
                     if op is None:
                         return
-                    sample = drive_operation(
-                        world, context, planner, evaluator, op, self._device
-                    )
+                    if self._chaos is not None:
+                        self._chaos.on_operation(op)
+                    try:
+                        sample = drive_operation(
+                            world, context, planner, evaluator, op, self._device
+                        )
+                    except (InjectedFault, SimulatedCrash):
+                        if self._chaos is None:
+                            raise
+                        # A chaos crash killed this operation mid-flight;
+                        # the ASR is quarantined behind its journal and
+                        # the healer will pick it up.  The "process"
+                        # restarts: this client keeps serving.
+                        world.registry.inc("chaos.casualties")
+                        continue
                     self._record(sample, op)
         except BaseException as error:  # noqa: BLE001 - reported in the drain
             self._errors.append(error)
@@ -440,8 +570,14 @@ class ServeDaemon:
             await asyncio.gather(*workers, return_exceptions=True)
 
     async def _admission_loop(self, queue: asyncio.Queue) -> None:
-        """Admit replayed operations until stopped; shed when full."""
+        """Admit replayed operations until stopped; shed when full.
+
+        The post-shed backoff is ``--shed-backoff-ms`` with ±50% seeded
+        jitter, so a saturated pump neither spins (zero backoff) nor
+        beats in lockstep with the drain rate (fixed backoff).
+        """
         registry = self.world.registry
+        backoff = max(0.0, self.config.serve.shed_backoff_ms) / 1e3
         while True:
             op = self._next_op()
             if op is None:
@@ -450,27 +586,52 @@ class ServeDaemon:
                 queue.put_nowait((op, time.perf_counter()))
             except asyncio.QueueFull:
                 registry.inc("admission.rejected")
-                await asyncio.sleep(self.SHED_BACKOFF)
+                self._shed_streak += 1
+                if self._shed_streak > self._max_shed_streak:
+                    self._max_shed_streak = self._shed_streak
+                await asyncio.sleep(
+                    backoff * (0.5 + self._shed_rng.random()) if backoff else 0
+                )
             else:
+                self._shed_streak = 0
                 # Yield so workers run between admissions; the replay is
                 # a closed loop, so without this the pump would fill the
                 # queue before any operation starts.
                 await asyncio.sleep(0)
 
     async def _async_worker(self, queue: asyncio.Queue) -> None:
-        """One in-flight operation slot: dequeue, execute, charge, record."""
+        """One in-flight operation slot: dequeue, execute, charge, record.
+
+        With ``--op-deadline-ms`` set, an entry whose queue wait already
+        exceeds the deadline is shed *unexecuted* (``deadline.shed``) —
+        its caller has given up, so burning a worker slot on it only
+        delays entries that can still make their deadline.  Deadline
+        sheds are deliberately a separate counter from admission
+        rejects: rejects measure pushback at the front door, deadline
+        sheds measure staleness past it.
+        """
         world = self.world
+        deadline_ms = self.config.serve.op_deadline_ms
         while True:
             op, admitted = await queue.get()
             try:
-                world.registry.observe(
-                    "queue.wait_ms", (time.perf_counter() - admitted) * 1e3
-                )
+                wait_ms = (time.perf_counter() - admitted) * 1e3
+                if deadline_ms is not None and wait_ms > deadline_ms:
+                    world.registry.inc("deadline.shed")
+                    continue
+                world.registry.observe("queue.wait_ms", wait_ms)
+                if self._chaos is not None:
+                    self._chaos.on_operation(op)
                 self._inflight += 1
                 try:
                     sample = await drive_operation_async(
                         world, self._workers, op, self._device
                     )
+                except (InjectedFault, SimulatedCrash):
+                    if self._chaos is None:
+                        raise
+                    world.registry.inc("chaos.casualties")
+                    continue
                 finally:
                     self._inflight -= 1
                 self._record(sample, op)
@@ -504,6 +665,13 @@ class ServeDaemon:
 
         Computed under the manager's write lock — the quiescent point at
         which the accounting comparison and the ASR states are exact.
+
+        Quarantine degrades the verdict in two tiers: an ASR the healer
+        is *actively retrying* keeps the response 200 (with the detail
+        in ``healing``) — transient faults under chaos must not flap a
+        liveness probe that would restart a self-healing process — while
+        an ASR the healer has given up on (or no healer at all) is
+        hard-down and turns the response 503.
         """
         world = self.world
         with world.manager.exclusive():
@@ -523,7 +691,16 @@ class ServeDaemon:
             for entry in asrs
             if entry["state"] != ASRState.CONSISTENT.value
         ]
-        ok = bool(accounting["ok"]) and hit_rate_ok and not quarantined
+        healer_info = self._healer.describe() if self._healer is not None else None
+        healing, hard_down = [], []
+        for path in quarantined:
+            actively_retried = (
+                healer_info is not None
+                and healer_info["running"]
+                and path not in healer_info["gave_up"]
+            )
+            (healing if actively_retried else hard_down).append(path)
+        ok = bool(accounting["ok"]) and hit_rate_ok and not hard_down
         payload = {
             "ok": ok,
             "status": "draining" if self._stop.is_set() else "serving",
@@ -540,6 +717,12 @@ class ServeDaemon:
             "hit_rate": round(hit_rate, 4),
             "hit_rate_ok": hit_rate_ok,
             "quarantined": quarantined,
+            "healing": healing,
+            "quarantined_hard": hard_down,
+            "healer": healer_info,
+            "breakers": world.breakers.describe(),
+            "chaos": self._chaos.describe() if self._chaos is not None else None,
+            "deadline_shed": int(world.registry.counter_value("deadline.shed")),
             "asrs": asrs,
         }
         return ok, payload

@@ -1,0 +1,82 @@
+"""Breaker gating in the planner: open breakers route around the ASR."""
+
+from repro.asr import ASRManager, Decomposition, Extension
+from repro.context import ExecutionContext
+from repro.query import BackwardQuery, Planner, QueryEvaluator
+from repro.resilience import BreakerBoard
+
+from tests.resilience.test_breaker import FakeClock
+
+
+def world(company_world, threshold=2):
+    db, path, o = company_world
+    context = ExecutionContext()
+    manager = ASRManager(db, context=context)
+    asr = manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+    clock = FakeClock()
+    board = BreakerBoard(threshold=threshold, cooldown_s=1.0, time_fn=clock)
+    planner = Planner(manager, breakers=board)
+    evaluator = QueryEvaluator(db, context=context)
+    query = BackwardQuery(path, 0, path.n, target="Door")
+    return db, manager, asr, board, clock, planner, evaluator, query, context
+
+
+class TestBreakerGating:
+    def test_open_breaker_excludes_a_consistent_asr(self, company_world):
+        db, manager, asr, board, clock, planner, evaluator, query, context = world(
+            company_world
+        )
+        assert planner.plan(query).asr is asr
+        board.record_failure(asr)
+        board.record_failure(asr)  # threshold reached: open
+        plan = planner.plan(query)
+        assert plan.asr is None
+        assert plan.breaker_blocked == 1
+        # The query still answers, degraded, with the right rows — and
+        # the degradation is visible in the context trace.
+        result = planner.execute(query, evaluator)
+        assert result.strategy == "unsupported"
+        assert result.cells == evaluator.evaluate_unsupported(query).cells
+        assert context.op_counts["plan.breaker-open"] == 1
+        assert context.op_counts["plan.degraded-fallback"] == 1
+
+    def test_probe_after_cooldown_closes_and_restores_fast_path(
+        self, company_world
+    ):
+        db, manager, asr, board, clock, planner, evaluator, query, context = world(
+            company_world
+        )
+        board.record_failure(asr)
+        board.record_failure(asr)
+        assert planner.plan(query).asr is None
+        clock.advance(1.1)
+        # The cooldown elapsed: the next plan IS the half-open probe, and
+        # its successful execution closes the breaker.
+        probe = planner.execute(query, evaluator)
+        assert probe.strategy.startswith("asr:")
+        assert board.breaker_for(asr).state == "closed"
+        assert planner.plan(query).asr is asr
+
+    def test_routine_successes_do_not_mask_accumulating_faults(
+        self, company_world
+    ):
+        db, manager, asr, board, clock, planner, evaluator, query, context = world(
+            company_world, threshold=3
+        )
+        # fault, good query, fault, good query … the storm rhythm.  The
+        # good queries must not reset the count, so the third fault opens.
+        for _ in range(2):
+            board.record_failure(asr)
+            planner.execute(query, evaluator)
+        board.record_failure(asr)
+        assert board.breaker_for(asr).state == "open"
+
+    def test_planner_without_breakers_is_unchanged(self, company_world):
+        db, path, o = company_world
+        manager = ASRManager(db)
+        asr = manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        planner = Planner(manager)
+        query = BackwardQuery(path, 0, path.n, target="Door")
+        plan = planner.plan(query)
+        assert plan.asr is asr
+        assert plan.breaker_blocked == 0
