@@ -38,8 +38,41 @@ from repro.storage.pages import (
 )
 
 
+class _KeyBound:
+    """A sentinel sorting below (``BOTTOM``) or above (``TOP``) every cell.
+
+    Real cells occupy ranks 0–4 of :func:`cell_key`; the bounds sit at
+    ranks -1 and 5 so half-open scans can be made one-sided without
+    inventing a fake "largest" value of any particular type.  They are
+    valid *bounds* only — they never appear inside stored rows.
+    """
+
+    __slots__ = ("_name", "_key")
+
+    def __init__(self, name: str, rank: int) -> None:
+        self._name = name
+        self._key = (rank, 0)
+
+    @property
+    def key(self) -> tuple:
+        return self._key
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+BOTTOM = _KeyBound("BOTTOM", -1)
+TOP = _KeyBound("TOP", 5)
+
+
 def cell_key(cell: Cell) -> tuple:
-    """A total order over cells: NULL < OIDs < booleans < numbers < strings."""
+    """A total order over cells: NULL < OIDs < booleans < numbers < strings.
+
+    The pseudo-cells :data:`BOTTOM` and :data:`TOP` compare below and
+    above everything else, for use as open range-scan endpoints.
+    """
+    if isinstance(cell, _KeyBound):
+        return cell.key
     if cell is NULL:
         return (0, 0)
     if isinstance(cell, OID):

@@ -169,6 +169,20 @@ class ASRManager:
             context.add_exit_hook(self.flush)
 
     @property
+    def epoch(self) -> int:
+        """Monotone version number of the queryable ASR configuration.
+
+        Bumped by every journaled maintenance batch, real quarantine
+        transition, recovery rebuild, bulk-load rebuild, and ASR
+        (de)registration — anything that can change which plan the
+        planner would pick or which partitions a chosen plan may touch.
+        Compiled-plan caches key on this value so a bump invalidates
+        them wholesale.  Read it under the manager's read lock to pair
+        it consistently with a planning decision.
+        """
+        return self._epoch
+
+    @property
     def retry_backoff(self) -> float:
         """Back-compat alias for ``policy.backoff_s`` (read and write)."""
         return self.policy.backoff_s
@@ -217,12 +231,14 @@ class ASRManager:
         )
         with self.lock.write():
             self.asrs.append(asr)
+            self._epoch += 1
         return asr
 
     def register(self, asr: AccessSupportRelation) -> None:
         """Adopt an externally built ASR (assumed consistent right now)."""
         with self.lock.write():
             self.asrs.append(asr)
+            self._epoch += 1
 
     def drop(self, asr: AccessSupportRelation) -> None:
         with self.lock.write():
@@ -234,6 +250,7 @@ class ASRManager:
                 ) from None
             self._pending.pop(id(asr), None)
             self._journals.pop(id(asr), None)
+            self._epoch += 1
 
     def find(
         self, path: PathExpression, extension: Extension | None = None
@@ -332,6 +349,7 @@ class ASRManager:
                 extension=getattr(asr.extension, "value", str(asr.extension)),
             )
             asr.state = ASRState.QUARANTINED
+            self._epoch += 1
             self._notify_state(asr, "quarantined")
             return
         asr.state = ASRState.QUARANTINED
@@ -344,6 +362,7 @@ class ASRManager:
                 extension=getattr(asr.extension, "value", str(asr.extension)),
             )
             asr.state = ASRState.CONSISTENT
+            self._epoch += 1
             self._notify_state(asr, "consistent")
             return
         asr.state = ASRState.CONSISTENT
@@ -741,6 +760,7 @@ class ASRManager:
                     f"after {max_retries} replay attempt(s) and a rebuild "
                     "attempt"
                 ) from err
+            self._epoch += 1
             if was_quarantined:
                 # rebuild() reset the state itself; count the exit here.
                 self._metric_inc(
@@ -819,6 +839,7 @@ class ASRManager:
             self._suspended -= 1
             if not self._suspended:
                 with self.lock.write():
+                    self._epoch += 1
                     for asr in self.asrs:
                         asr.rebuild(self.db)
                         # A rebuild restores consistency unconditionally, so

@@ -59,8 +59,11 @@ from repro.asr.manager import ASRManager
 from repro.concurrency import ContextPool, ThreadLocalContexts
 from repro.costmodel.parameters import ApplicationProfile
 from repro.device import DeviceModel, LatencyModel, parse_io_dist
+from repro.gom.paths import PathExpression
+from repro.query.costplanner import CostBasedPlanner
 from repro.query.evaluator import QueryEvaluator
 from repro.query.planner import Planner
+from repro.query.service import QueryService
 from repro.resilience import BreakerBoard
 from repro.telemetry import CostModelPredictor, DriftMonitor, MetricsRegistry
 from repro.workload.generator import (
@@ -68,7 +71,12 @@ from repro.workload.generator import (
     GeneratedDatabase,
     measure_profile,
 )
-from repro.workload.opstream import Operation, apply_update, operation_stream
+from repro.workload.opstream import (
+    Operation,
+    apply_update,
+    operation_stream,
+    select_stream,
+)
 from repro.workload.profiles import FIG14_MIX, FIG16_MIX
 
 __all__ = [
@@ -107,9 +115,13 @@ SMALL_FIG16_PROFILE = ApplicationProfile(
 )
 
 #: ``--profile`` choices: name -> (generator profile, operation mix).
+#: ``queries`` serves *textual* selects through the query service (the
+#: ``POST /query`` pipeline: parse → validate → plan cache → execute)
+#: over the Fig. 14 shape, mixed with FIG14 updates.
 SERVE_PROFILES = {
     "fig14": (SMALL_PROFILE, FIG14_MIX),
     "fig16": (SMALL_FIG16_PROFILE, FIG16_MIX),
+    "queries": (SMALL_PROFILE, FIG14_MIX),
 }
 
 
@@ -152,6 +164,9 @@ class ServeConfig:
     breaker_threshold: int = 3
     #: Seconds an open breaker waits before half-open probing.
     breaker_cooldown_s: float = 2.0
+    #: Entries in the query service's compiled-plan cache (LRU, keyed by
+    #: normalized text + ASR epoch); 0 disables caching.
+    query_cache_size: int = 128
 
     def resolved_profile(self) -> tuple[ApplicationProfile, object]:
         """The (generator profile, operation mix) pair of :attr:`profile`."""
@@ -211,10 +226,21 @@ class ServeWorld:
     pool: ContextPool
     drift: DriftMonitor
     breakers: BreakerBoard
+    #: The text-in/rows-out front door (``POST /query`` and the
+    #: ``queries`` profile's select operations).
+    queries: QueryService
 
     def stream(self) -> list[Operation]:
         """The seeded operation stream this world's config describes."""
         _profile, mix = self.config.resolved_profile()
+        if self.config.profile == "queries":
+            return select_stream(
+                self.generated,
+                mix,
+                count=self.config.ops,
+                seed=self.config.seed,
+                query_fraction=self.config.query_fraction,
+            )
         return operation_stream(
             self.generated,
             mix,
@@ -235,6 +261,17 @@ def build_world(
     manager_context = pool.acquire()
     manager = ASRManager(generated.db, context=manager_context)
     manager.create(generated.path, Extension.FULL, workers=config.build_workers)
+    if config.profile == "queries":
+        # The queries profile selects on the chain's Payload terminals;
+        # give those selects an ASR over the value-extended path so the
+        # service's planner has something to choose.  (Other profiles
+        # keep the single chain ASR their committed baselines assume.)
+        payload_path = PathExpression(
+            generated.db.schema,
+            "T0",
+            tuple("A" for _ in range(generated.n)) + ("Payload",),
+        )
+        manager.create(payload_path, Extension.FULL, workers=config.build_workers)
     # Drift predictions come from the *measured* profile of the world we
     # actually built, so the report isolates model error from input error.
     drift = DriftMonitor(CostModelPredictor(measure_profile(generated)), registry)
@@ -246,7 +283,19 @@ def build_world(
         registry=registry,
     )
     manager.add_state_listener(breakers.on_asr_state)
-    return ServeWorld(config, registry, generated, manager, pool, drift, breakers)
+    # The textual front door: cost-based planning with breaker gating
+    # and an epoch-keyed compiled-plan cache.  Drift stays focused on
+    # the replay stream's Q_{i,j} shapes, so no drift hook here.
+    queries = QueryService(
+        generated.db,
+        CostBasedPlanner(manager, breakers=breakers),
+        store=generated.store,
+        cache_size=config.query_cache_size,
+        registry=registry,
+    )
+    return ServeWorld(
+        config, registry, generated, manager, pool, drift, breakers, queries
+    )
 
 
 def execute_operation(
@@ -271,6 +320,9 @@ def execute_operation(
     if op.kind == "query":
         result = planner.execute(op.query, evaluator)
         return result.total_pages
+    if op.kind == "select":
+        outcome = world.queries.execute(op.text, context=context)
+        return outcome.report.total_pages
     with manager.exclusive():
         before = manager.context.stats.snapshot()
         apply_update(world.generated, op)

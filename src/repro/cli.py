@@ -41,7 +41,8 @@ Commands
 
 ``bench serve [--clients N] [--ops K] [--seed S] [--io-micros U]
 [--io-dist D] [--async] [--max-inflight M] [--capacity C]
-[--profile fig14|fig16] [--out BENCH_serve.json]``
+[--profile fig14|fig16|queries] [--query-fraction F]
+[--query-cache-size Z] [--out BENCH_serve.json]``
     Serve a seeded operation mix over one shared bounded buffer pool
     and one ASR-managed chain database; report throughput, speedup over
     a single client, and per-operation p50/p95/p99 latency
@@ -51,9 +52,12 @@ Commands
     awaiting their simulated device charges
     (:mod:`repro.device`, distribution picked by ``--io-dist``) while
     CPU-bound plan evaluation is offloaded to ``N`` executor threads —
-    and the report adds the async-vs-threaded speedup.  The report
-    embeds the run's metrics snapshot and cost-model drift report,
-    which ``repro stats`` renders.
+    and the report adds the async-vs-threaded speedup.  The ``queries``
+    profile replays *textual* selects through the query-service
+    pipeline (parse → validate → plan → execute, compiled plans cached
+    by epoch) instead of pre-bound query objects.  The report embeds
+    the run's metrics snapshot and cost-model drift report, which
+    ``repro stats`` renders.
 
 ``bench chaos [--chaos-rate R] [--chaos-burst B]
 [--chaos-crash-points P1,P2:crash] [--async] [--op-deadline-ms D]
@@ -70,7 +74,8 @@ Commands
     holds, and ``/healthz`` answered 200.
 
 ``serve [--port P] [--clients N] [--async] [--max-inflight M]
-[--io-dist D] [--profile fig14|fig16] [--ops K] [--drift-interval SEC]
+[--io-dist D] [--profile fig14|fig16|queries] [--ops K]
+[--query-fraction F] [--query-cache-size Z] [--drift-interval SEC]
 [--chaos-rate R] [--op-deadline-ms D] [--shed-backoff-ms B]
 [--healer-interval SEC] [--no-healer]
 [--out BENCH_serve.json] [--addr-file F]``
@@ -81,7 +86,12 @@ Commands
     unboundedly — while an HTTP endpoint serves ``GET /metrics`` (live
     Prometheus exposition), ``GET /healthz`` (accounting invariant +
     quarantine state + hit-rate sanity as JSON; non-200 on violation),
-    and ``GET /stats`` (the ``repro stats`` JSON payload).  Drift
+    ``GET /stats`` (the ``repro stats`` JSON payload), and
+    ``POST /query`` (a JSON ``{"query": "select …"}`` body executed
+    through the query service — parsed, schema-validated, cost-planned
+    and run over the shared pool, with compiled plans cached per
+    ``(text, epoch)`` up to ``--query-cache-size`` entries; parse and
+    validation errors come back as structured HTTP 400 bodies).  Drift
     ratios are re-published every ``--drift-interval`` seconds.
     ``--port 0`` binds an ephemeral port (written to ``--addr-file``);
     SIGINT/SIGTERM drain gracefully and write a final report to
@@ -257,9 +267,24 @@ def _add_serve_workload_options(parser, *, ops_help: str, out_help: str) -> None
     )
     parser.add_argument(
         "--profile",
-        choices=["fig14", "fig16"],
+        choices=["fig14", "fig16", "queries"],
         default="fig14",
-        help="application shape to serve (Figure 14 or Figure 16 mix)",
+        help="application shape to serve (Figure 14 mix, Figure 16 mix, "
+        "or textual selects through the query service)",
+    )
+    parser.add_argument(
+        "--query-fraction",
+        type=float,
+        default=0.8,
+        help="fraction of the stream that is queries (the rest are "
+        "FIG14-style updates); 1.0 keeps the object graph quiescent",
+    )
+    parser.add_argument(
+        "--query-cache-size",
+        type=int,
+        default=128,
+        help="compiled-plan cache capacity for POST /query "
+        "(0 disables caching)",
     )
     parser.add_argument(
         "--out", type=Path, default=Path("BENCH_serve.json"), help=out_help
@@ -278,8 +303,10 @@ def _serve_config_from(args) -> "object":
         io_micros=args.io_micros,
         io_dist=args.io_dist,
         profile=args.profile,
+        query_fraction=args.query_fraction,
         use_async=args.use_async,
         max_inflight=args.max_inflight,
+        query_cache_size=args.query_cache_size,
         max_spans=getattr(args, "max_spans", None),
         op_deadline_ms=getattr(args, "op_deadline_ms", None),
         shed_backoff_ms=getattr(args, "shed_backoff_ms", 1.0),

@@ -21,7 +21,10 @@ from repro.query.evaluator import EvaluationResult, QueryEvaluator
 from repro.query.planner import Plan, Planner
 from repro.query.costplanner import CostBasedPlanner, RecordingPlanner
 from repro.query.parser import parse_select, SelectStatement
-from repro.query.executor import SelectExecutor
+from repro.query.executor import CompiledSelect, ExecutionReport, SelectExecutor
+from repro.query.validate import validate_select
+from repro.query.cache import CompiledPlanCache, normalize_query
+from repro.query.service import QueryOutcome, QueryService
 
 __all__ = [
     "Query",
@@ -37,4 +40,11 @@ __all__ = [
     "parse_select",
     "SelectStatement",
     "SelectExecutor",
+    "CompiledSelect",
+    "ExecutionReport",
+    "validate_select",
+    "CompiledPlanCache",
+    "normalize_query",
+    "QueryOutcome",
+    "QueryService",
 ]

@@ -46,8 +46,9 @@ class CostBasedPlanner(Planner):
         object_sizes: dict[str, int] | None = None,
         default_size: int = 100,
         drift=None,
+        breakers=None,
     ) -> None:
-        super().__init__(manager, drift=drift)
+        super().__init__(manager, drift=drift, breakers=breakers)
         self.object_sizes = object_sizes
         self.default_size = default_size
         self._profiles: dict[PathExpression, ApplicationProfile] = {}
@@ -92,30 +93,53 @@ class CostBasedPlanner(Planner):
 
         Returns a plan with ``asr=None`` whenever the model prices the
         unsupported evaluation below every applicable ASR (the Figure 8
-        situation).
+        situation).  As in the base planner, open circuit breakers veto
+        otherwise-applicable candidates (``breaker_blocked`` counts the
+        vetoes).
         """
-        fallback_cost = self.unsupported_cost(query)
-        best_asr: AccessSupportRelation | None = None
-        best_cost = fallback_cost
-        for asr in self.applicable(query):
-            cost = self.supported_cost(query, asr)
-            if cost < best_cost:
-                best_asr, best_cost = asr, cost
-        return Plan(query, best_asr, best_cost)
+        with self.manager.lock.read():
+            fallback_cost = self.unsupported_cost(query)
+            candidates = self.applicable(query)
+            blocked = 0
+            if self.breakers is not None and candidates:
+                admitted = [
+                    asr for asr in candidates if self.breakers.allow_query(asr)
+                ]
+                blocked = len(candidates) - len(admitted)
+                candidates = admitted
+            best_asr: AccessSupportRelation | None = None
+            best_cost = fallback_cost
+            for asr in candidates:
+                cost = self.supported_cost(query, asr)
+                if cost < best_cost:
+                    best_asr, best_cost = asr, cost
+            return Plan(query, best_asr, best_cost, breaker_blocked=blocked)
 
     def execute(self, query: Query, evaluator: QueryEvaluator) -> EvaluationResult:
-        plan = self.plan(query)
-        context = evaluator.context
-        if context is not None:
-            # Count plan decisions in the context's trace: which arm the
-            # cost model chose is as interesting as what it cost.
-            chosen = "unsupported" if plan.asr is None else "supported"
-            context.count(f"plan.{chosen}")
-        self._count_degraded(query, plan, context)
-        if plan.asr is None:
-            result = evaluator.evaluate_unsupported(query)
-        else:
-            result = evaluator.evaluate_supported(query, plan.asr)
+        # Hold the manager's read side across plan *and* evaluation, as
+        # the base planner does: a concurrent flush or recovery must not
+        # mutate a tree between the cost decision and the probes.
+        with self.manager.lock.read():
+            plan = self.plan(query)
+            context = evaluator.context
+            if context is not None:
+                # Count plan decisions in the context's trace: which arm
+                # the cost model chose is as interesting as what it cost.
+                chosen = "unsupported" if plan.asr is None else "supported"
+                context.count(f"plan.{chosen}")
+            self._count_degraded(query, plan, context)
+            if plan.asr is None:
+                result = evaluator.evaluate_unsupported(query)
+            else:
+                try:
+                    result = evaluator.evaluate_supported(query, plan.asr)
+                except Exception:
+                    if self.breakers is not None:
+                        self.breakers.record_failure(plan.asr)
+                    raise
+                else:
+                    if self.breakers is not None:
+                        self.breakers.record_success(plan.asr)
         if self.drift is not None:
             self.drift.observe_query(query, plan.asr, result.total_pages)
         return result

@@ -13,7 +13,7 @@ instead of traversing from every binding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import product
 from typing import Iterable
 
@@ -30,18 +30,56 @@ from repro.query.parser import (
     SelectStatement,
     parse_select,
 )
-from repro.query.planner import Planner
-from repro.query.queries import BackwardQuery
+from repro.query.planner import Plan, Planner
+from repro.query.queries import BackwardQuery, Query
 from repro.query.evaluator import QueryEvaluator
 
 
-#: Per cell-kind (rank of :func:`repro.asr.asr.cell_key`) sentinels that
-#: sort below/above every real value of that kind, used to build one-sided
-#: range scans.  Rank 3 is numbers, rank 4 strings.
-_RANK_BOUNDS = {
-    2: (False, True),
-    3: (float("-inf"), float("inf")),
-    4: ("", "\uffff" * 8),
+@dataclass(frozen=True)
+class PredicateAction:
+    """One compiled step of the ASR fast path, in predicate order.
+
+    ``kind`` is ``"supported"`` (evaluate ``query`` through
+    ``plan.asr`` and intersect the candidates) or ``"degraded"`` (support
+    exists but was unusable at compile time — keep the nested-loop
+    filter and flag the strategy).  Supported actions are re-checked at
+    execution time: quarantine or an open breaker demotes them to
+    degraded without recompiling.
+    """
+
+    kind: str
+    predicate: Predicate
+    query: Query
+    plan: Plan | None = None
+    reason: str = "quarantined"
+
+
+@dataclass(frozen=True)
+class CompiledSelect:
+    """A parsed statement plus its frozen plan decisions.
+
+    The expensive part of :meth:`SelectExecutor.run` — recognizing
+    indexable predicates and ranking ASRs for each — is done once at
+    compile time; :meth:`SelectExecutor.run_compiled` replays the
+    decisions against live data.  ``epoch`` records the ASR manager
+    epoch the plans were made under (filled in by the caching layer);
+    a compiled statement is only as fresh as that epoch.
+    """
+
+    statement: SelectStatement
+    actions: tuple[PredicateAction, ...] = ()
+    epoch: int | None = None
+
+    @property
+    def supported(self) -> bool:
+        """Whether any predicate will be answered through an ASR."""
+        return any(action.kind == "supported" for action in self.actions)
+
+
+#: Strategy strings for the two ways a supported predicate degrades.
+_DEGRADED_STRATEGIES = {
+    "quarantined": "nested-loop traversal (degraded: ASR quarantined)",
+    "breaker-open": "nested-loop traversal (degraded: breaker open)",
 }
 
 
@@ -102,15 +140,123 @@ class SelectExecutor:
         if isinstance(statement, str):
             statement = parse_select(statement)
         if self.planner is not None:
-            # Hold the manager's read side across binding *and* filtering
-            # so a concurrent maintenance write cannot swap ASR state
-            # between the plan decision and the tree probes.
+            # Hold the manager's read side across planning, binding *and*
+            # filtering so a concurrent maintenance write cannot swap ASR
+            # state between the plan decision and the tree probes (the
+            # read side is reentrant, so nested plan calls are fine).
             with self.planner.manager.lock.read():
-                return self._run_bound(statement)
-        return self._run_bound(statement)
+                return self.run_compiled(self.compile(statement))
+        return self.run_compiled(self.compile(statement))
 
-    def _run_bound(self, statement: SelectStatement) -> ExecutionReport:
-        bindings_list, strategy, reads, writes = self._bind_and_filter(statement)
+    def compile(self, statement: SelectStatement | str) -> CompiledSelect:
+        """Freeze the plan decisions for ``statement`` without running it.
+
+        Recognizes the paper's flagship pattern — predicates comparing a
+        path expression rooted at the first range variable with a
+        literal — and plans each through the attached planner.  Plan
+        decisions are traced (``plan.supported`` / ``plan.unsupported``)
+        *here*, so replaying the compiled statement via
+        :meth:`run_compiled` provably does no planning work.
+        """
+        if isinstance(statement, str):
+            statement = parse_select(statement)
+        actions: list[PredicateAction] = []
+        if self.planner is not None and statement.predicates:
+            first = statement.ranges[0]
+            context = self.evaluator.context
+            for predicate in statement.predicates:
+                rooted = self._rooted_literal_predicate(predicate, first.variable)
+                if rooted is None:
+                    continue
+                attributes, literal, op = rooted
+                path = self._try_path(first, attributes)
+                if path is None:
+                    continue
+                query = self._indexable_query(path, literal, op)
+                if query is None:
+                    continue
+                plan = self.planner.plan(query)
+                if context is not None:
+                    chosen = "unsupported" if plan.asr is None else "supported"
+                    context.count(f"plan.{chosen}")
+                if plan.asr is None:
+                    if self.planner.quarantined_applicable(query):
+                        # Support exists but is quarantined: keep the
+                        # nested-loop filter (correct, just slower) and
+                        # say so in the strategy string / trace.
+                        actions.append(
+                            PredicateAction(
+                                "degraded", predicate, query, plan, "quarantined"
+                            )
+                        )
+                    elif plan.breaker_blocked:
+                        actions.append(
+                            PredicateAction(
+                                "degraded", predicate, query, plan, "breaker-open"
+                            )
+                        )
+                    continue
+                actions.append(PredicateAction("supported", predicate, query, plan))
+        return CompiledSelect(statement, tuple(actions))
+
+    def run_compiled(self, compiled: CompiledSelect) -> ExecutionReport:
+        """Execute a previously compiled statement against live data.
+
+        Supported actions are re-validated cheaply: an ASR that was
+        quarantined or breaker-vetoed since compile time degrades that
+        predicate to the nested-loop filter instead of returning wrong
+        rows, and supported evaluations feed the breaker board exactly
+        as freshly planned ones do.
+        """
+        if self.planner is not None:
+            with self.planner.manager.lock.read():
+                return self._run_actions(compiled)
+        return self._run_actions(compiled)
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+
+    def _run_actions(self, compiled: CompiledSelect) -> ExecutionReport:
+        statement = compiled.statement
+        strategy = "nested-loop traversal"
+        reads = writes = 0
+        first = statement.ranges[0]
+        candidates = set(self._range_members(first, {}))
+        asr_filtered: set[str] = set()
+        context = self.evaluator.context
+        breakers = self.planner.breakers if self.planner is not None else None
+        for action in compiled.actions:
+            reason = action.reason
+            if action.kind == "supported":
+                asr = action.plan.asr
+                if asr.quarantined:
+                    reason = "quarantined"
+                elif breakers is not None and not breakers.allow_query(asr):
+                    reason = "breaker-open"
+                else:
+                    try:
+                        result = self.evaluator.evaluate_supported(action.query, asr)
+                    except Exception:
+                        if breakers is not None:
+                            breakers.record_failure(asr)
+                        raise
+                    if breakers is not None:
+                        breakers.record_success(asr)
+                    candidates &= result.cells
+                    reads += result.page_reads
+                    writes += result.page_writes
+                    strategy = f"asr-backward via {asr.extension.value}"
+                    asr_filtered.add(str(action.predicate))
+                    continue
+            strategy = _DEGRADED_STRATEGIES[reason]
+            if context is not None:
+                context.count("query.degraded-fallback")
+        bindings_list: list[dict[str, Cell]] = []
+        for candidate in sorted(candidates, key=repr):
+            self._extend_bindings(
+                statement, 1, {first.variable: candidate}, bindings_list, asr_filtered
+            )
         rows: list[tuple[Cell, ...]] = []
         seen: set[tuple[Cell, ...]] = set()
         for bindings in bindings_list:
@@ -125,56 +271,6 @@ class SelectExecutor:
                     seen.add(combo)
                     rows.append(combo)
         return ExecutionReport(rows, strategy, reads, writes)
-
-    # ------------------------------------------------------------------
-    # binding
-    # ------------------------------------------------------------------
-
-    def _bind_and_filter(
-        self, statement: SelectStatement
-    ) -> tuple[list[dict[str, Cell]], str, int, int]:
-        strategy = "nested-loop traversal"
-        reads = writes = 0
-        first = statement.ranges[0]
-        candidates = set(self._range_members(first, {}))
-        asr_filtered: set[str] = set()
-        # ASR fast path: predicates of the form  var.path = literal  where
-        # var is the first range variable and an ASR indexes the path.
-        if self.planner is not None:
-            for predicate in statement.predicates:
-                rooted = self._rooted_literal_predicate(predicate, first.variable)
-                if rooted is None:
-                    continue
-                attributes, literal, op = rooted
-                path = self._try_path(first, attributes)
-                if path is None:
-                    continue
-                query = self._indexable_query(path, literal, op)
-                if query is None:
-                    continue
-                plan = self.planner.plan(query)
-                if plan.asr is None:
-                    if self.planner.quarantined_applicable(query):
-                        # Support exists but is quarantined: keep the
-                        # nested-loop filter (correct, just slower) and
-                        # say so in the strategy string / trace.
-                        strategy = "nested-loop traversal (degraded: ASR quarantined)"
-                        context = self.evaluator.context
-                        if context is not None:
-                            context.count("query.degraded-fallback")
-                    continue
-                result = self.evaluator.evaluate_supported(query, plan.asr)
-                candidates &= result.cells
-                reads += result.page_reads
-                writes += result.page_writes
-                strategy = f"asr-backward via {plan.asr.extension.value}"
-                asr_filtered.add(str(predicate))
-        bindings_list: list[dict[str, Cell]] = []
-        for candidate in sorted(candidates, key=repr):
-            self._extend_bindings(
-                statement, 1, {first.variable: candidate}, bindings_list, asr_filtered
-            )
-        return bindings_list, strategy, reads, writes
 
     def _extend_bindings(
         self,
@@ -307,21 +403,22 @@ class SelectExecutor:
     @staticmethod
     def _indexable_query(path, literal: Literal, op: str):
         """The backward/range query answering ``path op literal``."""
-        from repro.asr.asr import cell_key
+        from repro.asr.asr import BOTTOM, TOP
         from repro.query.queries import ValueRangeQuery
 
         if op in ("=", "in"):
             return BackwardQuery(path, 0, path.n, target=literal.value)
         if not path.terminal_is_atomic:
             return None
-        rank = cell_key(literal.value)[0]
-        lowest = _RANK_BOUNDS[rank][0]
-        highest = _RANK_BOUNDS[rank][1]
+        # One-sided scans are unbounded on the open side: BOTTOM/TOP sort
+        # below/above every real cell, so no stored value — of any rank —
+        # can escape the scan.  (Finite per-rank sentinels used to live
+        # here and silently missed values sorting above them.)
         try:
             if op == "<":
-                return ValueRangeQuery(path, 0, path.n, lo=lowest, hi=literal.value)
+                return ValueRangeQuery(path, 0, path.n, lo=BOTTOM, hi=literal.value)
             if op == ">=":
-                return ValueRangeQuery(path, 0, path.n, lo=literal.value, hi=highest)
+                return ValueRangeQuery(path, 0, path.n, lo=literal.value, hi=TOP)
         except Exception:
             return None
         # '<=' and '>' need inclusive/exclusive bounds the half-open scan

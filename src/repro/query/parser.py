@@ -28,8 +28,8 @@ Grammar (case-insensitive keywords)::
     op         := "=" | "in" | "<" | "<=" | ">" | ">="
 
 Operands are dotted identifiers (range variable, optionally followed by
-an attribute path) or literals (double-quoted strings, integers,
-decimals).
+an attribute path) or literals (double-quoted strings with ``\"`` and
+``\\`` escapes, integers, decimals).
 """
 
 from __future__ import annotations
@@ -42,7 +42,7 @@ from repro.errors import ParseError
 
 _TOKEN_RE = re.compile(
     r"""
-    (?P<string>"[^"]*")
+    (?P<string>"(?:[^"\\]|\\.)*")
   | (?P<number>-?\d+(?:\.\d+)?)
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
   | (?P<punct><=|>=|[(),.=<>])
@@ -50,6 +50,16 @@ _TOKEN_RE = re.compile(
 """,
     re.VERBOSE,
 )
+
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape_string(body: str) -> str:
+    return _ESCAPE_RE.sub(r"\1", body)
+
+
+def _escape_string(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
 
 
 @dataclass(frozen=True)
@@ -69,7 +79,7 @@ class Literal:
 
     def __str__(self) -> str:
         if isinstance(self.value, str):
-            return f'"{self.value}"'
+            return f'"{_escape_string(self.value)}"'
         return str(self.value)
 
 
@@ -130,6 +140,8 @@ class _Tokens:
         while position < len(text):
             match = _TOKEN_RE.match(text, position)
             if match is None:
+                if text[position] == '"':
+                    raise ParseError(f"unterminated string literal at {position}")
                 raise ParseError(f"unexpected character {text[position]!r} at {position}")
             position = match.end()
             kind = match.lastgroup or ""
@@ -228,7 +240,7 @@ def _parse_operand(tokens: _Tokens) -> Operand:
     kind, text = token
     if kind == "string":
         tokens.next()
-        return Literal(text[1:-1])
+        return Literal(_unescape_string(text[1:-1]))
     if kind == "number":
         tokens.next()
         return Literal(float(text) if "." in text else int(text))

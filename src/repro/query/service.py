@@ -1,0 +1,140 @@
+"""The query service: text in, rows out, plans cached by epoch.
+
+One :class:`QueryService` per daemon wires the whole front-door
+pipeline together::
+
+    text ─ normalize ─ (cache hit? ───────────────┐
+             │                                    │
+             └ parse_select → validate_select →   │
+               SelectExecutor.compile → cache ────┤
+                                                  ▼
+                               SelectExecutor.run_compiled
+
+Everything from the epoch read to the last tree probe happens under one
+hold of the ASR manager's read lock, so the ``(text, epoch)`` cache key
+can never pair a plan with trees from a different epoch.  Parse and
+validation failures raise :class:`~repro.errors.ParseError` /
+:class:`~repro.errors.QueryError` (counted as ``query.errors`` by
+kind); callers map them to HTTP 400 with the exception text as the
+payload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+from repro.errors import ParseError, QueryError
+from repro.gom.database import ObjectBase
+from repro.gom.objects import OID
+from repro.gom.types import NULL
+from repro.query.cache import CompiledPlanCache, normalize_query
+from repro.query.evaluator import QueryEvaluator
+from repro.query.executor import ExecutionReport, SelectExecutor
+from repro.query.parser import SelectStatement, parse_select
+from repro.query.planner import Planner
+from repro.query.validate import validate_select
+
+
+def jsonable_cell(cell):
+    """A JSON-serializable rendering of one result cell."""
+    if cell is NULL:
+        return None
+    if isinstance(cell, OID):
+        return repr(cell)
+    return cell
+
+
+@dataclass
+class QueryOutcome:
+    """What one service call produced, plus how it got there."""
+
+    report: ExecutionReport
+    statement: SelectStatement
+    cached: bool
+    epoch: int
+    normalized: str
+
+    def payload(self) -> dict:
+        """The HTTP 200 response body for this outcome."""
+        return {
+            "rows": [
+                [jsonable_cell(cell) for cell in row] for row in self.report.rows
+            ],
+            "row_count": len(self.report.rows),
+            "strategy": self.report.strategy,
+            "page_reads": self.report.page_reads,
+            "page_writes": self.report.page_writes,
+            "total_pages": self.report.total_pages,
+            "cached": self.cached,
+            "epoch": self.epoch,
+        }
+
+
+class QueryService:
+    """Executes query texts over one object base, caching compiled plans.
+
+    ``planner`` is shared across calls (it holds the cost model's
+    profile cache); per-call state lives in the
+    :class:`~repro.context.ExecutionContext` handed to :meth:`execute`,
+    so concurrent HTTP requests may call into one service freely.
+    """
+
+    def __init__(
+        self,
+        db: ObjectBase,
+        planner: Planner,
+        store=None,
+        cache_size: int = 128,
+        registry=None,
+    ) -> None:
+        self.db = db
+        self.planner = planner
+        self.store = store
+        self.registry = registry
+        self.cache = CompiledPlanCache(cache_size, registry=registry)
+
+    @property
+    def manager(self):
+        return self.planner.manager
+
+    def _count_error(self, kind: str) -> None:
+        if self.registry is not None:
+            self.registry.inc("query.errors", kind=kind)
+
+    def execute(self, text: str, context=None) -> QueryOutcome:
+        """Run ``text`` end to end; raises ParseError/QueryError on bad input."""
+        started = time.perf_counter()
+        normalized = normalize_query(text)
+        evaluator = QueryEvaluator(self.db, self.store, context=context)
+        executor = SelectExecutor(self.db, self.planner, evaluator=evaluator)
+        manager = self.manager
+        # One read hold across epoch read, cache probe, (re)compile, and
+        # execution: a maintenance write cannot slip a new epoch between
+        # the key we cache under and the trees we probe.
+        with manager.lock.read():
+            epoch = manager.epoch
+            compiled = self.cache.get(normalized, epoch)
+            cached = compiled is not None
+            if compiled is None:
+                try:
+                    statement = parse_select(normalized)
+                except ParseError:
+                    self._count_error("parse")
+                    raise
+                try:
+                    validate_select(statement, self.db)
+                except QueryError:
+                    self._count_error("validate")
+                    raise
+                compiled = replace(executor.compile(statement), epoch=epoch)
+                self.cache.put(normalized, epoch, compiled)
+            try:
+                report = executor.run_compiled(compiled)
+            except Exception:
+                self._count_error("execute")
+                raise
+        if self.registry is not None:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self.registry.observe("query.latency_ms", elapsed_ms)
+        return QueryOutcome(report, compiled.statement, cached, epoch, normalized)

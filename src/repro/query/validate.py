@@ -1,0 +1,153 @@
+"""Static validation of parsed select statements against a GOM schema.
+
+:func:`parse_select` only checks syntax and variable *binding*; this
+module checks *meaning* before any planning happens, in the spirit of
+conceptual-query validation: every range source must exist, every
+attribute hop must be declared on the (tuple) type it is applied to,
+and literals compared against an atomic-typed path must carry a value
+that atomic type accepts.  Failures raise :class:`~repro.errors.QueryError`
+with messages precise enough to return verbatim in an HTTP 400 body.
+
+Validation is best-effort where the schema is: a database variable with
+no declared type makes its subtree opaque, and hops from an opaque type
+are accepted (the executor resolves them dynamically, yielding nothing
+for genuinely absent attributes rather than wrong answers).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ObjectBaseError, QueryError, SchemaError
+from repro.gom.database import ObjectBase
+from repro.gom.types import AtomicType, GomType, ListType, SetType, TupleType
+from repro.query.parser import DottedPath, Literal, SelectStatement
+
+
+def validate_select(statement: SelectStatement, db: ObjectBase) -> None:
+    """Raise :class:`QueryError` unless ``statement`` is well-typed.
+
+    Checks, in order: range sources (unknown extents / database
+    variables), attribute hops in dependent ranges, select targets, and
+    predicate operands, including literal-vs-atomic-type agreement.
+    """
+    schema = db.schema
+    #: Element type of each range variable, or None when opaque.
+    element_types: dict[str, str | None] = {}
+    for decl in statement.ranges:
+        if decl.is_extent:
+            type_name = decl.source.variable
+            try:
+                schema.lookup(type_name)
+            except SchemaError:
+                raise QueryError(
+                    f"unknown type {type_name!r} in extent({type_name})"
+                ) from None
+            element_types[decl.variable] = type_name
+        elif decl.source.variable in element_types:
+            # Dependent range: walk the attribute path from the root
+            # variable's element type.
+            root = element_types[decl.source.variable]
+            terminal = _walk(schema, root, decl.source)
+            element_types[decl.variable] = _element_name(schema, terminal)
+        else:
+            try:
+                db.get_var(decl.source.variable)
+            except ObjectBaseError:
+                raise QueryError(
+                    f"unknown range source {decl.source.variable!r} "
+                    "(not a database variable)"
+                ) from None
+            declared = db.var_type(decl.source.variable)
+            terminal = _walk(schema, declared, decl.source)
+            element_types[decl.variable] = _element_name(schema, terminal)
+    for target in statement.targets:
+        _walk(schema, element_types[target.variable], target)
+    for predicate in statement.predicates:
+        terminals = []
+        for operand in (predicate.left, predicate.right):
+            if isinstance(operand, DottedPath):
+                terminals.append(
+                    _walk(schema, element_types[operand.variable], operand)
+                )
+            else:
+                terminals.append(operand)
+        for side, other in ((0, 1), (1, 0)):
+            if isinstance(terminals[side], Literal):
+                _check_literal(terminals[side], terminals[other], predicate)
+
+
+def _element_name(schema, gom_type: GomType | None) -> str | None:
+    """Collapse a walked terminal to the type name a range variable binds.
+
+    Collections yield their element type (the executor flattens them the
+    same way); unknown/opaque stays None.
+    """
+    if gom_type is None:
+        return None
+    if isinstance(gom_type, (SetType, ListType)):
+        return gom_type.element_type
+    return gom_type.name
+
+
+def _walk(schema, type_name: str | None, path: DottedPath) -> GomType | None:
+    """Check every hop of ``path`` from ``type_name``; return the terminal.
+
+    Returns None as soon as the walk enters opaque territory (an
+    undeclared variable type, or a forward-referenced type the schema
+    has not registered).
+    """
+    if type_name is None:
+        return None
+    try:
+        current: GomType | None = schema.lookup(type_name)
+    except SchemaError:
+        return None
+    for attribute in path.attributes:
+        if current is None:
+            return None
+        # Hops flatten collections implicitly, as the executor does.
+        while isinstance(current, (SetType, ListType)):
+            try:
+                current = schema.lookup(current.element_type)
+            except SchemaError:
+                return None
+        if isinstance(current, AtomicType):
+            raise QueryError(
+                f"in {path}: atomic type {current.name!r} has no "
+                f"attribute {attribute!r}"
+            )
+        if not isinstance(current, TupleType):
+            return None
+        attrs = schema.attributes_of(current.name)
+        if attribute not in attrs:
+            raise QueryError(
+                f"in {path}: type {current.name!r} has no attribute "
+                f"{attribute!r} (known: {', '.join(sorted(attrs))})"
+            )
+        try:
+            current = schema.lookup(attrs[attribute])
+        except SchemaError:
+            return None
+    return current
+
+
+def _check_literal(literal: Literal, other, predicate) -> None:
+    """A literal compared against an atomic-typed path must fit its type."""
+    if isinstance(other, Literal) or other is None:
+        return
+    terminal = other
+    if isinstance(terminal, (SetType, ListType)):
+        # 'lit in x.Path' compares against the collection's elements;
+        # leave member-level agreement to the executor's existential
+        # semantics rather than over-rejecting here.
+        return
+    if isinstance(terminal, AtomicType):
+        if not terminal.accepts(literal.value):
+            raise QueryError(
+                f"in predicate {predicate}: literal {literal} is not a "
+                f"{terminal.name}"
+            )
+        return
+    raise QueryError(
+        f"in predicate {predicate}: literal {literal} compared against "
+        f"object-valued path of type {terminal.name!r}"
+    )

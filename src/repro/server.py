@@ -39,6 +39,15 @@ registry either way:
 ``GET /stats``
     The ``repro stats`` JSON payload (metrics snapshot + drift report +
     accounting), computed fresh per request.
+``POST /query``
+    The query front door: a JSON body ``{"query": "select …"}`` runs
+    parse → schema validation → cost-based planning → execution over
+    the shared pool and returns rows, the chosen strategy, and the
+    page-access cost.  Compiled plans are cached per ``(normalized
+    text, ASR epoch)`` (:mod:`repro.query.cache`), so hot texts skip
+    planning until maintenance or recovery bumps the epoch.  Parse and
+    validation failures return a structured 400
+    (``{"error": {"kind": …, "message": …}}``).
 
 A background publisher re-snapshots the
 :class:`~repro.telemetry.drift.DriftMonitor` (and the accounting gauges)
@@ -98,7 +107,13 @@ from repro.bench.serve import (
     per_operation,
     write_report,
 )
-from repro.errors import InjectedFault, RecoveryError, SimulatedCrash
+from repro.errors import (
+    InjectedFault,
+    ParseError,
+    QueryError,
+    RecoveryError,
+    SimulatedCrash,
+)
 from repro.faults import FaultInjector
 from repro.query.evaluator import QueryEvaluator
 from repro.query.planner import Planner
@@ -383,6 +398,7 @@ class ServeDaemon:
                 "max_spans": config.serve.max_spans,
                 "op_deadline_ms": config.serve.op_deadline_ms,
                 "shed_backoff_ms": config.serve.shed_backoff_ms,
+                "query_cache_size": config.serve.query_cache_size,
                 "host": host,
                 "port": port,
                 "drift_interval": config.drift_interval,
@@ -401,6 +417,7 @@ class ServeDaemon:
                 "errors": [repr(error) for error in self._errors],
             },
             "pool": world.pool.describe(),
+            "query_cache": world.queries.cache.describe(),
             "accounting": accounting,
             "resilience": {
                 "healer": self._healer.describe() if self._healer else None,
@@ -441,8 +458,8 @@ class ServeDaemon:
         core = "async" if self.config.serve.use_async else "threaded"
         print(
             f"serving on http://{host}:{port} [{core} core]  "
-            f"(GET /metrics /healthz /stats; drift republished every "
-            f"{self.config.drift_interval:g}s; SIGTERM drains)",
+            f"(GET /metrics /healthz /stats, POST /query; drift republished "
+            f"every {self.config.drift_interval:g}s; SIGTERM drains)",
             file=out,
             flush=True,
         )
@@ -727,6 +744,26 @@ class ServeDaemon:
         }
         return ok, payload
 
+    def execute_query(self, text: str):
+        """Run one ``POST /query`` text end to end; returns the outcome.
+
+        Each HTTP request runs on its own :class:`ThreadingHTTPServer`
+        thread, so the query borrows a fresh context from the shared
+        pool for its lifetime (accounting stays exact), and its charged
+        pages are priced on the shared device model *after* all locks
+        are released — the same discipline as replayed operations.
+        """
+        world = self.world
+        with world.pool.context() as context:
+            outcome = world.queries.execute(text, context=context)
+        pages = outcome.report.total_pages
+        if pages and self._device is not None:
+            self._device.charge(pages)
+        world.registry.inc(
+            "serve.queries", cached="true" if outcome.cached else "false"
+        )
+        return outcome
+
     def stats_payload(self) -> dict:
         """The ``/stats`` payload — the ``repro stats --json`` triple."""
         world = self.world
@@ -777,10 +814,61 @@ def _make_handler(daemon: ServeDaemon) -> type:
                         404,
                         {
                             "error": f"unknown path {self.path!r}",
-                            "endpoints": ["/metrics", "/healthz", "/stats"],
+                            "endpoints": _ENDPOINTS,
                         },
                     )
             except Exception as error:  # noqa: BLE001 - surfaced to the client
                 self._send_json(500, {"error": repr(error)})
 
+        def _bad_request(self, message: str) -> None:
+            daemon.world.registry.inc("query.errors", kind="bad-request")
+            self._send_json(
+                400, {"error": {"kind": "bad-request", "message": message}}
+            )
+
+        def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            try:
+                if self.path != "/query":
+                    self._send_json(
+                        404,
+                        {
+                            "error": f"unknown path {self.path!r}",
+                            "endpoints": _ENDPOINTS,
+                        },
+                    )
+                    return
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length > 0 else b""
+                try:
+                    body = json.loads(raw.decode("utf-8")) if raw else None
+                except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                    self._bad_request(f"body is not valid JSON: {error}")
+                    return
+                if not isinstance(body, dict):
+                    self._bad_request('body must be a JSON object {"query": "…"}')
+                    return
+                text = body.get("query")
+                if not isinstance(text, str) or not text.strip():
+                    self._bad_request('"query" must be a non-empty string')
+                    return
+                try:
+                    outcome = daemon.execute_query(text)
+                except ParseError as error:
+                    self._send_json(
+                        400, {"error": {"kind": "parse", "message": str(error)}}
+                    )
+                    return
+                except QueryError as error:
+                    self._send_json(
+                        400, {"error": {"kind": "validate", "message": str(error)}}
+                    )
+                    return
+                self._send_json(200, outcome.payload())
+            except Exception as error:  # noqa: BLE001 - surfaced to the client
+                self._send_json(500, {"error": repr(error)})
+
     return Handler
+
+
+#: What the 404 payload advertises.
+_ENDPOINTS = ["/metrics", "/healthz", "/stats", "POST /query"]

@@ -99,6 +99,13 @@ class ChainGenerator:
                 else:
                     db.set_attr(owner, "A", targets[0])
 
+        # Give the chain terminals queryable atomic values.  A dedicated
+        # rng keeps the link topology above byte-identical to what every
+        # earlier seed produced — Payload draws never perturb it.
+        payload_rng = random.Random(self.seed + 0x5EED)
+        for oid in layers[n]:
+            db.set_attr(oid, "Payload", payload_rng.randrange(1_000_000))
+
         sizes = {}
         if profile.size:
             for i in range(n + 1):

@@ -26,7 +26,7 @@ from repro.query.queries import BackwardQuery, ForwardQuery, Query
 from repro.workload.generator import GeneratedDatabase
 from repro.workload.profiles import FIG14_MIX
 
-__all__ = ["Operation", "operation_stream", "apply_update"]
+__all__ = ["Operation", "operation_stream", "select_stream", "apply_update"]
 
 
 @dataclass(frozen=True)
@@ -35,7 +35,7 @@ class Operation:
 
     index: int
     name: str
-    kind: str  # "query" | "update"
+    kind: str  # "query" | "update" | "select"
     query: Query | None = None
     #: For updates: the chain level ``i`` of ``ins_i`` …
     level: int | None = None
@@ -43,6 +43,8 @@ class Operation:
     owner: OID | None = None
     #: … and the ``T_{i+1}`` element being inserted.
     target: OID | None = None
+    #: For selects: the surface query text handed to the query service.
+    text: str | None = None
 
 
 def _bind_query(generated: GeneratedDatabase, spec: QuerySpec, rng: random.Random) -> Query:
@@ -100,6 +102,57 @@ def operation_stream(
             stream.append(
                 Operation(index, str(spec), "query", query=_bind_query(generated, spec, rng))
             )
+    return stream
+
+
+def select_stream(
+    generated: GeneratedDatabase,
+    mix: OperationMix = FIG14_MIX,
+    count: int = 200,
+    seed: int = 0,
+    query_fraction: float = 0.8,
+) -> list[Operation]:
+    """``count`` operations mixing *textual* selects with bound updates.
+
+    The select texts exercise the daemon's query-service pipeline end to
+    end — parse, validate, plan, execute — over the chain's Payload
+    path, with literals drawn from the actually generated values so
+    equality selects hit.  Values repeat across the stream, so the
+    compiled-plan cache sees genuine hot texts.  Updates are bound from
+    ``mix`` exactly as in :func:`operation_stream`.
+    """
+    n = generated.n
+    db = generated.db
+    hops = ".".join(["A"] * n + ["Payload"])
+    values = sorted(
+        db.attr(oid, "Payload")
+        for oid in generated.layers[n]
+        if db.attr(oid, "Payload") is not NULL
+    )
+    if not values:
+        raise ValueError("generated database has no Payload values to query")
+    updates = [(w, u) for w, u in mix.updates if 0 <= u.i < n]
+    rng = random.Random(seed)
+    stream: list[Operation] = []
+    for index in range(count):
+        if updates and rng.random() >= query_fraction:
+            stream.append(_bind_update(generated, _pick(updates, rng), rng, index))
+            continue
+        value = rng.choice(values)
+        shape = rng.random()
+        if shape < 0.5:
+            name = "select-eq"
+            text = f"select x from x in extent(T0) where x.{hops} = {value}"
+        elif shape < 0.8:
+            name = "select-range"
+            text = f"select x from x in extent(T0) where x.{hops} >= {value}"
+        else:
+            name = "select-proj"
+            text = (
+                f"select x, x.{hops} from x in extent(T0) "
+                f"where x.{hops} < {value}"
+            )
+        stream.append(Operation(index, name, "select", text=text))
     return stream
 
 

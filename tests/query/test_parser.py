@@ -1,9 +1,18 @@
 """The SQL-like surface grammar."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ParseError
-from repro.query.parser import DottedPath, Literal, parse_select
+from repro.query.parser import (
+    DottedPath,
+    Literal,
+    Predicate,
+    RangeDecl,
+    SelectStatement,
+    parse_select,
+)
 
 
 class TestHappyPath:
@@ -69,6 +78,101 @@ class TestHappyPath:
     def test_round_trip_str(self):
         text = 'select d.Name from d in Mercedes where d.Name = "Auto"'
         assert str(parse_select(text)).replace("\n", " ") == text
+
+
+class TestStringEscapes:
+    def test_escaped_quote_in_literal(self):
+        statement = parse_select(
+            'select d from d in Mercedes where d.Name = "say \\"hi\\""'
+        )
+        assert statement.predicates[0].right == Literal('say "hi"')
+
+    def test_escaped_backslash_in_literal(self):
+        statement = parse_select(
+            'select d from d in Mercedes where d.Name = "C:\\\\tmp"'
+        )
+        assert statement.predicates[0].right == Literal("C:\\tmp")
+
+    def test_escaped_literal_round_trips(self):
+        literal = Literal('a "quoted" \\ backslash')
+        statement = parse_select(
+            f"select d from d in Mercedes where d.Name = {literal}"
+        )
+        assert statement.predicates[0].right == literal
+
+    def test_unterminated_string_is_a_parse_error(self):
+        with pytest.raises(ParseError, match="unterminated string literal at 40"):
+            parse_select('select d from d in Mercedes where d.X = "oops')
+
+    def test_trailing_escape_is_unterminated_not_a_crash(self):
+        # The closing quote is escaped away, so the literal never ends.
+        with pytest.raises(ParseError, match="unterminated string literal"):
+            parse_select('select d from d in Mercedes where d.X = "oops\\"')
+
+
+_identifiers = st.from_regex(r"[A-Za-z_][A-Za-z_0-9]{0,8}", fullmatch=True).filter(
+    lambda s: s.lower()
+    not in {"select", "from", "where", "and", "in", "extent"}
+)
+_literals = st.one_of(
+    st.integers(-10**6, 10**6).map(Literal),
+    # Decimal-representable floats only: str() must re-parse exactly.
+    st.integers(-10**6, 10**6).map(lambda i: Literal(i / 100)),
+    st.text(max_size=12).map(Literal),
+)
+
+
+@st.composite
+def _statements(draw):
+    variables = draw(
+        st.lists(_identifiers, min_size=1, max_size=3, unique_by=str.lower)
+    )
+    ranges = []
+    for index, variable in enumerate(variables):
+        if index > 0 and draw(st.booleans()):
+            source = DottedPath(
+                variables[draw(st.integers(0, index - 1))],
+                tuple(draw(st.lists(_identifiers, min_size=1, max_size=2))),
+            )
+            ranges.append(RangeDecl(variable, source))
+        elif draw(st.booleans()):
+            ranges.append(RangeDecl(variable, DottedPath(draw(_identifiers)), True))
+        else:
+            ranges.append(RangeDecl(variable, DottedPath(draw(_identifiers))))
+    paths = st.builds(
+        DottedPath,
+        st.sampled_from(variables),
+        st.lists(_identifiers, max_size=3).map(tuple),
+    )
+    targets = draw(st.lists(paths, min_size=1, max_size=3))
+    operands = st.one_of(paths, _literals)
+    predicates = draw(
+        st.lists(
+            st.builds(
+                Predicate,
+                operands,
+                st.sampled_from(["=", "in", "<", "<=", ">", ">="]),
+                operands,
+            ),
+            max_size=3,
+        )
+    )
+    return SelectStatement(tuple(targets), tuple(ranges), tuple(predicates))
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(_statements())
+    def test_str_parse_fixed_point(self, statement):
+        """``str`` output is valid input, and re-parsing is the identity.
+
+        Exercises the whole grammar surface, including string literals
+        containing quotes and backslashes (the escape round trip).
+        """
+        printed = str(statement)
+        reparsed = parse_select(printed)
+        assert reparsed == statement
+        assert str(reparsed) == printed
 
 
 class TestErrors:

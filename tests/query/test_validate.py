@@ -1,0 +1,102 @@
+"""Static schema validation of parsed selects (the POST /query 400s)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import parse_select, validate_select
+
+
+def check(db, text: str) -> None:
+    validate_select(parse_select(text), db)
+
+
+class TestAccepts:
+    def test_paper_query1(self, robot_world):
+        db, _path, _objects = robot_world
+        check(
+            db,
+            'select r.Name from r in OurRobots '
+            'where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"',
+        )
+
+    def test_dependent_range_and_in_predicate(self, company_world):
+        db, _path, _objects = company_world
+        check(
+            db,
+            'select d.Name from d in Mercedes, b in d.Manufactures.Composition '
+            'where b.Name = "Door"',
+        )
+        check(
+            db,
+            'select d from d in Mercedes '
+            'where "Door" in d.Manufactures.Composition.Name',
+        )
+
+    def test_extent_range(self, company_world):
+        db, _path, _objects = company_world
+        check(db, "select p.Name from p in extent(Product)")
+
+    def test_numeric_literal_against_decimal(self, company_world):
+        db, _path, _objects = company_world
+        check(db, "select p from p in extent(BasePart) where p.Price < 100")
+        check(db, "select p from p in extent(BasePart) where p.Price >= 0.5")
+
+    def test_untyped_variable_is_opaque_not_an_error(self, company_world):
+        db, _path, objects = company_world
+        db.set_var("Something", objects["auto"])  # no declared type
+        check(db, 'select s.Whatever from s in Something where s.X = 1')
+
+
+class TestRejects:
+    def test_unknown_extent_type(self, company_world):
+        db, _path, _objects = company_world
+        with pytest.raises(QueryError, match="unknown type 'Ghost' in extent"):
+            check(db, "select g from g in extent(Ghost)")
+
+    def test_unknown_database_variable(self, company_world):
+        db, _path, _objects = company_world
+        with pytest.raises(QueryError, match="unknown range source 'Nope'"):
+            check(db, "select n from n in Nope")
+
+    def test_unknown_attribute_names_the_known_ones(self, company_world):
+        db, _path, _objects = company_world
+        with pytest.raises(
+            QueryError, match="'Division' has no attribute 'Ghost'"
+        ) as excinfo:
+            check(db, "select d.Ghost from d in Mercedes")
+        assert "known: Manufactures, Name" in str(excinfo.value)
+
+    def test_hop_from_atomic_terminal(self, company_world):
+        db, _path, _objects = company_world
+        with pytest.raises(QueryError, match="atomic type 'STRING' has no attribute"):
+            check(db, "select d.Name.Length from d in Mercedes")
+
+    def test_bad_attribute_in_dependent_range(self, company_world):
+        db, _path, _objects = company_world
+        with pytest.raises(QueryError, match="has no attribute 'Parts'"):
+            check(db, "select b from d in Mercedes, b in d.Parts")
+
+    def test_bad_attribute_in_predicate(self, company_world):
+        db, _path, _objects = company_world
+        with pytest.raises(QueryError, match="has no attribute 'Cost'"):
+            check(db, "select d from d in Mercedes where d.Cost = 1")
+
+    def test_string_literal_against_decimal_path(self, company_world):
+        db, _path, _objects = company_world
+        with pytest.raises(QueryError, match='literal "cheap" is not a DECIMAL'):
+            check(db, 'select p from p in extent(BasePart) where p.Price = "cheap"')
+
+    def test_numeric_literal_against_string_path(self, company_world):
+        db, _path, _objects = company_world
+        with pytest.raises(QueryError, match="literal 7 is not a STRING"):
+            check(db, "select d from d in Mercedes where d.Name = 7")
+
+    def test_literal_against_object_valued_path(self, robot_world):
+        db, _path, _objects = robot_world
+        with pytest.raises(QueryError, match="object-valued path of type 'ARM'"):
+            check(db, 'select r from r in OurRobots where r.Arm = "left"')
+
+    def test_mirrored_literal_side_is_checked_too(self, company_world):
+        db, _path, _objects = company_world
+        with pytest.raises(QueryError, match="is not a STRING"):
+            check(db, "select d from d in Mercedes where 7 = d.Name")

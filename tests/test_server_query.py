@@ -1,0 +1,247 @@
+"""``POST /query``: the JSON front door, its cache, and its error paths.
+
+These tests quiesce the replay loop first (``request_stop`` stops
+admission while the HTTP endpoint keeps serving), so cache and plan
+counters move only when the test POSTs — the cache-hit and
+epoch-invalidation assertions are exact, on both serving cores.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.bench.serve import ServeConfig
+from repro.server import ServeDaemon, ServerConfig
+
+#: Never emitted by the replay stream (its literals are real Payload
+#: values, all non-negative), so the replay cannot pre-warm this entry.
+QUERY = "select x from x in extent(T0) where x.A.A.A.A.Payload >= -5"
+
+
+def queries_config(tmp_path, use_async: bool) -> ServerConfig:
+    serve = ServeConfig(
+        clients=2,
+        ops=16,
+        seed=7,
+        capacity=64,
+        io_micros=20.0,
+        max_spans=64,
+        profile="queries",
+        # No updates: the object graph — and hence the ASR epoch — stays
+        # quiescent between the test's own POSTs.
+        query_fraction=1.0,
+        use_async=use_async,
+        max_inflight=8,
+    )
+    return ServerConfig(
+        serve=serve,
+        port=0,
+        drift_interval=0.5,
+        out=str(tmp_path / "BENCH_serve.json"),
+    )
+
+
+def post(daemon: ServeDaemon, path: str, body: bytes, content_type="application/json"):
+    host, port = daemon.address
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=body,
+        headers={"Content-Type": content_type},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def post_query(daemon: ServeDaemon, text: str):
+    return post(daemon, "/query", json.dumps({"query": text}).encode())
+
+
+def wait_until(predicate, timeout=30.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def quiesce(daemon: ServeDaemon) -> None:
+    """Stop the replay loop; the HTTP endpoint stays up."""
+    daemon.request_stop()
+    assert wait_until(
+        lambda: all(not thread.is_alive() for thread in daemon._clients)
+        and (daemon._loop_thread is None or not daemon._loop_thread.is_alive())
+    ), "replay loop did not quiesce"
+
+
+@pytest.fixture(params=["threaded", "async"])
+def quiet_daemon(request, tmp_path):
+    daemon = ServeDaemon(queries_config(tmp_path, request.param == "async"))
+    daemon.start()
+    assert wait_until(lambda: daemon.ops_served > 0), "no operation completed"
+    quiesce(daemon)
+    yield daemon
+    daemon.shutdown()
+
+
+def planned(registry) -> float:
+    return registry.counter_value("ops", op="plan.supported") + registry.counter_value(
+        "ops", op="plan.unsupported"
+    )
+
+
+class TestQueryEndpoint:
+    def test_rows_strategy_and_cost_returned(self, quiet_daemon):
+        status, payload = post_query(quiet_daemon, QUERY)
+        assert status == 200
+        assert payload["row_count"] == len(payload["rows"]) > 0
+        assert payload["strategy"]
+        assert payload["total_pages"] == (
+            payload["page_reads"] + payload["page_writes"]
+        )
+        assert payload["cached"] is False
+        # OIDs render as their repr, so rows are JSON-clean.
+        assert all(isinstance(cell, str) for row in payload["rows"] for cell in row)
+
+    def test_second_identical_post_hits_cache_and_skips_planning(
+        self, quiet_daemon
+    ):
+        registry = quiet_daemon.world.registry
+        first_status, first = post_query(quiet_daemon, QUERY)
+        assert first_status == 200 and first["cached"] is False
+        hits = registry.counter_value("query.cache.hits")
+        plans = planned(registry)
+        served_cached = registry.counter_value("serve.queries", cached="true")
+        second_status, second = post_query(quiet_daemon, QUERY)
+        assert second_status == 200 and second["cached"] is True
+        assert second["rows"] == first["rows"]
+        assert second["epoch"] == first["epoch"]
+        assert registry.counter_value("query.cache.hits") == hits + 1
+        # The acceptance bar: a hit does no planning work at all.
+        assert planned(registry) == plans
+        assert (
+            registry.counter_value("serve.queries", cached="true")
+            == served_cached + 1
+        )
+
+    def test_whitespace_variant_shares_the_cached_plan(self, quiet_daemon):
+        post_query(quiet_daemon, QUERY)
+        status, payload = post_query(
+            quiet_daemon, QUERY.replace(" where ", "\n   WHERE".lower() + " ")
+        )
+        # (only whitespace differs; keywords stay as written)
+        assert status == 200
+        assert payload["cached"] is True
+
+    def test_epoch_bump_invalidates_cached_plan(self, quiet_daemon):
+        registry = quiet_daemon.world.registry
+        manager = quiet_daemon.world.manager
+        _status, first = post_query(quiet_daemon, QUERY)
+        _status, again = post_query(quiet_daemon, QUERY)
+        assert again["cached"] is True
+        # A maintenance rebuild bumps the manager epoch …
+        epoch_before = manager.epoch
+        with manager.suspended():
+            pass
+        assert manager.epoch > epoch_before
+        misses = registry.counter_value("query.cache.misses")
+        plans = planned(registry)
+        status, payload = post_query(quiet_daemon, QUERY)
+        # … so the next request is a counted miss that re-plans.
+        assert status == 200
+        assert payload["cached"] is False
+        assert payload["epoch"] == manager.epoch > first["epoch"]
+        assert payload["rows"] == first["rows"]
+        assert registry.counter_value("query.cache.misses") == misses + 1
+        assert planned(registry) > plans
+
+
+class TestQueryErrors:
+    def test_malformed_json_is_bad_request(self, quiet_daemon):
+        status, payload = post(quiet_daemon, "/query", b"{not json")
+        assert status == 400
+        assert payload["error"]["kind"] == "bad-request"
+        assert "not valid JSON" in payload["error"]["message"]
+
+    def test_non_object_body_is_bad_request(self, quiet_daemon):
+        status, payload = post(quiet_daemon, "/query", b'["q"]')
+        assert status == 400
+        assert payload["error"]["kind"] == "bad-request"
+
+    def test_missing_query_field_is_bad_request(self, quiet_daemon):
+        status, payload = post(quiet_daemon, "/query", b'{"sql": "select"}')
+        assert status == 400
+        assert payload["error"]["kind"] == "bad-request"
+        assert "non-empty string" in payload["error"]["message"]
+
+    def test_parse_error_is_structured_400(self, quiet_daemon):
+        registry = quiet_daemon.world.registry
+        status, payload = post_query(
+            quiet_daemon, 'select x from x in extent(T0) where x.Payload = "oops'
+        )
+        assert status == 400
+        assert payload["error"]["kind"] == "parse"
+        assert "unterminated string literal" in payload["error"]["message"]
+        assert registry.counter_value("query.errors", kind="parse") >= 1
+
+    def test_unknown_range_source_is_validate_400(self, quiet_daemon):
+        registry = quiet_daemon.world.registry
+        status, payload = post_query(quiet_daemon, "select z from z in Nowhere")
+        assert status == 400
+        assert payload["error"]["kind"] == "validate"
+        assert "unknown range source" in payload["error"]["message"]
+        assert registry.counter_value("query.errors", kind="validate") >= 1
+
+    def test_unknown_attribute_is_validate_400(self, quiet_daemon):
+        status, payload = post_query(
+            quiet_daemon, "select x.Ghost from x in extent(T0)"
+        )
+        assert status == 400
+        assert payload["error"]["kind"] == "validate"
+        assert "has no attribute 'Ghost'" in payload["error"]["message"]
+
+    def test_post_to_unknown_path_is_404_with_directory(self, quiet_daemon):
+        status, payload = post(quiet_daemon, "/nope", b"{}")
+        assert status == 404
+        assert "POST /query" in payload["endpoints"]
+
+
+class TestDegradedFallback:
+    @pytest.fixture(params=["threaded", "async"])
+    def unhealed_daemon(self, request, tmp_path):
+        config = queries_config(tmp_path, request.param == "async")
+        config.healer = False  # keep the quarantine in force for the test
+        daemon = ServeDaemon(config)
+        daemon.start()
+        assert wait_until(lambda: daemon.ops_served > 0)
+        quiesce(daemon)
+        yield daemon
+        daemon.shutdown()
+
+    def test_quarantined_asr_degrades_to_traversal_not_an_error(
+        self, unhealed_daemon
+    ):
+        manager = unhealed_daemon.world.manager
+        _status, healthy = post_query(unhealed_daemon, QUERY)
+        payload_asr = next(
+            asr for asr in manager.asrs if str(asr.path).endswith("Payload")
+        )
+        with manager.lock.write():
+            manager._mark_quarantined(payload_asr)
+        try:
+            status, degraded = post_query(unhealed_daemon, QUERY)
+            assert status == 200
+            assert degraded["cached"] is False  # quarantine bumped the epoch
+            assert "degraded" in degraded["strategy"]
+            assert degraded["rows"] == healthy["rows"]
+        finally:
+            # The trees were never torn; restore state for a clean drain.
+            with manager.lock.write():
+                manager._mark_consistent(payload_asr)
