@@ -65,7 +65,8 @@ from repro.query.evaluator import QueryEvaluator
 from repro.query.planner import Planner
 from repro.query.service import QueryService
 from repro.resilience import BreakerBoard
-from repro.telemetry import CostModelPredictor, DriftMonitor, MetricsRegistry
+from repro.telemetry import CostModelPredictor, DriftMonitor, MetricsRegistry, Tracer
+from repro.telemetry.tracing import activate, maybe_span
 from repro.workload.generator import (
     ChainGenerator,
     GeneratedDatabase,
@@ -167,6 +168,17 @@ class ServeConfig:
     #: Entries in the query service's compiled-plan cache (LRU, keyed by
     #: normalized text + ASR epoch); 0 disables caching.
     query_cache_size: int = 128
+    #: Head-sampling probability for request traces (seeded RNG); 0.0
+    #: with no ``slow_trace_ms`` disables tracing entirely — the serve
+    #: hot paths then pay nothing for it.
+    trace_sample_rate: float = 0.0
+    #: Tail-capture threshold: traces at least this slow (end to end,
+    #: ms) are always retained, as are shed/degraded/breaker-open/error
+    #: outcomes while tracing is enabled.  ``None`` leaves only head
+    #: sampling (when its rate is non-zero).
+    slow_trace_ms: float | None = None
+    #: Ring capacity of the retained-trace store (``GET /trace/recent``).
+    trace_capacity: int = 512
 
     def resolved_profile(self) -> tuple[ApplicationProfile, object]:
         """The (generator profile, operation mix) pair of :attr:`profile`."""
@@ -229,6 +241,8 @@ class ServeWorld:
     #: The text-in/rows-out front door (``POST /query`` and the
     #: ``queries`` profile's select operations).
     queries: QueryService
+    #: Per-request tracing front door (DESIGN §14); disabled by default.
+    tracer: Tracer
 
     def stream(self) -> list[Operation]:
         """The seeded operation stream this world's config describes."""
@@ -293,8 +307,15 @@ def build_world(
         cache_size=config.query_cache_size,
         registry=registry,
     )
+    tracer = Tracer(
+        registry,
+        sample_rate=config.trace_sample_rate,
+        slow_trace_ms=config.slow_trace_ms,
+        capacity=config.trace_capacity,
+        seed=config.seed,
+    )
     return ServeWorld(
-        config, registry, generated, manager, pool, drift, breakers, queries
+        config, registry, generated, manager, pool, drift, breakers, queries, tracer
     )
 
 
@@ -304,6 +325,7 @@ def execute_operation(
     planner: Planner,
     evaluator: QueryEvaluator,
     op: Operation,
+    trace=None,
 ) -> int:
     """Execute one bound operation's lock-disciplined core; return pages.
 
@@ -315,18 +337,25 @@ def execute_operation(
     the CPU-bound half of an operation: no simulated device latency is
     charged here, so it is safe to run on an executor thread while the
     event loop prices the returned pages asynchronously.
+
+    ``trace`` threads the request trace into the planner / query
+    service (``plan`` / ``cache-hit`` / ``execute`` phases) and books an
+    update's mutation + maintenance under ``execute``; the write-lock
+    wait is attributed by the :class:`~repro.concurrency.RWLock` hook,
+    which reads the *thread-local* active trace — callers activate it.
     """
     manager, drift = world.manager, world.drift
     if op.kind == "query":
-        result = planner.execute(op.query, evaluator)
+        result = planner.execute(op.query, evaluator, trace=trace)
         return result.total_pages
     if op.kind == "select":
-        outcome = world.queries.execute(op.text, context=context)
+        outcome = world.queries.execute(op.text, context=context, trace=trace)
         return outcome.report.total_pages
     with manager.exclusive():
-        before = manager.context.stats.snapshot()
-        apply_update(world.generated, op)
-        pages = manager.context.stats.delta_since(before).total
+        with maybe_span(trace, "apply_update+maintain", "execute"):
+            before = manager.context.stats.snapshot()
+            apply_update(world.generated, op)
+            pages = manager.context.stats.delta_since(before).total
     drift.observe_update(op.level, manager.asrs, pages)
     return pages
 
@@ -338,6 +367,7 @@ def drive_operation(
     evaluator: QueryEvaluator,
     op: Operation,
     device: DeviceModel,
+    admitted_at: float | None = None,
 ) -> OpSample:
     """Execute one bound operation against ``world`` and time it.
 
@@ -346,13 +376,45 @@ def drive_operation(
     latency on *this* thread (:meth:`~repro.device.DeviceModel.charge`,
     outside all locks), and the end-to-end latency lands in the
     registry's ``op.latency_ms`` histogram.
+
+    ``admitted_at`` (a ``perf_counter`` instant) is when the operation
+    was picked up for execution; the gap to drive start is published as
+    ``queue.wait_ms`` — the same phase the async core's admission queue
+    records, so decomposition is comparable across cores.  When the
+    world's tracer is enabled the whole operation is traced, with the
+    trace origin backdated to the admission instant.
     """
     start = time.perf_counter()
-    pages = execute_operation(world, context, planner, evaluator, op)
-    if pages:
-        device.charge(pages)  # simulated I/O, outside locks
+    trace = world.tracer.begin(op.name, op.kind, started=admitted_at)
+    if admitted_at is not None:
+        wait_ms = (start - admitted_at) * 1e3
+        world.registry.observe("queue.wait_ms", wait_ms)
+        if trace is not None:
+            trace.add_phase("queue", wait_ms)
+    try:
+        if trace is None:
+            pages = execute_operation(world, context, planner, evaluator, op)
+            if pages:
+                device.charge(pages)  # simulated I/O, outside locks
+        else:
+            with activate(trace):
+                pages = execute_operation(
+                    world, context, planner, evaluator, op, trace=trace
+                )
+                if pages:
+                    device.charge(pages, trace=trace)
+    except BaseException:
+        world.tracer.finish(trace, "error")
+        raise
     latency = time.perf_counter() - start
-    world.registry.observe("op.latency_ms", latency * 1e3, op=op.name, kind=op.kind)
+    world.registry.observe(
+        "op.latency_ms",
+        latency * 1e3,
+        exemplar=None if trace is None else trace.trace_id,
+        op=op.name,
+        kind=op.kind,
+    )
+    world.tracer.finish(trace)
     return OpSample(op.name, op.kind, latency, pages)
 
 
@@ -361,6 +423,8 @@ async def drive_operation_async(
     workers: "ExecutorWorkers",
     op: Operation,
     device: DeviceModel,
+    trace=None,
+    admitted_at: float | None = None,
 ) -> OpSample:
     """The async drive path: executor offload, then an awaited charge.
 
@@ -368,14 +432,36 @@ async def drive_operation_async(
     RWLock/ContextPool accounting stays on real threads, exactly as in
     the threaded path); the simulated device latency is awaited on the
     event loop, so an operation in its I/O phase holds no thread.
+
+    ``trace`` is begun by the daemon's admission loop (so the queue wait
+    is inside the trace); a bench-style caller may pass ``None`` and the
+    world's tracer opens one here.  The trace travels into the executor
+    as an explicit argument — ``run_in_executor`` does not propagate
+    ``contextvars`` — and ``workers.execute`` pins it to the worker
+    thread for the deep (lock, ASR) hooks.
     """
     loop = asyncio.get_running_loop()
     start = time.perf_counter()
-    pages = await loop.run_in_executor(workers.executor, workers.execute, op)
-    if pages:
-        await device.acharge(pages)  # simulated I/O, on the loop
+    if trace is None:
+        trace = world.tracer.begin(op.name, op.kind, started=admitted_at)
+    try:
+        pages = await loop.run_in_executor(
+            workers.executor, workers.execute, op, trace
+        )
+        if pages:
+            await device.acharge(pages, trace=trace)  # simulated I/O, on the loop
+    except BaseException:
+        world.tracer.finish(trace, "error")
+        raise
     latency = time.perf_counter() - start
-    world.registry.observe("op.latency_ms", latency * 1e3, op=op.name, kind=op.kind)
+    world.registry.observe(
+        "op.latency_ms",
+        latency * 1e3,
+        exemplar=None if trace is None else trace.trace_id,
+        op=op.name,
+        kind=op.kind,
+    )
+    world.tracer.finish(trace)
     return OpSample(op.name, op.kind, latency, pages)
 
 
@@ -419,10 +505,21 @@ class ExecutorWorkers:
             self._local.state = state
         return state
 
-    def execute(self, op: Operation) -> int:
-        """Run one operation's core on the calling executor thread."""
+    def execute(self, op: Operation, trace=None) -> int:
+        """Run one operation's core on the calling executor thread.
+
+        ``trace`` arrives as an explicit argument from the event loop
+        (``run_in_executor`` copies no context) and is pinned to this
+        thread for the duration, so the RWLock wait hooks and the
+        evaluator's ASR-lookup spans can find it.
+        """
         context, planner, evaluator = self._state()
-        return execute_operation(self.world, context, planner, evaluator, op)
+        if trace is None:
+            return execute_operation(self.world, context, planner, evaluator, op)
+        with activate(trace):
+            return execute_operation(
+                self.world, context, planner, evaluator, op, trace=trace
+            )
 
     def close(self) -> None:
         """Drain the executor, then retire every thread's context."""
@@ -462,9 +559,16 @@ def _run_clients(
                     world.generated.db, world.generated.store, context=context
                 )
                 for op in stream[k::clients]:
+                    admitted = time.perf_counter()
                     samples_per_client[k].append(
                         drive_operation(
-                            world, context, planner, evaluator, op, device
+                            world,
+                            context,
+                            planner,
+                            evaluator,
+                            op,
+                            device,
+                            admitted_at=admitted,
                         )
                     )
         except BaseException as error:  # surfaced after join
@@ -613,6 +717,8 @@ def run_serve(config: ServeConfig | None = None) -> dict:
             "profile": config.profile,
             "async": config.use_async,
             "max_inflight": config.max_inflight,
+            "trace_sample_rate": config.trace_sample_rate,
+            "slow_trace_ms": config.slow_trace_ms,
         },
         "device": config.latency_model().describe(),
         "profile": {

@@ -78,6 +78,7 @@ Commands
 [--query-fraction F] [--query-cache-size Z] [--drift-interval SEC]
 [--chaos-rate R] [--op-deadline-ms D] [--shed-backoff-ms B]
 [--healer-interval SEC] [--no-healer]
+[--trace-sample-rate R] [--slow-trace-ms MS] [--trace-capacity N]
 [--out BENCH_serve.json] [--addr-file F]``
     Run the long-lived serving daemon (:mod:`repro.server`): the seeded
     operation stream replays in a loop — on client threads, or with
@@ -287,6 +288,26 @@ def _add_serve_workload_options(parser, *, ops_help: str, out_help: str) -> None
         "(0 disables caching)",
     )
     parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help="fraction of requests whose traces are retained head-on "
+        "(seeded; 0 disables tracing unless --slow-trace-ms is set)",
+    )
+    parser.add_argument(
+        "--slow-trace-ms",
+        type=float,
+        default=None,
+        help="tail capture: always retain traces slower than this many "
+        "milliseconds (and all shed/degraded/breaker-open outcomes)",
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=512,
+        help="ring-buffer capacity of the retained-trace store",
+    )
+    parser.add_argument(
         "--out", type=Path, default=Path("BENCH_serve.json"), help=out_help
     )
 
@@ -310,6 +331,9 @@ def _serve_config_from(args) -> "object":
         max_spans=getattr(args, "max_spans", None),
         op_deadline_ms=getattr(args, "op_deadline_ms", None),
         shed_backoff_ms=getattr(args, "shed_backoff_ms", 1.0),
+        trace_sample_rate=args.trace_sample_rate,
+        slow_trace_ms=args.slow_trace_ms,
+        trace_capacity=args.trace_capacity,
     )
 
 

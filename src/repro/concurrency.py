@@ -42,6 +42,7 @@ from repro.storage.stats import (
     ThreadSafeAccessStats,
     WorkerScope,
 )
+from repro.telemetry.tracing import current_trace
 
 __all__ = ["RWLock", "ContextPool", "ThreadLocalContexts"]
 
@@ -99,9 +100,17 @@ class RWLock:
     def acquire_read(self) -> None:
         me = threading.get_ident()
         with self._cond:
+            if self._may_read(me):
+                # Uncontended fast path: no clock read, no trace lookup.
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            trace = current_trace()
+            start = time.perf_counter() if trace is not None else None
             while not self._may_read(me):
                 self._cond.wait()
             self._readers[me] = self._readers.get(me, 0) + 1
+        if start is not None:
+            trace.add_phase("lock.read", (time.perf_counter() - start) * 1e3)
 
     def _may_read(self, me: int) -> bool:
         """Whether ``me`` may be admitted as a reader right now."""
@@ -135,10 +144,11 @@ class RWLock:
                     "read->write upgrade is not supported: release the read "
                     "side before requesting the write side"
                 )
-            if self.metrics is not None and (
-                self._writer is not None or self._readers
-            ):
-                start = time.perf_counter()
+            trace = None
+            if self._writer is not None or self._readers:
+                trace = current_trace()
+                if self.metrics is not None or trace is not None:
+                    start = time.perf_counter()
             self._writers_waiting += 1
             try:
                 while self._writer is not None or self._readers:
@@ -147,11 +157,11 @@ class RWLock:
                 self._writers_waiting -= 1
             self._writer = me
             self._write_depth = 1
+        waited_ms = 0.0 if start is None else (time.perf_counter() - start) * 1e3
         if self.metrics is not None:
-            waited_ms = (
-                0.0 if start is None else (time.perf_counter() - start) * 1e3
-            )
             self.metrics.observe("lock.writer_wait_ms", waited_ms)
+        if trace is not None and start is not None:
+            trace.add_phase("lock.write", waited_ms)
 
     def release_write(self) -> None:
         me = threading.get_ident()

@@ -196,19 +196,30 @@ class DeviceModel:
             self.registry.observe("device.charge_ms", seconds * 1e3)
             self.registry.inc("device.pages", pages)
 
-    def charge(self, pages: int) -> float:
-        """Sleep the simulated latency on the calling thread."""
+    def charge(self, pages: int, trace=None) -> float:
+        """Sleep the simulated latency on the calling thread.
+
+        ``trace`` (a :class:`~repro.telemetry.tracing.Trace`) records
+        the *measured* wait as the ``device`` phase — sleeps overshoot,
+        and phase sums must account for real elapsed time.
+        """
         seconds = self.seconds(pages)
+        start = time.perf_counter() if trace is not None else None
         if seconds:
             time.sleep(seconds)
+        if trace is not None:
+            trace.add_phase("device", (time.perf_counter() - start) * 1e3)
         self._observe(pages, seconds)
         return seconds
 
-    async def acharge(self, pages: int) -> float:
+    async def acharge(self, pages: int, trace=None) -> float:
         """Await the simulated latency on the running event loop."""
         seconds = self.seconds(pages)
+        start = time.perf_counter() if trace is not None else None
         if seconds:
             await asyncio.sleep(seconds)
+        if trace is not None:
+            trace.add_phase("device", (time.perf_counter() - start) * 1e3)
         self._observe(pages, seconds)
         return seconds
 

@@ -34,6 +34,7 @@ from repro.gom.types import NULL
 from repro.query.queries import BackwardQuery, ForwardQuery, Query, ValueRangeQuery
 from repro.storage.objectstore import ClusteredObjectStore
 from repro.storage.stats import AccessStats, BufferScope
+from repro.telemetry.tracing import current_trace, maybe_span
 
 
 @dataclass
@@ -150,15 +151,23 @@ class QueryEvaluator:
                 "a crash/fault; recover it or use evaluate() to fall back"
             )
         before = self.stats.snapshot()
-        with self._measured(f"query.supported.{query.kind}") as buffer:
-            if isinstance(query, ForwardQuery):
-                cells = self._supported_forward(query, asr, buffer)
-            elif isinstance(query, ValueRangeQuery):
-                cells = self._supported_range(query, asr, buffer)
-            elif isinstance(query, BackwardQuery):
-                cells = self._supported_backward(query, asr, buffer)
-            else:
-                raise QueryError(f"unknown query shape {query!r}")
+        # A nested annotation span (no phase — the planner already books
+        # this time under `execute`), naming the ASR that served the
+        # lookup; resolved from the thread-local active trace because
+        # evaluation may run on an executor thread the loop handed off to.
+        with maybe_span(
+            current_trace(),
+            f"asr.lookup[{asr.extension.value}:{asr.decomposition}]",
+        ):
+            with self._measured(f"query.supported.{query.kind}") as buffer:
+                if isinstance(query, ForwardQuery):
+                    cells = self._supported_forward(query, asr, buffer)
+                elif isinstance(query, ValueRangeQuery):
+                    cells = self._supported_range(query, asr, buffer)
+                elif isinstance(query, BackwardQuery):
+                    cells = self._supported_backward(query, asr, buffer)
+                else:
+                    raise QueryError(f"unknown query shape {query!r}")
         delta = self.stats.delta_since(before)
         if self.context is not None and self.context.metrics is not None:
             # Per-ASR lookup traffic: which physical design served reads.

@@ -30,6 +30,7 @@ from repro.asr.asr import AccessSupportRelation
 from repro.asr.manager import ASRManager
 from repro.query.evaluator import EvaluationResult, QueryEvaluator
 from repro.query.queries import Query
+from repro.telemetry.tracing import maybe_span
 
 
 @dataclass(frozen=True)
@@ -165,30 +166,43 @@ class Planner:
                 breaker_blocked=blocked,
             )
 
-    def execute(self, query: Query, evaluator: QueryEvaluator) -> EvaluationResult:
+    def execute(
+        self, query: Query, evaluator: QueryEvaluator, trace=None
+    ) -> EvaluationResult:
         """Plan and evaluate in one step.
 
         The manager's read lock is held across both the plan decision
         and the evaluation, so a concurrent flush or recovery can never
         mutate a tree mid-probe (readers share; writers wait).
+
+        ``trace`` records the plan decision as the ``plan`` phase and
+        the evaluation as ``execute``; a degraded or breaker-vetoed
+        decision marks the trace's outcome so tail capture retains it.
         """
         with self.manager.lock.read():
-            plan = self.plan(query)
+            with maybe_span(trace, "plan", "plan"):
+                plan = self.plan(query)
             self._count_degraded(query, plan, evaluator.context)
-            if plan.asr is None:
-                result = evaluator.evaluate_unsupported(query)
-            else:
-                try:
-                    result = evaluator.evaluate_supported(query, plan.asr)
-                except Exception:
-                    # A supported evaluation blowing up is breaker
-                    # evidence (a half-open probe failing re-opens).
-                    if self.breakers is not None:
-                        self.breakers.record_failure(plan.asr)
-                    raise
+            if trace is not None:
+                if plan.breaker_blocked and plan.asr is None:
+                    trace.mark("breaker-open")
+                elif plan.asr is None and self.quarantined_applicable(query):
+                    trace.mark("degraded")
+            with maybe_span(trace, "evaluate", "execute"):
+                if plan.asr is None:
+                    result = evaluator.evaluate_unsupported(query)
                 else:
-                    if self.breakers is not None:
-                        self.breakers.record_success(plan.asr)
+                    try:
+                        result = evaluator.evaluate_supported(query, plan.asr)
+                    except Exception:
+                        # A supported evaluation blowing up is breaker
+                        # evidence (a half-open probe failing re-opens).
+                        if self.breakers is not None:
+                            self.breakers.record_failure(plan.asr)
+                        raise
+                    else:
+                        if self.breakers is not None:
+                            self.breakers.record_success(plan.asr)
         if self.drift is not None:
             self.drift.observe_query(query, plan.asr, result.total_pages)
         return result

@@ -34,6 +34,7 @@ from repro.query.executor import ExecutionReport, SelectExecutor
 from repro.query.parser import SelectStatement, parse_select
 from repro.query.planner import Planner
 from repro.query.validate import validate_select
+from repro.telemetry.tracing import maybe_span
 
 
 def jsonable_cell(cell):
@@ -102,10 +103,20 @@ class QueryService:
         if self.registry is not None:
             self.registry.inc("query.errors", kind=kind)
 
-    def execute(self, text: str, context=None) -> QueryOutcome:
-        """Run ``text`` end to end; raises ParseError/QueryError on bad input."""
+    def execute(self, text: str, context=None, trace=None) -> QueryOutcome:
+        """Run ``text`` end to end; raises ParseError/QueryError on bad input.
+
+        ``trace`` (a :class:`~repro.telemetry.tracing.Trace`) receives
+        the phase decomposition: the cache probe as ``cache-hit``,
+        parse + validate + compile as ``plan``, and the compiled run as
+        ``execute`` — disjoint segments, so they sum toward the reported
+        latency (the read-lock wait is attributed separately by the
+        :class:`~repro.concurrency.RWLock` hook).
+        """
         started = time.perf_counter()
         normalized = normalize_query(text)
+        if trace is not None:
+            trace.annotate(query=normalized)
         evaluator = QueryEvaluator(self.db, self.store, context=context)
         executor = SelectExecutor(self.db, self.planner, evaluator=evaluator)
         manager = self.manager
@@ -114,27 +125,47 @@ class QueryService:
         # the key we cache under and the trees we probe.
         with manager.lock.read():
             epoch = manager.epoch
-            compiled = self.cache.get(normalized, epoch)
+            with maybe_span(trace, "cache.probe", "cache-hit"):
+                compiled = self.cache.get(normalized, epoch)
             cached = compiled is not None
             if compiled is None:
-                try:
-                    statement = parse_select(normalized)
-                except ParseError:
-                    self._count_error("parse")
-                    raise
-                try:
-                    validate_select(statement, self.db)
-                except QueryError:
-                    self._count_error("validate")
-                    raise
-                compiled = replace(executor.compile(statement), epoch=epoch)
-                self.cache.put(normalized, epoch, compiled)
+                with maybe_span(trace, "parse+validate+compile", "plan"):
+                    try:
+                        statement = parse_select(normalized)
+                    except ParseError:
+                        self._count_error("parse")
+                        raise
+                    try:
+                        validate_select(statement, self.db)
+                    except QueryError:
+                        self._count_error("validate")
+                        raise
+                    compiled = replace(executor.compile(statement), epoch=epoch)
+                    self.cache.put(normalized, epoch, compiled)
             try:
-                report = executor.run_compiled(compiled)
+                with maybe_span(trace, "run_compiled", "execute"):
+                    report = executor.run_compiled(compiled)
             except Exception:
                 self._count_error("execute")
                 raise
+        if trace is not None:
+            trace.annotate(
+                strategy=report.strategy,
+                cached=cached,
+                epoch=epoch,
+                pages=report.total_pages,
+            )
+            if "degraded" in report.strategy:
+                trace.mark(
+                    "breaker-open"
+                    if "breaker open" in report.strategy
+                    else "degraded"
+                )
         if self.registry is not None:
             elapsed_ms = (time.perf_counter() - started) * 1000.0
-            self.registry.observe("query.latency_ms", elapsed_ms)
+            self.registry.observe(
+                "query.latency_ms",
+                elapsed_ms,
+                exemplar=None if trace is None else trace.trace_id,
+            )
         return QueryOutcome(report, compiled.statement, cached, epoch, normalized)

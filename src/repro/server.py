@@ -48,6 +48,20 @@ registry either way:
     planning until maintenance or recovery bumps the epoch.  Parse and
     validation failures return a structured 400
     (``{"error": {"kind": …, "message": …}}``).
+``GET /trace/recent`` / ``GET /trace/<id>``
+    The retained request traces (DESIGN §14): with tracing enabled
+    (``--trace-sample-rate`` / ``--slow-trace-ms``) every front-door
+    request — ``POST /query`` and each replayed operation on either
+    core — carries a trace whose ``queue`` / ``lock.read`` /
+    ``lock.write`` / ``plan`` / ``cache-hit`` / ``execute`` /
+    ``device`` / ``serialize`` phases sum to its end-to-end latency.
+    ``/trace/recent`` lists summaries newest-first; ``/trace/<id>``
+    returns one full span tree (404 once evicted or never retained).
+
+Every HTTP request, scrape included, also self-reports:
+``http.requests{endpoint}`` counts and ``http.latency_ms{endpoint}``
+times ``/metrics``, ``/healthz``, ``/stats``, ``/query``, and the
+``/trace/*`` family (``/trace/:id`` is one label).
 
 A background publisher re-snapshots the
 :class:`~repro.telemetry.drift.DriftMonitor` (and the accounting gauges)
@@ -118,6 +132,7 @@ from repro.faults import FaultInjector
 from repro.query.evaluator import QueryEvaluator
 from repro.query.planner import Planner
 from repro.resilience import ChaosConfig, ChaosController, HealerLoop, RecoveryPolicy
+from repro.telemetry.tracing import activate
 from repro.workload.opstream import Operation
 
 __all__ = ["ServerConfig", "ServeDaemon"]
@@ -399,6 +414,9 @@ class ServeDaemon:
                 "op_deadline_ms": config.serve.op_deadline_ms,
                 "shed_backoff_ms": config.serve.shed_backoff_ms,
                 "query_cache_size": config.serve.query_cache_size,
+                "trace_sample_rate": config.serve.trace_sample_rate,
+                "slow_trace_ms": config.serve.slow_trace_ms,
+                "trace_capacity": config.serve.trace_capacity,
                 "host": host,
                 "port": port,
                 "drift_interval": config.drift_interval,
@@ -418,6 +436,7 @@ class ServeDaemon:
             },
             "pool": world.pool.describe(),
             "query_cache": world.queries.cache.describe(),
+            "tracing": world.tracer.describe(),
             "accounting": accounting,
             "resilience": {
                 "healer": self._healer.describe() if self._healer else None,
@@ -458,7 +477,8 @@ class ServeDaemon:
         core = "async" if self.config.serve.use_async else "threaded"
         print(
             f"serving on http://{host}:{port} [{core} core]  "
-            f"(GET /metrics /healthz /stats, POST /query; drift republished "
+            f"(GET /metrics /healthz /stats /trace/recent, POST /query; "
+            f"drift republished "
             f"every {self.config.drift_interval:g}s; SIGTERM drains)",
             file=out,
             flush=True,
@@ -521,11 +541,22 @@ class ServeDaemon:
                     op = self._next_op()
                     if op is None:
                         return
+                    # The threaded core's "admission" instant: the gap to
+                    # drive start (chaos hook included) is this core's
+                    # queue wait, published for parity with the async
+                    # queue's ``queue.wait_ms``.
+                    admitted = time.perf_counter()
                     if self._chaos is not None:
                         self._chaos.on_operation(op)
                     try:
                         sample = drive_operation(
-                            world, context, planner, evaluator, op, self._device
+                            world,
+                            context,
+                            planner,
+                            evaluator,
+                            op,
+                            self._device,
+                            admitted_at=admitted,
                         )
                     except (InjectedFault, SimulatedCrash):
                         if self._chaos is None:
@@ -594,14 +625,21 @@ class ServeDaemon:
         beats in lockstep with the drain rate (fixed backoff).
         """
         registry = self.world.registry
+        tracer = self.world.tracer
         backoff = max(0.0, self.config.serve.shed_backoff_ms) / 1e3
         while True:
             op = self._next_op()
             if op is None:
                 return
+            admitted = time.perf_counter()
+            # The trace opens at admission, so queue wait is inside it
+            # and an operation shed at the front door still leaves a
+            # tail-captured "shed" trace behind.
+            trace = tracer.begin(op.name, op.kind, started=admitted)
             try:
-                queue.put_nowait((op, time.perf_counter()))
+                queue.put_nowait((op, admitted, trace))
             except asyncio.QueueFull:
+                tracer.finish(trace, "shed")
                 registry.inc("admission.rejected")
                 self._shed_streak += 1
                 if self._shed_streak > self._max_shed_streak:
@@ -630,19 +668,22 @@ class ServeDaemon:
         world = self.world
         deadline_ms = self.config.serve.op_deadline_ms
         while True:
-            op, admitted = await queue.get()
+            op, admitted, trace = await queue.get()
             try:
                 wait_ms = (time.perf_counter() - admitted) * 1e3
                 if deadline_ms is not None and wait_ms > deadline_ms:
                     world.registry.inc("deadline.shed")
+                    world.tracer.finish(trace, "shed")
                     continue
                 world.registry.observe("queue.wait_ms", wait_ms)
+                if trace is not None:
+                    trace.add_phase("queue", wait_ms)
                 if self._chaos is not None:
                     self._chaos.on_operation(op)
                 self._inflight += 1
                 try:
                     sample = await drive_operation_async(
-                        world, self._workers, op, self._device
+                        world, self._workers, op, self._device, trace=trace
                     )
                 except (InjectedFault, SimulatedCrash):
                     if self._chaos is None:
@@ -744,7 +785,7 @@ class ServeDaemon:
         }
         return ok, payload
 
-    def execute_query(self, text: str):
+    def execute_query(self, text: str, trace=None):
         """Run one ``POST /query`` text end to end; returns the outcome.
 
         Each HTTP request runs on its own :class:`ThreadingHTTPServer`
@@ -752,13 +793,28 @@ class ServeDaemon:
         pool for its lifetime (accounting stays exact), and its charged
         pages are priced on the shared device model *after* all locks
         are released — the same discipline as replayed operations.
+
+        ``trace`` (opened by the handler) is activated on this thread so
+        the read-lock wait and the ASR lookups attribute to it; the
+        service books ``cache-hit`` / ``plan`` / ``execute``, the device
+        books ``device``, and the handler finishes with ``serialize``.
         """
         world = self.world
-        with world.pool.context() as context:
-            outcome = world.queries.execute(text, context=context)
-        pages = outcome.report.total_pages
-        if pages and self._device is not None:
-            self._device.charge(pages)
+        if trace is None:
+            with world.pool.context() as context:
+                outcome = world.queries.execute(text, context=context)
+            pages = outcome.report.total_pages
+            if pages and self._device is not None:
+                self._device.charge(pages)
+        else:
+            with activate(trace):
+                with world.pool.context() as context:
+                    outcome = world.queries.execute(
+                        text, context=context, trace=trace
+                    )
+                pages = outcome.report.total_pages
+                if pages and self._device is not None:
+                    self._device.charge(pages, trace=trace)
         world.registry.inc(
             "serve.queries", cached="true" if outcome.cached else "false"
         )
@@ -785,6 +841,26 @@ def _make_handler(daemon: ServeDaemon) -> type:
         def log_message(self, *_args) -> None:  # keep the daemon's stdout clean
             pass
 
+        def _instrumented(self, handler) -> None:
+            """Run one request handler; self-report count and latency.
+
+            Every endpoint — scrapes included — lands in
+            ``http.requests{endpoint}`` / ``http.latency_ms{endpoint}``,
+            so the observability plane observes itself.
+            """
+            registry = daemon.world.registry
+            endpoint = _endpoint_label(self.path)
+            started = time.perf_counter()
+            try:
+                handler()
+            finally:
+                registry.inc("http.requests", endpoint=endpoint)
+                registry.observe(
+                    "http.latency_ms",
+                    (time.perf_counter() - started) * 1e3,
+                    endpoint=endpoint,
+                )
+
         def _send(self, status: int, content_type: str, body: str) -> None:
             payload = body.encode("utf-8")
             self.send_response(status)
@@ -797,18 +873,48 @@ def _make_handler(daemon: ServeDaemon) -> type:
             self._send(status, "application/json", json.dumps(payload, indent=2))
 
         def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            self._instrumented(self._do_get)
+
+        def _do_get(self) -> None:
             try:
-                if self.path == "/metrics":
+                path, _, query_string = self.path.partition("?")
+                if path == "/metrics":
                     self._send(
                         200,
                         "text/plain; version=0.0.4; charset=utf-8",
                         daemon.world.registry.render_prometheus(),
                     )
-                elif self.path == "/healthz":
+                elif path == "/healthz":
                     ok, payload = daemon.health()
                     self._send_json(200 if ok else 503, payload)
-                elif self.path == "/stats":
+                elif path == "/stats":
                     self._send_json(200, daemon.stats_payload())
+                elif path == "/trace/recent":
+                    limit = 50
+                    for part in query_string.split("&"):
+                        key, _, value = part.partition("=")
+                        if key == "limit" and value.isdigit():
+                            limit = int(value)
+                    tracer = daemon.world.tracer
+                    self._send_json(
+                        200,
+                        {
+                            "tracing": tracer.describe(),
+                            "traces": [
+                                trace.summary()
+                                for trace in tracer.store.recent(limit)
+                            ],
+                        },
+                    )
+                elif path.startswith("/trace/"):
+                    trace = daemon.world.tracer.store.get(path[len("/trace/") :])
+                    if trace is None:
+                        self._send_json(
+                            404,
+                            {"error": "trace not found (evicted or never retained)"},
+                        )
+                    else:
+                        self._send_json(200, trace.as_dict())
                 else:
                     self._send_json(
                         404,
@@ -827,6 +933,9 @@ def _make_handler(daemon: ServeDaemon) -> type:
             )
 
         def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            self._instrumented(self._do_post)
+
+        def _do_post(self) -> None:
             try:
                 if self.path != "/query":
                     self._send_json(
@@ -851,24 +960,55 @@ def _make_handler(daemon: ServeDaemon) -> type:
                 if not isinstance(text, str) or not text.strip():
                     self._bad_request('"query" must be a non-empty string')
                     return
+                tracer = daemon.world.tracer
+                trace = tracer.begin("POST /query", "query")
                 try:
-                    outcome = daemon.execute_query(text)
+                    outcome = daemon.execute_query(text, trace=trace)
                 except ParseError as error:
+                    tracer.finish(trace, "error")
                     self._send_json(
                         400, {"error": {"kind": "parse", "message": str(error)}}
                     )
                     return
                 except QueryError as error:
+                    tracer.finish(trace, "error")
                     self._send_json(
                         400, {"error": {"kind": "validate", "message": str(error)}}
                     )
                     return
-                self._send_json(200, outcome.payload())
+                if trace is None:
+                    body_text = json.dumps(outcome.payload(), indent=2)
+                else:
+                    # Rendering rows to JSON-clean cells is serialization
+                    # work too, so the payload build sits inside the span.
+                    with trace.span("serialize", "serialize"):
+                        payload = outcome.payload()
+                        payload["trace_id"] = trace.trace_id
+                        body_text = json.dumps(payload, indent=2)
+                    tracer.finish(trace)
+                self._send(200, "application/json", body_text)
             except Exception as error:  # noqa: BLE001 - surfaced to the client
                 self._send_json(500, {"error": repr(error)})
 
     return Handler
 
 
+def _endpoint_label(path: str) -> str:
+    """The bounded-cardinality ``endpoint`` label for one request path."""
+    path = path.partition("?")[0]
+    if path in ("/metrics", "/healthz", "/stats", "/query", "/trace/recent"):
+        return path
+    if path.startswith("/trace/"):
+        return "/trace/:id"
+    return "other"
+
+
 #: What the 404 payload advertises.
-_ENDPOINTS = ["/metrics", "/healthz", "/stats", "POST /query"]
+_ENDPOINTS = [
+    "/metrics",
+    "/healthz",
+    "/stats",
+    "/trace/recent",
+    "/trace/<id>",
+    "POST /query",
+]

@@ -11,18 +11,66 @@ pieces:
   cost model's predicted page accesses (Eqs. 31–36) against the spans'
   measured ones, per (extension, decomposition, op-kind);
 * :mod:`repro.telemetry.render` — the text tables behind ``repro
-  stats``.
+  stats``;
+* :mod:`repro.telemetry.tracing` — :class:`Tracer` / :class:`Trace` /
+  :class:`TraceStore`, per-request span trees with phase-attributed
+  latency, head sampling plus tail-based capture (DESIGN §14).
 
 See ``docs/observability.md`` for the metric name catalogue.
 """
 
-from repro.telemetry.drift import CostModelPredictor, DriftMonitor, type_decomposition
-from repro.telemetry.registry import HistogramState, MetricsRegistry
-from repro.telemetry.render import format_drift, format_metrics, format_stats
+from repro.telemetry.registry import (
+    HistogramState,
+    MetricsRegistry,
+    QUANTILE_POINTS,
+    estimate_quantile,
+)
+from repro.telemetry.tracing import (
+    Trace,
+    TraceStore,
+    Tracer,
+    activate,
+    current_trace,
+    maybe_span,
+)
+
+# drift (and render, which uses it) reaches through the ASR layer, which
+# in turn needs repro.concurrency — and concurrency needs
+# repro.telemetry.tracing for lock-wait attribution.  Loading drift
+# lazily (PEP 562) keeps this package importable from concurrency
+# without a cycle: ``from repro.telemetry import DriftMonitor`` still
+# works, it just resolves on first attribute access.
+_LAZY = {
+    "CostModelPredictor": "repro.telemetry.drift",
+    "DriftMonitor": "repro.telemetry.drift",
+    "type_decomposition": "repro.telemetry.drift",
+    "format_drift": "repro.telemetry.render",
+    "format_metrics": "repro.telemetry.render",
+    "format_stats": "repro.telemetry.render",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
 
 __all__ = [
     "MetricsRegistry",
     "HistogramState",
+    "estimate_quantile",
+    "QUANTILE_POINTS",
+    "Tracer",
+    "Trace",
+    "TraceStore",
+    "activate",
+    "current_trace",
+    "maybe_span",
     "DriftMonitor",
     "CostModelPredictor",
     "type_decomposition",

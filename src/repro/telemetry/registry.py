@@ -36,7 +36,12 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["MetricsRegistry", "HistogramState"]
+__all__ = [
+    "MetricsRegistry",
+    "HistogramState",
+    "estimate_quantile",
+    "QUANTILE_POINTS",
+]
 
 #: Log-scale histogram bucket bounds are powers of this base.
 BUCKET_BASE = 2.0
@@ -103,8 +108,11 @@ class HistogramState:
     max: float = -math.inf
     #: ``bucket index -> observations`` (``None`` is the <= 0 bucket).
     buckets: dict[int | None, int] = field(default_factory=dict)
+    #: Newest exemplar: ``{"trace_id", "value", "le"}`` (OpenMetrics
+    #: style — one per histogram, attached to its bucket on exposition).
+    exemplar: dict | None = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         """Record one observation (caller holds the registry lock)."""
         self.count += 1
         self.total += value
@@ -114,6 +122,9 @@ class HistogramState:
             self.max = value
         index = bucket_index(value)
         self.buckets[index] = self.buckets.get(index, 0) + 1
+        if exemplar is not None:
+            le = 0.0 if index is None else BUCKET_BASE**index
+            self.exemplar = {"trace_id": exemplar, "value": value, "le": le}
 
     @property
     def mean(self) -> float:
@@ -128,7 +139,7 @@ class HistogramState:
         ):
             le = 0.0 if index is None else BUCKET_BASE**index
             buckets.append({"le": le, "count": self.buckets[index]})
-        return {
+        result = {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else 0.0,
@@ -136,6 +147,48 @@ class HistogramState:
             "mean": self.mean,
             "buckets": buckets,
         }
+        if self.exemplar is not None:
+            result["exemplar"] = dict(self.exemplar)
+        return result
+
+
+#: The quantile points derived on exposition (p50 / p95 / p99).
+QUANTILE_POINTS = (0.5, 0.95, 0.99)
+
+
+def estimate_quantile(hist: dict, q: float) -> float:
+    """Estimate the ``q``-quantile of a log-scale histogram.
+
+    ``hist`` is the :meth:`HistogramState.as_dict` form (``count``,
+    ``min``, ``max``, cumulative-able ``buckets``).  The target rank
+    ``q * count`` is located in its bucket, then interpolated
+    **geometrically** (log-linear — the natural assumption inside a
+    log-scale bucket ``(le/BASE, le]``), and finally clamped to the
+    recorded ``[min, max]`` — so a histogram whose observations all
+    share one value reports that value exactly at every quantile.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be within [0, 1]")
+    count = hist.get("count", 0)
+    if not count:
+        return 0.0
+    lo_clamp = hist.get("min", 0.0)
+    hi_clamp = hist.get("max", 0.0)
+    target = q * count
+    cumulative = 0.0
+    for bucket in hist.get("buckets", ()):
+        upper = bucket["le"]
+        in_bucket = bucket["count"]
+        if cumulative + in_bucket >= target and in_bucket:
+            if upper <= 0.0:
+                # The <= 0 bucket has no geometric span; clamp only.
+                return min(max(0.0, lo_clamp), hi_clamp)
+            fraction = (target - cumulative) / in_bucket
+            lower = upper / BUCKET_BASE
+            value = lower * (upper / lower) ** max(0.0, fraction)
+            return min(max(value, lo_clamp), hi_clamp)
+        cumulative += in_bucket
+    return hi_clamp
 
 
 class MetricsRegistry:
@@ -177,15 +230,22 @@ class MetricsRegistry:
         with self._lock:
             self._gauge_fns.setdefault(name, {})[key] = fn
 
-    def observe(self, name: str, value: float, **labels: str) -> None:
-        """Record ``value`` into the histogram ``name`` (per label set)."""
+    def observe(
+        self, name: str, value: float, exemplar: str | None = None, **labels: str
+    ) -> None:
+        """Record ``value`` into the histogram ``name`` (per label set).
+
+        ``exemplar`` (keyword-only in spirit — reserved before the label
+        kwargs) attaches a trace ID exemplar to the observation, exposed
+        on the matching ``_bucket`` line in OpenMetrics style.
+        """
         key = _label_key(labels)
         with self._lock:
             family = self._histograms.setdefault(name, {})
             state = family.get(key)
             if state is None:
                 state = family[key] = HistogramState()
-            state.observe(value)
+            state.observe(value, exemplar=exemplar)
 
     # ------------------------------------------------------------------
     # reading
@@ -278,6 +338,8 @@ class MetricsRegistry:
                     le = bucket["le"]
                     index = None if le <= 0 else round(math.log(le, BUCKET_BASE))
                     state.buckets[index] = bucket["count"]
+                if entry.get("exemplar") is not None:
+                    state.exemplar = dict(entry["exemplar"])
                 family[_label_key(entry.get("labels", {}))] = state
         return registry
 
@@ -322,14 +384,23 @@ class MetricsRegistry:
             metric = f"{prefix}_{_sanitize(name)}"
             lines.append(f"# TYPE {metric} histogram")
             for entry in entries:
+                exemplar = entry.get("exemplar")
                 cumulative = 0
                 for bucket in entry["buckets"]:
                     cumulative += bucket["count"]
-                    lines.append(
+                    line = (
                         f"{metric}_bucket"
                         f"{fmt_labels(entry['labels'], {'le': bucket['le']})}"
                         f" {cumulative}"
                     )
+                    if exemplar is not None and exemplar.get("le") == bucket["le"]:
+                        # OpenMetrics exemplar: `# {trace_id="…"} value`.
+                        line += (
+                            " # {trace_id="
+                            f'"{_escape_label_value(exemplar["trace_id"])}"'
+                            f"}} {exemplar['value']}"
+                        )
+                    lines.append(line)
                 lines.append(
                     f"{metric}_bucket{fmt_labels(entry['labels'], {'le': '+Inf'})}"
                     f" {entry['count']}"
@@ -338,6 +409,14 @@ class MetricsRegistry:
                 lines.append(
                     f"{metric}_count{fmt_labels(entry['labels'])} {entry['count']}"
                 )
+            lines.append(f"# TYPE {metric}_quantile gauge")
+            for entry in entries:
+                for q in QUANTILE_POINTS:
+                    lines.append(
+                        f"{metric}_quantile"
+                        f"{fmt_labels(entry['labels'], {'quantile': q})}"
+                        f" {estimate_quantile(entry, q)}"
+                    )
         return "\n".join(lines) + ("\n" if lines else "")
 
     def __repr__(self) -> str:

@@ -10,6 +10,8 @@ render a snapshot from any run without reconstructing live objects.
 
 from __future__ import annotations
 
+from repro.telemetry.registry import estimate_quantile
+
 __all__ = ["format_metrics", "format_drift", "format_stats"]
 
 
@@ -63,6 +65,9 @@ def format_metrics(snapshot: dict) -> str:
             _fmt_labels(entry.get("labels", {})),
             _fmt_value(entry["count"]),
             _fmt_value(round(entry.get("mean", 0.0), 3)),
+            _fmt_value(round(estimate_quantile(entry, 0.5), 3)),
+            _fmt_value(round(estimate_quantile(entry, 0.95), 3)),
+            _fmt_value(round(estimate_quantile(entry, 0.99), 3)),
             _fmt_value(entry["min"]),
             _fmt_value(entry["max"]),
         ]
@@ -72,9 +77,19 @@ def format_metrics(snapshot: dict) -> str:
     if histograms:
         sections.append(
             _table(
-                ["histogram", "labels", "count", "mean", "min", "max"],
+                [
+                    "histogram",
+                    "labels",
+                    "count",
+                    "mean",
+                    "p50",
+                    "p95",
+                    "p99",
+                    "min",
+                    "max",
+                ],
                 histograms,
-                "histograms (log-scale buckets):",
+                "histograms (log-scale buckets, interpolated quantiles):",
             )
         )
     return "\n\n".join(sections) if sections else "no metrics recorded"

@@ -4,13 +4,17 @@ import json
 import re
 import threading
 
+import pytest
+
 from repro.telemetry import MetricsRegistry
 from repro.telemetry.registry import (
     BUCKET_BASE,
     MAX_BUCKET_INDEX,
     MIN_BUCKET_INDEX,
+    QUANTILE_POINTS,
     HistogramState,
     bucket_index,
+    estimate_quantile,
 )
 
 
@@ -232,6 +236,100 @@ class TestPrometheus:
             )
             recovered[unescape(labels["key"])] = unescape(labels["payload"])
         assert recovered == hostile
+
+
+class TestQuantileEstimation:
+    """Pin the geometric (log-linear) interpolation to exact values."""
+
+    def hist(self, *values):
+        state = HistogramState()
+        for value in values:
+            state.observe(value)
+        return state.as_dict()
+
+    def test_pinned_values_for_one_two_four_eight(self):
+        # Observations 1, 2, 4, 8 land one per bucket (le = 1, 2, 4, 8).
+        hist = self.hist(1.0, 2.0, 4.0, 8.0)
+        # p50: rank 2.0 tops out bucket le=2 exactly -> its upper bound.
+        assert estimate_quantile(hist, 0.5) == 2.0
+        # p95: rank 3.8 sits 0.8 into bucket (4, 8]; log-linear within
+        # the bucket gives 4 * 2**0.8.
+        assert estimate_quantile(hist, 0.95) == pytest.approx(
+            4.0 * 2.0**0.8, rel=1e-12
+        )
+        # p99: rank 3.96 -> 4 * 2**0.96.
+        assert estimate_quantile(hist, 0.99) == pytest.approx(
+            4.0 * 2.0**0.96, rel=1e-12
+        )
+
+    def test_single_valued_histogram_is_exact_at_every_quantile(self):
+        # min/max clamping pins every quantile of a constant stream.
+        hist = self.hist(3.0, 3.0, 3.0, 3.0, 3.0)
+        for q in QUANTILE_POINTS:
+            assert estimate_quantile(hist, q) == 3.0
+
+    def test_empty_histogram_reports_zero(self):
+        assert estimate_quantile(self.hist(), 0.5) == 0.0
+
+    def test_zero_bucket_has_no_geometric_span(self):
+        assert estimate_quantile(self.hist(0.0, 0.0), 0.5) == 0.0
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_quantile(self.hist(1.0), 1.5)
+
+    def test_rendered_quantile_lines(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 4.0, 8.0):
+            registry.observe("lat", value)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_lat_quantile gauge" in text
+        assert 'repro_lat_quantile{quantile="0.5"} 2.0' in text
+        p95_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith('repro_lat_quantile{quantile="0.95"}')
+        )
+        assert float(p95_line.split()[-1]) == pytest.approx(
+            4.0 * 2.0**0.8, rel=1e-9
+        )
+
+
+class TestExemplars:
+    def test_exemplar_attaches_to_the_matching_bucket_line(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 3.0, exemplar="t0007-00000001")
+        text = registry.render_prometheus()
+        # 3.0 lands in bucket le=4; OpenMetrics-style suffix follows it.
+        assert (
+            'repro_lat_bucket{le="4.0"} 1 # {trace_id="t0007-00000001"} 3.0'
+            in text
+        )
+
+    def test_newest_exemplar_wins(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 3.0, exemplar="t-old")
+        registry.observe("lat", 100.0, exemplar="t-new")
+        state = registry.histogram("lat")
+        assert state.exemplar["trace_id"] == "t-new"
+        assert state.exemplar["value"] == 100.0
+
+    def test_observation_without_exemplar_keeps_the_last_one(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 3.0, exemplar="t-1")
+        registry.observe("lat", 5.0)
+        assert registry.histogram("lat").exemplar["trace_id"] == "t-1"
+
+    def test_exemplar_round_trips_through_snapshot(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 3.0, exemplar="t-1")
+        restored = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert restored.render_prometheus() == registry.render_prometheus()
+        assert restored.histogram("lat").exemplar == {
+            "trace_id": "t-1",
+            "value": 3.0,
+            "le": 4.0,
+        }
 
 
 class TestConcurrentPublishers:
