@@ -20,23 +20,45 @@ This module implements that loop:
    :class:`~repro.costmodel.advisor.DesignAdvisor`, and — when the best
    design beats the current one by a configurable factor — re-materializes
    the ASR under the new (extension, decomposition).
+
+**Online re-materialization** (DESIGN §15): :meth:`AdaptiveDesigner.retune`
+is safe to run inside a live daemon.  The replacement ASR is bulk-built
+*without* the manager's lock so concurrent readers keep serving from the
+old design; a catch-up observer subscribed to the object base records the
+dirty regions of every update that lands mid-build (updaters hold the
+manager's write lock per the :meth:`~repro.asr.manager.ASRManager.exclusive`
+contract, so region capture is race-free); then one exclusive section
+applies the coalesced catch-up delta — the same recompute-derives-the-
+correct-post-state argument :meth:`~repro.asr.manager.ASRManager.recover`
+relies on — and swaps old for new via
+:meth:`~repro.asr.manager.ASRManager.replace`, a single atomic transition
+with exactly one epoch bump.  The old ASR is never dropped until the
+replacement is fully caught up, so any failure (including the armed crash
+points ``asr.retune.build`` / ``asr.retune.register``) rolls back to the
+old design still registered and consistent.
 """
 
 from __future__ import annotations
 
+import logging
+import threading
 from collections import Counter
 from dataclasses import dataclass
 
 from repro.asr.asr import AccessSupportRelation
 from repro.asr.decomposition import Decomposition
 from repro.asr.extensions import Extension
+from repro.asr.maintenance import analyze_event, merge_regions, neighbourhood_delta
 from repro.asr.manager import ASRManager
 from repro.costmodel.advisor import DesignAdvisor, DesignChoice
 from repro.costmodel.opmix import OperationMix, QuerySpec, UpdateSpec
 from repro.costmodel.profiling import profile_from_database
 from repro.errors import CostModelError
+from repro.faults import reach
 from repro.gom.events import AttributeSet, Event, SetInserted, SetRemoved
 from repro.gom.paths import PathExpression
+
+_logger = logging.getLogger("repro.adaptive")
 
 
 class WorkloadRecorder:
@@ -45,12 +67,19 @@ class WorkloadRecorder:
     Query ranges are recorded as ``(i, j, kind)`` triples and updates as
     the edge index ``i`` of the paper's ``ins_i``.  The recorder can be
     attached to an object base to count update events automatically.
+
+    Recording is thread-safe: the serve workers of both cores (and the
+    ``POST /query`` handler) call ``record_*`` concurrently, so every
+    mutation and every aggregate read takes the recorder's own lock —
+    the same single-lock discipline as
+    :class:`~repro.concurrency.ThreadSafeAccessStats`.
     """
 
     def __init__(self, path: PathExpression) -> None:
         self.path = path
         self.queries: Counter[tuple[int, int, str]] = Counter()
         self.updates: Counter[int] = Counter()
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # recording
@@ -61,12 +90,14 @@ class WorkloadRecorder:
             raise CostModelError(f"query kind must be 'fw' or 'bw', got {kind!r}")
         if not 0 <= i < j <= self.path.n:
             raise CostModelError(f"invalid query range ({i}, {j})")
-        self.queries[(i, j, kind)] += count
+        with self._lock:
+            self.queries[(i, j, kind)] += count
 
     def record_update(self, i: int, count: int = 1) -> None:
         if not 0 <= i < self.path.n:
             raise CostModelError(f"invalid update position {i}")
-        self.updates[i] += count
+        with self._lock:
+            self.updates[i] += count
 
     def attach(self, db) -> None:
         """Count update events on the object base automatically."""
@@ -87,36 +118,78 @@ class WorkloadRecorder:
 
     @property
     def total_queries(self) -> int:
-        return sum(self.queries.values())
+        with self._lock:
+            return sum(self.queries.values())
 
     @property
     def total_updates(self) -> int:
-        return sum(self.updates.values())
+        with self._lock:
+            return sum(self.updates.values())
 
     @property
     def total_operations(self) -> int:
-        return self.total_queries + self.total_updates
+        with self._lock:
+            return sum(self.queries.values()) + sum(self.updates.values())
 
     def to_mix(self) -> tuple[OperationMix, float]:
         """The recorded workload as ``(OperationMix, P_up)``."""
-        if self.total_operations == 0:
+        with self._lock:
+            queries_snapshot = dict(self.queries)
+            updates_snapshot = dict(self.updates)
+        total_queries = sum(queries_snapshot.values())
+        total_updates = sum(updates_snapshot.values())
+        total = total_queries + total_updates
+        if total == 0:
             raise CostModelError("no operations recorded yet")
         queries = tuple(
-            (count / self.total_queries, QuerySpec(i, j, kind))
-            for (i, j, kind), count in sorted(self.queries.items())
+            (count / total_queries, QuerySpec(i, j, kind))
+            for (i, j, kind), count in sorted(queries_snapshot.items())
         )
         updates = tuple(
-            (count / self.total_updates, UpdateSpec(i))
-            for i, count in sorted(self.updates.items())
+            (count / total_updates, UpdateSpec(i))
+            for i, count in sorted(updates_snapshot.items())
         )
-        if not queries:
-            queries = ()
-        p_up = self.total_updates / self.total_operations
+        p_up = total_updates / total
         return OperationMix(queries=queries, updates=updates), p_up
 
     def reset(self) -> None:
-        self.queries.clear()
-        self.updates.clear()
+        with self._lock:
+            self.queries.clear()
+            self.updates.clear()
+
+
+class _CatchUpObserver:
+    """Accumulates dirty regions while a replacement ASR builds unlocked.
+
+    Subscribed to the object base for the duration of a retune's bulk
+    build.  Events are delivered synchronously on the mutator's thread —
+    which holds the manager's write lock per the ``exclusive()``
+    contract — so computing the region *at event time* (it reads
+    event-time graph state, exactly like the manager's ``_enqueue``) is
+    safe; the observer's own lock covers the merge against the retune
+    thread's final :meth:`take`.
+    """
+
+    def __init__(self, db, path: PathExpression) -> None:
+        self._db = db
+        self._path = path
+        self._lock = threading.Lock()
+        self._region = None
+
+    def __call__(self, event: Event) -> None:
+        region = analyze_event(self._db, self._path, event)
+        if not region:
+            return
+        with self._lock:
+            if self._region is None:
+                self._region = region
+            else:
+                self._region = merge_regions(self._region, region)
+
+    def take(self):
+        with self._lock:
+            region, self._region = self._region, None
+            return region
 
 
 @dataclass
@@ -166,10 +239,13 @@ class AdaptiveDesigner:
     def recommend(self) -> TuningDecision:
         """Advise on the recorded workload without changing anything."""
         mix, p_up = self.recorder.to_mix()
-        profile = self.measured_profile()
-        advisor = DesignAdvisor(profile)
-        best = advisor.best(mix, p_up)
-        current_cost = self._cost_of_current(advisor, mix, p_up)
+        # Profiling walks the live object graph; hold the read side so a
+        # concurrent update transaction cannot tear the measurement.
+        with self.manager.shared():
+            profile = self.measured_profile()
+            advisor = DesignAdvisor(profile)
+            best = advisor.best(mix, p_up)
+            current_cost = self._cost_of_current(advisor, mix, p_up)
         should_switch = (
             best.cost * self.improvement_threshold < current_cost
             and not self._is_current(best)
@@ -177,25 +253,75 @@ class AdaptiveDesigner:
         return TuningDecision(current_cost, best, should_switch)
 
     def retune(self) -> TuningDecision:
-        """Recommend and, when clearly better, re-materialize the ASR."""
+        """Recommend and, when clearly better, re-materialize the ASR.
+
+        Safe under concurrency: see the module docstring.  The old ASR
+        keeps serving readers throughout the bulk build and is only
+        replaced — atomically, with one epoch bump — once the
+        replacement has absorbed every update that landed mid-build.
+        Any failure along the way leaves the old ASR registered and
+        consistent (rollback by construction: nothing was dropped yet).
+        """
         decision = self.recommend()
+        self.apply(decision)
+        return decision
+
+    def apply(self, decision: TuningDecision) -> bool:
+        """Re-materialize per an already-made decision; True when applied.
+
+        The :class:`~repro.resilience.advisor.AdvisorLoop` separates
+        deciding (its own hysteresis/cooldown gates on top of
+        :meth:`recommend`) from acting; this is the acting half.
+        """
         if decision.retuned and decision.best.extension is not None:
-            # The cost model's decomposition indices are type indices
-            # (m = n); translate the borders to ASR column indices.
-            column_borders = tuple(
-                self.asr.path.column_of(border)
-                for border in decision.best.decomposition.borders
-            )
+            self._rematerialize(decision.best)
+            return True
+        return False
+
+    def _rematerialize(self, best: DesignChoice) -> AccessSupportRelation:
+        # The cost model's decomposition indices are type indices
+        # (m = n); translate the borders to ASR column indices.
+        column_borders = tuple(
+            self.asr.path.column_of(border)
+            for border in best.decomposition.borders
+        )
+        injector = self.manager._injector()
+        observer = _CatchUpObserver(self.manager.db, self.asr.path)
+        self.manager.db.subscribe(observer)
+        try:
+            reach(injector, "asr.retune.build")
             replacement = AccessSupportRelation.build(
                 self.manager.db,
                 self.asr.path,
-                decision.best.extension,
+                best.extension,
                 Decomposition(column_borders),
             )
-            self.manager.drop(self.asr)
-            self.manager.register(replacement)
-            self.asr = replacement
-        return decision
+            with self.manager.exclusive():
+                # Mutators need this lock, so no further events can
+                # interleave between catch-up and swap.
+                self.manager.db.unsubscribe(observer)
+                region = observer.take()
+                if region:
+                    added, removed = neighbourhood_delta(
+                        self.manager.db,
+                        self.asr.path,
+                        replacement.extension,
+                        replacement.extension_relation,
+                        region,
+                    )
+                    replacement.apply_delta(added, removed, None)
+                reach(injector, "asr.retune.register")
+                self.manager.replace(self.asr, replacement)
+        finally:
+            # On the success path the observer is already gone; on any
+            # failure this is the whole rollback — the old ASR was never
+            # dropped, so it is still registered, consistent, serving.
+            try:
+                self.manager.db.unsubscribe(observer)
+            except ValueError:
+                pass
+        self.asr = replacement
+        return replacement
 
     # ------------------------------------------------------------------
 
@@ -206,18 +332,46 @@ class AdaptiveDesigner:
         )
 
     def _type_borders(self) -> tuple[int, ...]:
-        """The current decomposition expressed over type indices."""
-        borders = []
-        for column in self.asr.decomposition.borders:
-            borders.append(self.asr.path.type_index_of_column(column))
+        """The current decomposition expressed over type indices.
+
+        A set-valued step owns two ASR columns (collection OID and
+        element) that map to the same type index, so when *both* appear
+        as decomposition borders the type-level view is strictly coarser
+        than the physical design — the cost model prices one fewer
+        partition than actually materialized.  That collapse is logged
+        rather than silent, so a mispriced current design is visible in
+        the advisor's output instead of quietly skewing decisions.
+        """
+        columns = tuple(dict.fromkeys(self.asr.decomposition.borders))
+        borders = tuple(
+            self.asr.path.type_index_of_column(column) for column in columns
+        )
         unique = tuple(dict.fromkeys(borders))
+        if len(unique) != len(borders):
+            collapsed = tuple(
+                column
+                for column, border in zip(columns, borders)
+                if borders.count(border) > 1
+            )
+            _logger.warning(
+                "decomposition columns %s of %s collapse to type borders "
+                "%s; the cost model prices a coarser decomposition than "
+                "the one materialized",
+                collapsed,
+                self.asr.path,
+                unique,
+            )
         return unique
 
     def _is_current(self, choice: DesignChoice) -> bool:
         if choice.extension is None:
             return False
+        # Compare by value, not identity: advisors constructed per-sweep
+        # hand back fresh DesignChoice objects, and an identity compare
+        # would report "not current" forever — oscillating the designer
+        # into re-materializing the same design on every sweep.
         return (
-            choice.extension is self.asr.extension
+            choice.extension == self.asr.extension
             and choice.decomposition is not None
             and choice.decomposition.borders == self._type_borders()
         )

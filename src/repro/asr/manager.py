@@ -252,6 +252,34 @@ class ASRManager:
             self._journals.pop(id(asr), None)
             self._epoch += 1
 
+    def replace(
+        self, old: AccessSupportRelation, new: AccessSupportRelation
+    ) -> None:
+        """Atomically swap ``old`` for ``new`` in one exclusive section.
+
+        The re-materialization primitive: unlike a ``drop`` followed by a
+        ``register`` (two separate exclusive sections), no reader can
+        ever observe the gap where neither ASR is registered, and the
+        configuration version moves by exactly **one** epoch bump — so
+        compiled-plan caches invalidate once, not twice.  ``old``'s
+        pending regions and outstanding journal die with it; ``new`` is
+        adopted as consistent.  Raises :class:`ObjectBaseError` (and
+        changes nothing) when ``old`` is not registered, which makes the
+        caller's rollback trivial: build failures before this call leave
+        ``old`` serving untouched.
+        """
+        with self.lock.write():
+            try:
+                index = self.asrs.index(old)
+            except ValueError:
+                raise ObjectBaseError(
+                    "ASR is not registered with this manager"
+                ) from None
+            self.asrs[index] = new
+            self._pending.pop(id(old), None)
+            self._journals.pop(id(old), None)
+            self._epoch += 1
+
     def find(
         self, path: PathExpression, extension: Extension | None = None
     ) -> list[AccessSupportRelation]:

@@ -54,6 +54,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.asr.adaptive import WorkloadRecorder
 from repro.asr.extensions import Extension
 from repro.asr.manager import ASRManager
 from repro.concurrency import ContextPool, ThreadLocalContexts
@@ -243,6 +244,11 @@ class ServeWorld:
     queries: QueryService
     #: Per-request tracing front door (DESIGN §14); disabled by default.
     tracer: Tracer
+    #: The live op mix over the chain path, fed by every executed
+    #: operation on both cores and by ``POST /query`` — what the
+    #: :class:`~repro.resilience.advisor.AdvisorLoop` re-costs designs
+    #: against.  Thread-safe; recording is a couple of dict bumps.
+    recorder: WorkloadRecorder
 
     def stream(self) -> list[Operation]:
         """The seeded operation stream this world's config describes."""
@@ -314,8 +320,18 @@ def build_world(
         capacity=config.trace_capacity,
         seed=config.seed,
     )
+    recorder = WorkloadRecorder(generated.path)
     return ServeWorld(
-        config, registry, generated, manager, pool, drift, breakers, queries, tracer
+        config,
+        registry,
+        generated,
+        manager,
+        pool,
+        drift,
+        breakers,
+        queries,
+        tracer,
+        recorder,
     )
 
 
@@ -347,9 +363,13 @@ def execute_operation(
     manager, drift = world.manager, world.drift
     if op.kind == "query":
         result = planner.execute(op.query, evaluator, trace=trace)
+        world.recorder.record_query(op.query.i, op.query.j, op.query.kind)
         return result.total_pages
     if op.kind == "select":
         outcome = world.queries.execute(op.text, context=context, trace=trace)
+        # A textual select resolves anchors from terminal values — the
+        # chain-path shape of a full backward traversal.
+        world.recorder.record_query(0, world.recorder.path.n, "bw")
         return outcome.report.total_pages
     with manager.exclusive():
         with maybe_span(trace, "apply_update+maintain", "execute"):
@@ -357,6 +377,7 @@ def execute_operation(
             apply_update(world.generated, op)
             pages = manager.context.stats.delta_since(before).total
     drift.observe_update(op.level, manager.asrs, pages)
+    world.recorder.record_update(op.level)
     return pages
 
 

@@ -73,11 +73,26 @@ Commands
     end state; exit 0 iff the end state is consistent, accounting
     holds, and ``/healthz`` answered 200.
 
+``bench advisor [--advisor-interval SEC] [--advisor-threshold G]
+[--advisor-min-ops N] [--phase-seconds SEC] [--out BENCH_advisor.json]``
+    The SLO-gated self-tuning soak (:mod:`repro.bench.advisor`): one
+    daemon serves a query-heavy stream while the background
+    :class:`AdvisorLoop` re-costs the chain ASR's design against the
+    measured mix; mid-run the stream shifts update-heavy.  Gates — the
+    loop converges to the cost-model-preferred design in each phase
+    within two decisive sweeps, an injected build failure rolls back
+    without losing the ASR or bumping the epoch, each applied retune
+    bumps the epoch exactly once and the first post-retune ``POST
+    /query`` recompiles (no stale-epoch cache hit), ``/healthz`` stays
+    200 throughout, and the end state is consistent.  Exit 0 iff all
+    gates hold.
+
 ``serve [--port P] [--clients N] [--async] [--max-inflight M]
 [--io-dist D] [--profile fig14|fig16|queries] [--ops K]
 [--query-fraction F] [--query-cache-size Z] [--drift-interval SEC]
 [--chaos-rate R] [--op-deadline-ms D] [--shed-backoff-ms B]
 [--healer-interval SEC] [--no-healer]
+[--advisor-interval SEC] [--advisor-threshold G] [--advisor-dry-run]
 [--trace-sample-rate R] [--slow-trace-ms MS] [--trace-capacity N]
 [--out BENCH_serve.json] [--addr-file F]``
     Run the long-lived serving daemon (:mod:`repro.server`): the seeded
@@ -104,6 +119,14 @@ Commands
     after a full-queue shed.  Per-ASR circuit breakers open after
     repeated faults and route queries to the degraded GOM traversal
     until a half-open probe heals them (:mod:`repro.resilience`).
+    With ``--advisor-interval`` > 0 a background :class:`AdvisorLoop`
+    re-costs the chain ASR's (extension, decomposition) against the
+    live measured op mix every sweep and — past the hysteresis
+    ``--advisor-threshold``, an evidence floor and a cooldown —
+    re-materializes it online (one atomic swap, one epoch bump, the
+    compiled-plan cache invalidates itself); ``GET /advisor`` exposes
+    the loop's verdict history and ``--advisor-dry-run`` decides
+    without acting.
 
 ``stats [--in BENCH_serve.json] [--json] [--prometheus]``
     Render the telemetry embedded in a serve report: the accounting
@@ -217,6 +240,48 @@ def _add_resilience_options(parser) -> None:
         action="store_false",
         help="disable the background healer (quarantined ASRs then wait "
         "for 'repro doctor --repair')",
+    )
+
+
+def _add_advisor_options(parser) -> None:
+    """The self-tuning knobs ``bench advisor`` and ``serve`` share."""
+    parser.add_argument(
+        "--advisor-interval",
+        type=float,
+        default=0.0,
+        help="seconds between background advisor sweeps re-costing the "
+        "chain ASR's (extension, decomposition) against the measured op "
+        "mix (0 disables the advisor; bench advisor defaults to 0.25)",
+    )
+    parser.add_argument(
+        "--advisor-threshold",
+        type=float,
+        default=None,
+        help="hysteresis: predicted gain (current cost / best cost) a "
+        "retune must clear before the ASR is re-materialized "
+        "(serve default: 1.2; bench advisor default: 1.05 — its "
+        "update-heavy phase's materialized winner is a close call)",
+    )
+    parser.add_argument(
+        "--advisor-min-ops",
+        type=int,
+        default=32,
+        help="evidence floor: recorded operations a sweep needs before "
+        "the measured mix is trusted",
+    )
+    parser.add_argument(
+        "--advisor-dry-run",
+        action="store_true",
+        help="decide but never touch the physical design (what *would* "
+        "have been retuned shows up in GET /advisor)",
+    )
+    parser.add_argument(
+        "--advisor-drift-calibration",
+        action="store_true",
+        help="scale the current design's cost by the drift monitor's "
+        "observed/predicted ratio before the hysteresis gate (off by "
+        "default: a cached pool under-runs the model for every design, "
+        "so one-sided calibration suppresses earned retunes)",
     )
 
 
@@ -407,14 +472,23 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench", help="runtime benchmarks (beyond the paper's page counts)"
     )
-    bench.add_argument("action", choices=["serve", "chaos"], help="which benchmark")
+    bench.add_argument(
+        "action", choices=["serve", "chaos", "advisor"], help="which benchmark"
+    )
     _add_serve_workload_options(
         bench,
         ops_help="operations to replay (chaos: per client-loop pass)",
         out_help="where to write the JSON report "
-        "(chaos default: BENCH_chaos.json)",
+        "(chaos default: BENCH_chaos.json; advisor: BENCH_advisor.json)",
     )
     _add_resilience_options(bench)
+    _add_advisor_options(bench)
+    bench.add_argument(
+        "--phase-seconds",
+        type=float,
+        default=20.0,
+        help="bench advisor: wall-clock cap on each convergence phase",
+    )
     bench.add_argument(
         "--soak-ops",
         type=int,
@@ -471,6 +545,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the bound host:port here once listening",
     )
     _add_resilience_options(serve)
+    _add_advisor_options(serve)
 
     stats = commands.add_parser(
         "stats", help="render the telemetry embedded in a serve report"
@@ -898,12 +973,86 @@ def _cmd_bench_chaos(args, out) -> int:
     return 0 if end_ok and healthz["status"] == 200 else 1
 
 
+def _cmd_bench_advisor(args, out) -> int:
+    from repro.bench.advisor import AdvisorBenchConfig, run_advisor, write_report
+
+    out_path = args.out
+    if out_path == Path("BENCH_serve.json"):  # the shared default
+        out_path = Path("BENCH_advisor.json")
+    config = AdvisorBenchConfig(
+        serve=_serve_config_from(args),
+        advisor_interval=(
+            args.advisor_interval if args.advisor_interval > 0 else 0.25
+        ),
+        advisor_threshold=(
+            args.advisor_threshold if args.advisor_threshold is not None else 1.05
+        ),
+        advisor_min_ops=args.advisor_min_ops,
+        phase_seconds=args.phase_seconds,
+        out=str(out_path),
+    )
+    report = run_advisor(config)
+    write_report(report, str(out_path))
+    advisor = report["advisor"]
+    for phase in report["phases"]:
+        line = (
+            f"phase {phase['name']}: "
+            f"{'converged' if phase['converged'] else 'DID NOT CONVERGE'} "
+            f"in {phase['seconds']:.1f}s"
+        )
+        if phase.get("design"):
+            design = phase["design"]
+            line += f" -> {design['extension']} dec={design['decomposition']}"
+        if "decisive_sweeps" in phase:
+            line += f" ({phase['decisive_sweeps']} decisive sweep(s))"
+        print(line, file=out)
+    rollback = report["rollback"]
+    print(
+        f"rollback: build failure "
+        f"{'left the old design serving' if rollback['ok'] else 'LOST THE ASR'} "
+        f"(asrs {rollback['asrs_before']} -> {rollback['asrs_after']}, "
+        f"epoch {rollback['epoch_before']} -> {rollback['epoch_after']})",
+        file=out,
+    )
+    epochs = report["epoch_proof"]
+    print(
+        f"epoch proof: retune bumped {epochs['before']} -> {epochs['after']}; "
+        f"post-retune plan {'recompiled' if epochs['post_retune_miss'] else 'SERVED STALE'} "
+        f"at epoch {epochs['post_retune_epoch']}",
+        file=out,
+    )
+    print(
+        f"advisor: {advisor['sweeps']} sweep(s), {advisor['retunes']} "
+        f"retune(s), rejected {advisor['rejected']}",
+        file=out,
+    )
+    healthz = report["healthz"]
+    end = report["end_state"]
+    print(
+        f"healthz: {healthz['probes']} probe(s), all 200: {healthz['all_ok']}; "
+        f"end state {'consistent' if end['consistent'] else 'QUARANTINED'}; "
+        f"accounting {'consistent' if end['accounting_ok'] else 'INCONSISTENT'}",
+        file=out,
+    )
+    print(f"report -> {out_path}", file=out)
+    return 0 if report["ok"] else 1
+
+
 def _cmd_bench(args, out) -> int:
     if args.action == "chaos":
         return _cmd_bench_chaos(args, out)
+    if args.action == "advisor":
+        return _cmd_bench_advisor(args, out)
     if args.chaos_rate > 0.0:
         print(
             "error: chaos injection applies to 'bench chaos' and 'serve', "
+            "not 'bench serve'",
+            file=out,
+        )
+        return 2
+    if args.advisor_interval > 0.0:
+        print(
+            "error: the advisor loop applies to 'bench advisor' and 'serve', "
             "not 'bench serve'",
             file=out,
         )
@@ -968,6 +1117,13 @@ def _cmd_serve(args, out) -> int:
         healer=args.healer,
         healer_interval=args.healer_interval,
         chaos=_chaos_config_from(args),
+        advisor_interval=args.advisor_interval,
+        advisor_threshold=(
+            args.advisor_threshold if args.advisor_threshold is not None else 1.2
+        ),
+        advisor_min_ops=args.advisor_min_ops,
+        advisor_dry_run=args.advisor_dry_run,
+        advisor_drift_calibration=args.advisor_drift_calibration,
     )
     return ServeDaemon(config).run(out=out)
 

@@ -38,6 +38,10 @@ The crash-point names currently instrumented:
                          journalled neighbourhood
 ``asr.recover.reload``   recovery is about to reload the partitions
                          from the healed logical relation
+``asr.retune.build``     the adaptive designer is about to bulk-build a
+                         replacement ASR (old one still serving)
+``asr.retune.register``  the replacement is built and caught up; the
+                         atomic swap has not happened yet
 ======================  ================================================
 """
 
@@ -62,6 +66,8 @@ KNOWN_CRASH_POINTS = (
     "asr.flush.post-delta",
     "asr.recover.replay",
     "asr.recover.reload",
+    "asr.retune.build",
+    "asr.retune.register",
 )
 
 

@@ -48,6 +48,12 @@ registry either way:
     planning until maintenance or recovery bumps the epoch.  Parse and
     validation failures return a structured 400
     (``{"error": {"kind": …, "message": …}}``).
+``GET /advisor``
+    The adaptive-design loop's state (DESIGN §15): sweeps, applied and
+    rejected retunes (by reason), the current (extension,
+    decomposition), the last decision with its predicted gain, and the
+    recent retune history.  ``{"enabled": false}`` when the daemon runs
+    without ``--advisor-interval``.
 ``GET /trace/recent`` / ``GET /trace/<id>``
     The retained request traces (DESIGN §14): with tracing enabled
     (``--trace-sample-rate`` / ``--slow-trace-ms``) every front-door
@@ -131,7 +137,14 @@ from repro.errors import (
 from repro.faults import FaultInjector
 from repro.query.evaluator import QueryEvaluator
 from repro.query.planner import Planner
-from repro.resilience import ChaosConfig, ChaosController, HealerLoop, RecoveryPolicy
+from repro.asr.adaptive import AdaptiveDesigner
+from repro.resilience import (
+    AdvisorLoop,
+    ChaosConfig,
+    ChaosController,
+    HealerLoop,
+    RecoveryPolicy,
+)
 from repro.telemetry.tracing import activate
 from repro.workload.opstream import Operation
 
@@ -170,6 +183,26 @@ class ServerConfig:
     #: enabled the manager's ``auto_recover`` is turned off so the
     #: healer — not the flush path — owns every recovery.
     chaos: ChaosConfig | None = None
+    #: Seconds between :class:`~repro.resilience.advisor.AdvisorLoop`
+    #: sweeps re-costing the chain ASR's (extension, decomposition)
+    #: against the measured op mix; 0 disables the loop entirely.
+    advisor_interval: float = 0.0
+    #: Hysteresis: predicted gain (current cost / best cost) a candidate
+    #: design must clear before a retune is applied.
+    advisor_threshold: float = 1.2
+    #: Seconds between applied retunes (``None`` = two sweep intervals).
+    advisor_cooldown: float | None = None
+    #: Recorded operations required before a sweep's mix is trusted.
+    advisor_min_ops: int = 32
+    #: Decide-but-don't-act mode: the loop records what it *would* have
+    #: retuned (``GET /advisor``) without touching the physical design.
+    advisor_dry_run: bool = False
+    #: Scale the current design's cost by the drift monitor's
+    #: observed/predicted ratio before the hysteresis gate.  Off by
+    #: default: on a cached pool the observed side under-runs the model
+    #: for *every* design, so one-sided calibration suppresses retunes
+    #: the candidate would have earned just as much.
+    advisor_drift_calibration: bool = False
 
 
 class ServeDaemon:
@@ -210,6 +243,8 @@ class ServeDaemon:
         # --- resilience layer (DESIGN §13) ---
         self._healer: HealerLoop | None = None
         self._chaos: ChaosController | None = None
+        # --- adaptive physical design (DESIGN §15) ---
+        self._advisor: AdvisorLoop | None = None
         #: Consecutive admission sheds (mutated only on the loop thread;
         #: read by gauges).
         self._shed_streak = 0
@@ -295,6 +330,33 @@ class ServeDaemon:
                 breakers=self.world.breakers,
                 seed=config.serve.seed,
             ).start()
+        if config.advisor_interval > 0:
+            # The advisor manages the chain ASR — the one every profile
+            # replays Q_{i,j} queries and ins_i updates against.  (The
+            # "queries" profile's payload-path ASR stays as built: the
+            # recorder has no per-range evidence for it.)
+            chain_asr = manager.find(self.world.generated.path)[0]
+            designer = AdaptiveDesigner(
+                manager,
+                chain_asr,
+                self.world.recorder,
+                improvement_threshold=config.advisor_threshold,
+            )
+            self._advisor = AdvisorLoop(
+                designer,
+                interval=config.advisor_interval,
+                threshold=config.advisor_threshold,
+                cooldown=config.advisor_cooldown,
+                min_ops=config.advisor_min_ops,
+                dry_run=config.advisor_dry_run,
+                registry=registry,
+                tracer=self.world.tracer,
+                drift=(
+                    self.world.drift
+                    if config.advisor_drift_calibration
+                    else None
+                ),
+            ).start()
 
     @property
     def healer(self) -> HealerLoop | None:
@@ -303,6 +365,10 @@ class ServeDaemon:
     @property
     def chaos(self) -> ChaosController | None:
         return self._chaos
+
+    @property
+    def advisor(self) -> AdvisorLoop | None:
+        return self._advisor
 
     def _start_async_core(self) -> None:
         """Launch the event-loop serving core (``--async`` mode)."""
@@ -363,6 +429,12 @@ class ServeDaemon:
             return self._report
         if self._chaos is not None:
             self._chaos.stop()
+        if self._advisor is not None:
+            # Before the serving core quiesces: a retune started now
+            # would hold the write lock against the drain's own flush.
+            # stop() joins the sweep thread, so any in-flight retune
+            # completes (or rolls back) before the drain proceeds.
+            self._advisor.stop()
         self._stop.set()
         for thread in self._clients:
             thread.join()
@@ -420,6 +492,9 @@ class ServeDaemon:
                 "host": host,
                 "port": port,
                 "drift_interval": config.drift_interval,
+                "advisor_interval": config.advisor_interval,
+                "advisor_threshold": config.advisor_threshold,
+                "advisor_dry_run": config.advisor_dry_run,
             },
             "device": config.serve.latency_model().describe(),
             "admission_rejected": int(
@@ -438,6 +513,7 @@ class ServeDaemon:
             "query_cache": world.queries.cache.describe(),
             "tracing": world.tracer.describe(),
             "accounting": accounting,
+            "advisor": self._advisor.describe() if self._advisor else None,
             "resilience": {
                 "healer": self._healer.describe() if self._healer else None,
                 "chaos": self._chaos.describe() if self._chaos else None,
@@ -525,7 +601,21 @@ class ServeDaemon:
         with self._index_lock:
             index = self._op_index
             self._op_index += 1
-        return self._stream[index % len(self._stream)]
+            stream = self._stream
+        return stream[index % len(stream)]
+
+    def set_stream(self, stream: list[Operation]) -> None:
+        """Swap the replayed stream mid-run (the advisor soak's mix shift).
+
+        Clients pick up the new stream on their next ``_next_op``; an
+        operation already mid-flight finishes against the old mix, which
+        is exactly the boundary a live workload shift has.
+        """
+        if not stream:
+            raise ValueError("replacement stream must be non-empty")
+        with self._index_lock:
+            self._stream = list(stream)
+            self._op_index = 0
 
     def _client_loop(self, k: int) -> None:
         world = self.world
@@ -778,6 +868,9 @@ class ServeDaemon:
             "healing": healing,
             "quarantined_hard": hard_down,
             "healer": healer_info,
+            "advisor": (
+                self._advisor.describe() if self._advisor is not None else None
+            ),
             "breakers": world.breakers.describe(),
             "chaos": self._chaos.describe() if self._chaos is not None else None,
             "deadline_shed": int(world.registry.counter_value("deadline.shed")),
@@ -818,7 +911,17 @@ class ServeDaemon:
         world.registry.inc(
             "serve.queries", cached="true" if outcome.cached else "false"
         )
+        # The front door feeds the advisor's measured mix too: a textual
+        # select resolves anchors from terminal values — a full backward
+        # traversal in chain-path shape.
+        world.recorder.record_query(0, world.recorder.path.n, "bw")
         return outcome
+
+    def advisor_payload(self) -> dict:
+        """The ``GET /advisor`` payload (``{"enabled": false}`` when off)."""
+        if self._advisor is None:
+            return {"enabled": False}
+        return {"enabled": True, **self._advisor.describe()}
 
     def stats_payload(self) -> dict:
         """The ``/stats`` payload — the ``repro stats --json`` triple."""
@@ -889,6 +992,8 @@ def _make_handler(daemon: ServeDaemon) -> type:
                     self._send_json(200 if ok else 503, payload)
                 elif path == "/stats":
                     self._send_json(200, daemon.stats_payload())
+                elif path == "/advisor":
+                    self._send_json(200, daemon.advisor_payload())
                 elif path == "/trace/recent":
                     limit = 50
                     for part in query_string.split("&"):
@@ -996,7 +1101,7 @@ def _make_handler(daemon: ServeDaemon) -> type:
 def _endpoint_label(path: str) -> str:
     """The bounded-cardinality ``endpoint`` label for one request path."""
     path = path.partition("?")[0]
-    if path in ("/metrics", "/healthz", "/stats", "/query", "/trace/recent"):
+    if path in ("/metrics", "/healthz", "/stats", "/advisor", "/query", "/trace/recent"):
         return path
     if path.startswith("/trace/"):
         return "/trace/:id"
@@ -1008,6 +1113,7 @@ _ENDPOINTS = [
     "/metrics",
     "/healthz",
     "/stats",
+    "/advisor",
     "/trace/recent",
     "/trace/<id>",
     "POST /query",

@@ -1,16 +1,21 @@
 """Self-adjusting physical design: recorder + adaptive designer."""
 
+import logging
+import threading
+
 import pytest
 
 from repro.asr import (
     ASRManager,
+    AccessSupportRelation,
     AdaptiveDesigner,
     Decomposition,
     Extension,
     WorkloadRecorder,
 )
 from repro.costmodel import ApplicationProfile
-from repro.errors import CostModelError
+from repro.errors import CostModelError, InjectedFault, SimulatedCrash
+from repro.faults import FaultInjector
 from repro.workload import ChainGenerator
 
 PROFILE = ApplicationProfile(
@@ -147,3 +152,161 @@ class TestAdaptiveDesigner:
         recorder = WorkloadRecorder(generated.path)
         with pytest.raises(CostModelError):
             AdaptiveDesigner(manager, asr, recorder, improvement_threshold=0.5)
+
+    def test_stable_workload_does_not_oscillate(self, world):
+        """Regression: two consecutive ``recommend()`` calls on a stable
+        workload must not keep requesting a switch.
+
+        ``_is_current`` used to compare the advisor's ``DesignChoice``
+        by identity; every sweep builds a fresh advisor, so the current
+        design never looked current and the designer re-materialized
+        the *same* design forever.
+        """
+        generated, manager = world
+        path = generated.path
+        asr = manager.create(path, Extension.RIGHT, Decomposition.binary(path.m))
+        recorder = WorkloadRecorder(path)
+        for _ in range(50):
+            recorder.record_query(0, 2, "bw")
+        recorder.record_update(0, count=2)
+        designer = AdaptiveDesigner(manager, asr, recorder, SIZES)
+        assert designer.retune().retuned  # moves off the poor design once
+        first = designer.recommend()
+        second = designer.recommend()
+        assert not first.retuned
+        assert not second.retuned
+
+    def test_retune_bumps_epoch_exactly_once(self, world):
+        generated, manager = world
+        path = generated.path
+        asr = manager.create(path, Extension.RIGHT, Decomposition.binary(path.m))
+        recorder = WorkloadRecorder(path)
+        for _ in range(50):
+            recorder.record_query(0, 2, "bw")
+        designer = AdaptiveDesigner(manager, asr, recorder, SIZES)
+        epoch_before = manager.epoch
+        assert designer.retune().retuned
+        assert manager.epoch == epoch_before + 1
+        assert len(manager.asrs) == 1
+
+
+class TestRetuneRollback:
+    """A retune that dies at any point leaves the old design serving."""
+
+    def scenario(self):
+        generated = ChainGenerator(seed=19).generate(PROFILE)
+        injector = FaultInjector(seed=0)
+        manager = ASRManager(generated.db, fault_injector=injector)
+        path = generated.path
+        asr = manager.create(path, Extension.RIGHT, Decomposition.binary(path.m))
+        recorder = WorkloadRecorder(path)
+        for _ in range(50):
+            recorder.record_query(0, 2, "bw")
+        designer = AdaptiveDesigner(manager, asr, recorder, SIZES)
+        return generated, injector, manager, asr, designer
+
+    def assert_rolled_back(self, manager, asr, designer, epoch_before):
+        assert manager.asrs == [asr]  # never dropped, never replaced
+        assert designer.asr is asr
+        assert manager.epoch == epoch_before
+        manager.check_consistency()
+        # The old design still maintains: the db event hook chain (the
+        # catch-up observer must be unsubscribed) is intact.
+        decision = designer.retune()
+        assert decision.retuned
+        manager.check_consistency()
+
+    def test_build_failure_rolls_back(self):
+        generated, injector, manager, asr, designer = self.scenario()
+        injector.fault_at("asr.retune.build", times=1)
+        epoch_before = manager.epoch
+        with pytest.raises(InjectedFault):
+            designer.retune()
+        self.assert_rolled_back(manager, asr, designer, epoch_before)
+
+    def test_register_crash_rolls_back(self):
+        generated, injector, manager, asr, designer = self.scenario()
+        injector.crash_at("asr.retune.register")
+        epoch_before = manager.epoch
+        with pytest.raises(SimulatedCrash):
+            designer.retune()
+        injector.disarm()
+        self.assert_rolled_back(manager, asr, designer, epoch_before)
+
+
+class TestOnlineRetune:
+    def test_update_landing_mid_build_is_caught_up(self, world, monkeypatch):
+        """An update that lands after the replacement's bulk-build
+        snapshot must be absorbed by the catch-up delta before the swap.
+        """
+        generated, manager = world
+        db, path = generated.db, generated.path
+        asr = manager.create(path, Extension.RIGHT, Decomposition.binary(path.m))
+        recorder = WorkloadRecorder(path)
+        for _ in range(50):
+            recorder.record_query(0, 2, "bw")
+        designer = AdaptiveDesigner(manager, asr, recorder, SIZES)
+
+        real_build = AccessSupportRelation.build.__func__
+        owner = generated.layers[0][0]
+        collection = db.attr(owner, "A")
+        element = generated.layers[1][1]
+
+        def build_then_mutate(cls, *args, **kwargs):
+            replacement = real_build(cls, *args, **kwargs)
+            # The replacement's rows are now frozen; this mutation is
+            # visible only to the catch-up observer.
+            db.set_insert(collection, element)
+            return replacement
+
+        monkeypatch.setattr(
+            AccessSupportRelation, "build", classmethod(build_then_mutate)
+        )
+        decision = designer.retune()
+        monkeypatch.undo()
+        assert decision.retuned
+        assert designer.asr is not asr
+        manager.check_consistency()  # replacement matches a fresh rebuild
+
+
+class TestTypeBorders:
+    def test_collapsing_borders_are_logged(self, world, caplog):
+        """A set-valued step's two columns share a type index; when both
+        are decomposition borders the cost model prices a coarser design
+        — loudly, not silently."""
+        generated, manager = world
+        path = generated.path
+        asr = manager.create(path, Extension.FULL, Decomposition.binary(path.m))
+        recorder = WorkloadRecorder(path)
+        designer = AdaptiveDesigner(manager, asr, recorder, SIZES)
+        with caplog.at_level(logging.WARNING, logger="repro.adaptive"):
+            borders = designer._type_borders()
+        assert len(borders) == len(set(borders))  # deduped
+        assert any("coarser" in record.message for record in caplog.records)
+
+
+class TestRecorderThreadSafety:
+    def test_concurrent_recording_loses_nothing(self, world):
+        generated, _manager = world
+        recorder = WorkloadRecorder(generated.path)
+        threads, per_thread = 8, 500
+        start = threading.Barrier(threads)
+
+        def hammer(k):
+            start.wait()
+            for _ in range(per_thread):
+                if k % 2:
+                    recorder.record_query(0, 2, "bw")
+                else:
+                    recorder.record_update(1)
+
+        workers = [
+            threading.Thread(target=hammer, args=(k,)) for k in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert recorder.total_operations == threads * per_thread
+        assert recorder.total_queries == (threads // 2) * per_thread
+        assert recorder.total_updates == (threads // 2) * per_thread
