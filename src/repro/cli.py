@@ -94,7 +94,7 @@ Commands
 [--healer-interval SEC] [--no-healer]
 [--advisor-interval SEC] [--advisor-threshold G] [--advisor-dry-run]
 [--trace-sample-rate R] [--slow-trace-ms MS] [--trace-capacity N]
-[--out BENCH_serve.json] [--addr-file F]``
+[--out BENCH_serve_daemon.json] [--addr-file F]``
     Run the long-lived serving daemon (:mod:`repro.server`): the seeded
     operation stream replays in a loop — on client threads, or with
     ``--async`` on an event loop behind a bounded admission queue that
@@ -900,13 +900,23 @@ def _cmd_doctor(args, out) -> int:
     return 0 if report["ok"] else 1
 
 
+def _redirect_shared_out(out_path: Path, fallback: str) -> Path:
+    """Steer the shared ``--out`` default away from the bench-serve baseline.
+
+    ``BENCH_serve.json`` is the committed baseline CI compares against;
+    only an explicit non-default ``--out`` (or ``bench serve`` itself,
+    which owns that path) may write it.
+    """
+    if out_path == Path("BENCH_serve.json"):
+        return Path(fallback)
+    return out_path
+
+
 def _cmd_bench_chaos(args, out) -> int:
     from repro.bench.chaos import ChaosBenchConfig, run_chaos, write_report
     from repro.resilience import ChaosConfig
 
-    out_path = args.out
-    if out_path == Path("BENCH_serve.json"):  # the shared default
-        out_path = Path("BENCH_chaos.json")
+    out_path = _redirect_shared_out(args.out, "BENCH_chaos.json")
     # A soak with no chaos is pointless; default to a real storm.
     chaos = _chaos_config_from(args) or ChaosConfig(rate=0.25, seed=args.seed)
     config = ChaosBenchConfig(
@@ -976,9 +986,7 @@ def _cmd_bench_chaos(args, out) -> int:
 def _cmd_bench_advisor(args, out) -> int:
     from repro.bench.advisor import AdvisorBenchConfig, run_advisor, write_report
 
-    out_path = args.out
-    if out_path == Path("BENCH_serve.json"):  # the shared default
-        out_path = Path("BENCH_advisor.json")
+    out_path = _redirect_shared_out(args.out, "BENCH_advisor.json")
     config = AdvisorBenchConfig(
         serve=_serve_config_from(args),
         advisor_interval=(
@@ -1107,12 +1115,13 @@ def _cmd_bench(args, out) -> int:
 def _cmd_serve(args, out) -> int:
     from repro.server import ServeDaemon, ServerConfig
 
+    out_path = _redirect_shared_out(args.out, "BENCH_serve_daemon.json")
     config = ServerConfig(
         serve=_serve_config_from(args),
         host=args.host,
         port=args.port,
         drift_interval=args.drift_interval,
-        out=str(args.out),
+        out=str(out_path),
         addr_file=str(args.addr_file) if args.addr_file is not None else None,
         healer=args.healer,
         healer_interval=args.healer_interval,

@@ -163,8 +163,11 @@ class ServerConfig:
     port: int = 8000
     #: Seconds between drift/accounting re-publications.
     drift_interval: float = 5.0
-    #: Where the final drain report is written.
-    out: str = "BENCH_serve.json"
+    #: Where the final drain report is written.  Deliberately *not*
+    #: ``BENCH_serve.json``: that path is the committed bench-serve
+    #: baseline CI compares against, and a daemon drain must never
+    #: overwrite it.
+    out: str = "BENCH_serve_daemon.json"
     #: Optional file the daemon writes ``host:port`` into once bound —
     #: how tests and the CI smoke job discover an ephemeral port.
     addr_file: str | None = None

@@ -243,6 +243,28 @@ class TestBenchServe:
         with pytest.raises(SystemExit):
             run_cli("bench", "serve", "--io-dist", "tape")
 
+    def test_shared_out_default_redirected_off_the_baseline(self):
+        # BENCH_serve.json is the committed bench-serve baseline; every
+        # other subcommand sharing the --out default must steer clear.
+        from pathlib import Path
+
+        from repro.cli import _redirect_shared_out
+
+        default = Path("BENCH_serve.json")
+        assert _redirect_shared_out(default, "BENCH_serve_daemon.json") == Path(
+            "BENCH_serve_daemon.json"
+        )
+        assert _redirect_shared_out(default, "BENCH_chaos.json") == Path(
+            "BENCH_chaos.json"
+        )
+        explicit = Path("/tmp/elsewhere/BENCH_serve.json")
+        assert _redirect_shared_out(explicit, "BENCH_chaos.json") == explicit
+
+    def test_daemon_config_default_out_is_not_the_baseline(self):
+        from repro.server import ServerConfig
+
+        assert ServerConfig().out == "BENCH_serve_daemon.json"
+
     def test_serve_fig16_profile(self, tmp_path):
         target = tmp_path / "BENCH_serve.json"
         code, text = run_cli(

@@ -322,8 +322,14 @@ class TestServeCLI:
             with urllib.request.urlopen(f"http://{addr}/healthz", timeout=10) as resp:
                 assert resp.status == 200
                 assert json.load(resp)["ok"] is True
-            with urllib.request.urlopen(f"http://{addr}/metrics", timeout=10) as resp:
-                assert b"repro_serve_ops_total" in resp.read()
+            def _serve_counter_published() -> bool:
+                with urllib.request.urlopen(
+                    f"http://{addr}/metrics", timeout=10
+                ) as resp:
+                    return b"repro_serve_ops_total" in resp.read()
+
+            # The counter appears once the first replayed op completes.
+            assert wait_until(_serve_counter_published, timeout=30)
             process.send_signal(signal.SIGTERM)
             stdout, _ = process.communicate(timeout=30)
         finally:
